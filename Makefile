@@ -1,0 +1,41 @@
+# ARACHNET reproduction — common entry points.
+
+GO ?= go
+
+.PHONY: all build test test-short bench vet cover experiments examples clean
+
+all: vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+	gofmt -l . | tee /dev/stderr | wc -l | grep -q '^0$$'
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper's evaluation.
+experiments:
+	$(GO) run ./cmd/arachnet-experiments
+
+# Run all example programs once.
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/battery-monitor
+	$(GO) run ./examples/strain-monitoring
+	$(GO) run ./examples/aloha-comparison
+	$(GO) run ./examples/outage-recovery
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,44 @@
+package arachnet
+
+import (
+	"fmt"
+
+	"repro/internal/energy"
+)
+
+// Energy planning helpers: the Sec. 6.2 sustainability arithmetic as a
+// provisioning tool. Before assigning a tag a reporting period, check
+// what its mounting position can afford.
+
+// PositionBudget returns the energy budget of the deployment position
+// for 1-based tag id: its net charging power against the Table 2 mode
+// powers at the configured slot length.
+func (n *Network) PositionBudget(tid uint8) (energy.Budget, error) {
+	h := energy.NewHarvester(8)
+	vp, err := n.Channel.TagPeakVoltage(int(tid))
+	if err != nil {
+		return energy.Budget{}, err
+	}
+	full, err := h.ChargingTime(vp, 0, h.Cutoff.HighThreshold())
+	if err != nil {
+		return energy.Budget{}, fmt.Errorf("arachnet: position %d cannot activate: %w", tid, err)
+	}
+	charging := h.NetChargingPower(0, h.Cutoff.HighThreshold(), full)
+	b := energy.DefaultBudget(charging)
+	b.SlotSeconds = n.Cfg.SlotDuration.Seconds()
+	return b, nil
+}
+
+// RecommendPeriod returns the fastest power-of-two reporting period the
+// tag's position can sustain indefinitely, given its harvested power.
+func (n *Network) RecommendPeriod(tid uint8) (Period, error) {
+	b, err := n.PositionBudget(tid)
+	if err != nil {
+		return 0, err
+	}
+	p, err := b.MinSustainablePeriod()
+	if err != nil {
+		return 0, fmt.Errorf("arachnet: position %d: %w", tid, err)
+	}
+	return Period(p), nil
+}

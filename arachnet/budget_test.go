@@ -1,0 +1,76 @@
+package arachnet
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPositionBudget(t *testing.T) {
+	net, err := NewNetwork(chargedConfig(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The best-coupled position has far more headroom than the worst.
+	b8, err := net.PositionBudget(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b11, err := net.PositionBudget(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b8.ChargingWatts <= b11.ChargingWatts {
+		t.Errorf("tag 8 charging %.1f uW <= tag 11 %.1f uW",
+			b8.ChargingWatts*1e6, b11.ChargingWatts*1e6)
+	}
+	if _, err := net.PositionBudget(0); err == nil {
+		t.Error("invalid tid accepted")
+	}
+}
+
+func TestRecommendPeriod(t *testing.T) {
+	net, err := NewNetwork(chargedConfig(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's budget sustains every-slot transmission even for the
+	// weakest tag (47.1 uW vs ~16 uW worst-case drain).
+	for _, tid := range []uint8{8, 11} {
+		p, err := net.RecommendPeriod(tid)
+		if err != nil {
+			t.Fatalf("tag %d: %v", tid, err)
+		}
+		if p != 1 {
+			t.Errorf("tag %d recommended period %d; the deployed budget allows 1", tid, p)
+		}
+	}
+}
+
+func TestDeploymentReport(t *testing.T) {
+	net, err := NewNetwork(chargedConfig(33))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := net.DeploymentReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Sorted by TID, physically consistent.
+	for i, r := range rows {
+		if int(r.TID) != i+1 {
+			t.Errorf("row %d has TID %d", i, r.TID)
+		}
+		if r.PathLossDB <= 0 || r.HarvestVolts <= 0 || r.AmplifiedV < 2.3 || r.ChargeSeconds <= 0 {
+			t.Errorf("tag %d: implausible row %+v", r.TID, r)
+		}
+	}
+	out := FormatDeployment(rows)
+	for _, want := range []string{"middle-floor", "cargo-area", "threshold"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted report missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package arachnet
+
+import (
+	"fmt"
+
+	"repro/internal/mac"
+	"repro/internal/phy"
+	"repro/internal/reader"
+	"repro/internal/sim"
+)
+
+// TagSpec provisions one tag in the network.
+type TagSpec struct {
+	// TID is the 4-bit identifier (1..15; 0 is reserved).
+	TID uint8
+	// Period is the transmission period in slots.
+	Period Period
+	// WithSensor attaches the strain module.
+	WithSensor bool
+	// StartCharged skips the initial charging phase for this tag.
+	StartCharged bool
+}
+
+// NetworkConfig describes a full event-level deployment.
+type NetworkConfig struct {
+	// Tags lists the tag population. TIDs map 1:1 onto the ONVO L60
+	// deployment positions (tag 1 dashboard ... tag 12 threshold), so
+	// at most 12 tags are supported by the built-in deployment.
+	Tags []TagSpec
+	// Seed drives all randomness.
+	Seed uint64
+	// SlotDuration is the slot length (default 1 s).
+	SlotDuration Time
+	// ULDivider is the MCU clock divider for the uplink (default 32,
+	// i.e. 375 bps).
+	ULDivider int
+	// DLRate is the downlink chip rate (default 250 bps).
+	DLRate float64
+	// EnvelopeTau is the tag envelope detector RC constant (s).
+	EnvelopeTau float64
+	// ComparatorThreshold is the tag comparator level (V).
+	ComparatorThreshold float64
+	// Reader overrides the reader configuration; zero value uses
+	// defaults.
+	Reader reader.Config
+	// WaveformDecode runs every slot's uplink through real DSP
+	// (synthesis, FM0 decode, cluster-based collision detection)
+	// instead of the calibrated probabilistic link model. Slower but
+	// fully mechanistic; see arachnet/waveform.go.
+	WaveformDecode bool
+}
+
+// DefaultNetworkConfig returns the paper's 12-tag deployment with the
+// Table 3 pattern c3 periods and all tags starting charged.
+func DefaultNetworkConfig() NetworkConfig {
+	c3 := mac.Table3Patterns()[2]
+	cfg := NetworkConfig{Seed: 1}
+	for i, p := range c3.Periods {
+		cfg.Tags = append(cfg.Tags, TagSpec{TID: uint8(i + 1), Period: p, StartCharged: true})
+	}
+	return cfg.withDefaults()
+}
+
+// withDefaults fills zero fields.
+func (c NetworkConfig) withDefaults() NetworkConfig {
+	if c.SlotDuration == 0 {
+		c.SlotDuration = sim.Second
+	}
+	if c.ULDivider == 0 {
+		c.ULDivider = 32
+	}
+	if c.DLRate == 0 {
+		c.DLRate = phy.DefaultDLRate
+	}
+	if c.EnvelopeTau == 0 {
+		c.EnvelopeTau = 80e-6
+	}
+	if c.ComparatorThreshold == 0 {
+		c.ComparatorThreshold = 0.05
+	}
+	if c.Reader.SlotDuration == 0 {
+		r := reader.DefaultConfig()
+		r.SlotDuration = c.SlotDuration
+		r.DLRate = c.DLRate
+		c.Reader = r
+	}
+	return c
+}
+
+// validate checks the population.
+func (c NetworkConfig) validate() error {
+	if len(c.Tags) == 0 {
+		return fmt.Errorf("arachnet: no tags configured")
+	}
+	if len(c.Tags) > 12 {
+		return fmt.Errorf("arachnet: deployment supports at most 12 tags, got %d", len(c.Tags))
+	}
+	seen := map[uint8]bool{}
+	var util float64
+	for _, t := range c.Tags {
+		if t.TID == 0 || t.TID >= phy.MaxTags {
+			return fmt.Errorf("arachnet: TID %d out of range 1..15", t.TID)
+		}
+		if seen[t.TID] {
+			return fmt.Errorf("arachnet: duplicate TID %d", t.TID)
+		}
+		seen[t.TID] = true
+		if !mac.ValidPeriod(t.Period) {
+			return fmt.Errorf("arachnet: tag %d period %d is not a power of two", t.TID, t.Period)
+		}
+		util += 1 / float64(t.Period)
+	}
+	if util > 1+1e-12 {
+		// Eq. 1: beyond capacity the protocol can never settle all
+		// tags; reject the provisioning error early.
+		return fmt.Errorf("arachnet: slot utilization %.3f exceeds channel capacity 1.0", util)
+	}
+	return nil
+}

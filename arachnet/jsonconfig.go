@@ -1,0 +1,100 @@
+package arachnet
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// JSON configuration for deployments, so the CLI tools and external
+// automation can describe networks without writing Go. Durations are
+// expressed in microseconds (the simulation tick); rates in bits per
+// second.
+//
+// Example:
+//
+//	{
+//	  "seed": 7,
+//	  "slot_duration_us": 1000000,
+//	  "dl_rate_bps": 250,
+//	  "tags": [
+//	    {"tid": 1, "period": 4, "start_charged": true},
+//	    {"tid": 11, "period": 32, "with_sensor": true}
+//	  ]
+//	}
+
+type jsonTagSpec struct {
+	TID          uint8 `json:"tid"`
+	Period       int   `json:"period"`
+	WithSensor   bool  `json:"with_sensor,omitempty"`
+	StartCharged bool  `json:"start_charged,omitempty"`
+}
+
+type jsonNetworkConfig struct {
+	Seed           uint64        `json:"seed"`
+	SlotDurationUS int64         `json:"slot_duration_us,omitempty"`
+	ULDivider      int           `json:"ul_divider,omitempty"`
+	DLRateBps      float64       `json:"dl_rate_bps,omitempty"`
+	Tags           []jsonTagSpec `json:"tags"`
+}
+
+// MarshalConfigJSON serializes a NetworkConfig to the JSON schema.
+func MarshalConfigJSON(cfg NetworkConfig) ([]byte, error) {
+	j := jsonNetworkConfig{
+		Seed:           cfg.Seed,
+		SlotDurationUS: int64(cfg.SlotDuration),
+		ULDivider:      cfg.ULDivider,
+		DLRateBps:      cfg.DLRate,
+	}
+	for _, t := range cfg.Tags {
+		j.Tags = append(j.Tags, jsonTagSpec{
+			TID: t.TID, Period: int(t.Period),
+			WithSensor: t.WithSensor, StartCharged: t.StartCharged,
+		})
+	}
+	return json.MarshalIndent(j, "", "  ")
+}
+
+// UnmarshalConfigJSON parses the JSON schema into a NetworkConfig and
+// validates it.
+func UnmarshalConfigJSON(data []byte) (NetworkConfig, error) {
+	var j jsonNetworkConfig
+	if err := json.Unmarshal(data, &j); err != nil {
+		return NetworkConfig{}, fmt.Errorf("arachnet: parse config: %w", err)
+	}
+	cfg := NetworkConfig{
+		Seed:         j.Seed,
+		SlotDuration: Time(j.SlotDurationUS),
+		ULDivider:    j.ULDivider,
+		DLRate:       j.DLRateBps,
+	}
+	for _, t := range j.Tags {
+		cfg.Tags = append(cfg.Tags, TagSpec{
+			TID: t.TID, Period: Period(t.Period),
+			WithSensor: t.WithSensor, StartCharged: t.StartCharged,
+		})
+	}
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return NetworkConfig{}, err
+	}
+	return cfg, nil
+}
+
+// LoadConfigFile reads and validates a JSON deployment description.
+func LoadConfigFile(path string) (NetworkConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return NetworkConfig{}, fmt.Errorf("arachnet: read config: %w", err)
+	}
+	return UnmarshalConfigJSON(data)
+}
+
+// SaveConfigFile writes the configuration as JSON.
+func SaveConfigFile(path string, cfg NetworkConfig) error {
+	data, err := MarshalConfigJSON(cfg)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,345 @@
+package arachnet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/biw"
+	"repro/internal/mac"
+	"repro/internal/mcu"
+	"repro/internal/phy"
+	"repro/internal/reader"
+	"repro/internal/sim"
+	"repro/internal/tag"
+)
+
+// Network is the full event-level ARACHNET system: the ONVO L60 BiW
+// channel, one reader, and up to 12 battery-free tags.
+type Network struct {
+	Cfg        NetworkConfig
+	Deployment *biw.Deployment
+	Channel    *biw.Channel
+	Link       *LinkModel
+	Reader     *reader.Device
+	Tags       map[uint8]*tag.Device
+
+	engine *sim.Engine
+	// wfNoise draws the waveform-mode channel noise.
+	wfNoise *sim.Rand
+	// beaconDecodes records (tid, time) of beacon decode completions
+	// for the Fig. 13(b) sync-offset analysis; bounded ring.
+	beaconDecodes []BeaconDecode
+}
+
+// BeaconDecode is one tag's beacon decode completion event.
+type BeaconDecode struct {
+	TID uint8
+	At  Time
+}
+
+// NewNetwork builds and wires the system. Tags marked StartCharged are
+// energized before the reader's first (RESET) beacon; the rest charge
+// from empty through the multiplier, arriving late exactly as in the
+// deployment (4-66 s depending on position).
+func NewNetwork(cfg NetworkConfig) (*Network, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	engine := sim.NewEngine()
+	rng := sim.NewRand(cfg.Seed)
+	dep := biw.NewONVOL60()
+	ch := biw.DefaultChannel(dep)
+	link := DefaultLinkModel(ch)
+
+	periods := make(map[int]mac.Period, len(cfg.Tags))
+	for _, spec := range cfg.Tags {
+		periods[int(spec.TID)] = spec.Period
+	}
+	rd, err := reader.New(engine, cfg.Reader, periods, rng.Fork(0xFE))
+	if err != nil {
+		return nil, err
+	}
+
+	n := &Network{
+		Cfg:        cfg,
+		Deployment: dep,
+		Channel:    ch,
+		Link:       link,
+		Reader:     rd,
+		Tags:       make(map[uint8]*tag.Device, len(cfg.Tags)),
+		engine:     engine,
+	}
+
+	for _, spec := range cfg.Tags {
+		tcfg := tag.DefaultConfig(spec.TID, spec.Period)
+		tcfg.ULDivider = cfg.ULDivider
+		tcfg.DLRate = cfg.DLRate
+		tcfg.SlotDuration = cfg.SlotDuration
+		tcfg.WithSensor = spec.WithSensor
+		dev, err := tag.New(engine, tcfg, rng.Fork(uint64(spec.TID)))
+		if err != nil {
+			return nil, err
+		}
+		vp, err := ch.TagPeakVoltage(int(spec.TID))
+		if err != nil {
+			return nil, err
+		}
+		dev.SetHarvestInput(vp)
+		if spec.StartCharged {
+			dev.PreCharge()
+		}
+		tid := spec.TID
+		dev.OnTransmit = func(tx tag.Transmission) { n.deliverUplink(tx) }
+		dev.OnBeaconDecoded = func(_ phy.Command, at Time) {
+			n.beaconDecodes = append(n.beaconDecodes, BeaconDecode{TID: tid, At: at})
+			if len(n.beaconDecodes) > 4096 {
+				n.beaconDecodes = n.beaconDecodes[1:]
+			}
+		}
+		n.Tags[spec.TID] = dev
+	}
+
+	rd.Broadcast = n.deliverBeacon
+	if cfg.WaveformDecode {
+		n.wfNoise = rng.Fork(0xF0)
+		rd.DecodeSlot = n.decodeSlotWaveform
+	}
+	rd.Start()
+	return n, nil
+}
+
+// deliverBeacon fans the reader's envelope edges out to every tag with
+// per-tag propagation and comparator delays.
+func (n *Network) deliverBeacon(bx reader.BeaconTx) {
+	for id, dev := range n.Tags {
+		prop, err := n.Deployment.TagDelay(int(id))
+		if err != nil {
+			continue
+		}
+		rise, err := n.Link.EnvelopeRiseDelay(int(id), n.Cfg.EnvelopeTau, n.Cfg.ComparatorThreshold)
+		if err != nil {
+			continue
+		}
+		fall, err := n.Link.EnvelopeFallDelay(int(id), n.Cfg.EnvelopeTau, n.Cfg.ComparatorThreshold)
+		if err != nil {
+			continue
+		}
+		if rise != rise || fall != fall || rise > 1 || fall > 1 {
+			continue // NaN/Inf: carrier too weak at this tag
+		}
+		dev := dev
+		for _, e := range bx.Edges {
+			delay := prop + rise
+			level := true
+			if !e.Rising {
+				delay = prop + fall
+				level = false
+			}
+			at := e.At + sim.FromSeconds(delay)
+			if at < n.engine.Now() {
+				at = n.engine.Now()
+			}
+			lvl := level
+			if _, err := n.engine.Schedule(at, "dl-edge", func(sim.Time) {
+				dev.InjectEnvelope(lvl)
+			}); err != nil {
+				continue
+			}
+		}
+	}
+}
+
+// deliverUplink scores a tag transmission against the channel and hands
+// it to the reader.
+func (n *Network) deliverUplink(tx tag.Transmission) {
+	amp, err := n.Channel.BackscatterAmplitude(int(tx.TID))
+	if err != nil {
+		return
+	}
+	prob, err := n.Link.PacketSuccessProb(int(tx.TID), tx.ChipRate, len(tx.Chips))
+	if err != nil {
+		return
+	}
+	ev := reader.ULEvent{
+		TID:        tx.TID,
+		Start:      tx.Start,
+		End:        tx.Start + tx.Duration(),
+		Amplitude:  amp,
+		DecodeProb: prob,
+		Payload:    tx.Packet.Payload,
+	}
+	if n.Cfg.WaveformDecode {
+		ev.Chips = tx.Chips
+		ev.ChipRate = tx.ChipRate
+	}
+	n.Reader.OnTransmission(ev)
+}
+
+// Run advances the simulation to the given absolute time.
+func (n *Network) Run(until Time) { n.engine.RunUntil(until) }
+
+// Now returns the current simulation time.
+func (n *Network) Now() Time { return n.engine.Now() }
+
+// ResetProtocol broadcasts a RESET on the next beacon: the reader's
+// ledger and convergence detector reinitialize and every powered tag
+// re-enters MIGRATE with a fresh random offset — the paper's Fig. 15
+// measurement primitive, exposed for repeated convergence experiments
+// on a live network.
+func (n *Network) ResetProtocol() { n.Reader.RequestReset() }
+
+// SetCarrier switches the reader's power carrier on or off. With the
+// carrier off the tags stop harvesting: they coast on their
+// supercapacitors and brown out once the cutoff trips — the
+// fault-injection path for power-interruption studies. Beacons keep
+// being scheduled (the reader electronics are mains-powered), but tags
+// with an empty capacitor cannot hear them.
+func (n *Network) SetCarrier(on bool) {
+	for id, dev := range n.Tags {
+		if !on {
+			dev.SetHarvestInput(0)
+			continue
+		}
+		vp, err := n.Channel.TagPeakVoltage(int(id))
+		if err != nil {
+			continue
+		}
+		dev.SetHarvestInput(vp)
+	}
+}
+
+// SetDisplacement sets the monitored displacement for a sensor tag.
+func (n *Network) SetDisplacement(tid uint8, meters float64) error {
+	dev, ok := n.Tags[tid]
+	if !ok {
+		return fmt.Errorf("arachnet: no tag %d", tid)
+	}
+	dev.SetDisplacement(meters)
+	return nil
+}
+
+// Payloads returns the most recent decoded payloads for a tag.
+func (n *Network) Payloads(tid uint8) []uint16 {
+	return append([]uint16(nil), n.Reader.Payloads[tid]...)
+}
+
+// BeaconDecodes returns the recorded beacon decode completions (most
+// recent few thousand), for synchronization-offset analysis.
+func (n *Network) BeaconDecodes() []BeaconDecode {
+	return append([]BeaconDecode(nil), n.beaconDecodes...)
+}
+
+// SyncOffsets computes the Fig. 13(b) metric: for each beacon decoded
+// by both the reference tag and tag t, the signed time offset of t's
+// decode completion relative to the reference. Offsets are grouped per
+// tag; the reference tag maps to an all-zero series.
+func (n *Network) SyncOffsets(referenceTID uint8) map[uint8][]Time {
+	// Group decode events into beacons by proximity: events within half
+	// a slot belong to the same beacon round.
+	out := make(map[uint8][]Time)
+	half := n.Cfg.SlotDuration / 2
+	var round []BeaconDecode
+	flush := func() {
+		var ref Time
+		found := false
+		for _, e := range round {
+			if e.TID == referenceTID {
+				ref, found = e.At, true
+				break
+			}
+		}
+		if found {
+			for _, e := range round {
+				out[e.TID] = append(out[e.TID], e.At-ref)
+			}
+		}
+		round = round[:0]
+	}
+	for _, e := range n.beaconDecodes {
+		if len(round) > 0 && e.At-round[0].At > half {
+			flush()
+		}
+		round = append(round, e)
+	}
+	flush()
+	return out
+}
+
+// TagPower summarizes one tag's measured power (Table 2 style) and
+// protocol diagnostics.
+type TagPower struct {
+	TID            uint8
+	RXMicrowatts   float64
+	TXMicrowatts   float64
+	IdleMicrowatts float64
+	Activations    uint64
+	BeaconsSeen    uint64
+	BeaconsLost    uint64
+	// Migrations counts offset re-randomizations — the protocol-level
+	// churn this tag has been through.
+	Migrations int
+	Settled    bool
+}
+
+// NetworkStats is a snapshot of the running system.
+type NetworkStats struct {
+	Slots           int
+	Decoded         uint64
+	NonEmptyRatio   float64
+	CollisionRatio  float64
+	Converged       bool
+	ConvergenceSlot int
+	Tags            []TagPower
+}
+
+// Stats collects the current snapshot.
+func (n *Network) Stats() NetworkStats {
+	st := NetworkStats{
+		Slots:           n.Reader.SlotsRun,
+		Decoded:         n.Reader.Decoded,
+		NonEmptyRatio:   n.Reader.Window.AverageNonEmptyRatio(),
+		CollisionRatio:  n.Reader.Window.AverageCollisionRatio(),
+		Converged:       n.Reader.Convergence.Converged(),
+		ConvergenceSlot: n.Reader.Convergence.ConvergenceSlot(),
+	}
+	ids := make([]int, 0, len(n.Tags))
+	for id := range n.Tags {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		dev := n.Tags[uint8(id)]
+		m := dev.MCU.Meter()
+		v := dev.MCU.Cfg.SupplyVolts
+		seen, lost := dev.BeaconStats()
+		st.Tags = append(st.Tags, TagPower{
+			TID:            uint8(id),
+			RXMicrowatts:   m.AveragePowerWatts(mcu.ModeRX, v) * 1e6,
+			TXMicrowatts:   m.AveragePowerWatts(mcu.ModeTX, v) * 1e6,
+			IdleMicrowatts: m.AveragePowerWatts(mcu.ModeIdle, v) * 1e6,
+			Activations:    dev.Activations(),
+			BeaconsSeen:    seen,
+			BeaconsLost:    lost,
+			Migrations:     dev.Proto.Migrations(),
+			Settled:        dev.Proto.State() == mac.Settle,
+		})
+	}
+	return st
+}
+
+// String renders the stats as a compact report.
+func (s NetworkStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "slots=%d decoded=%d non-empty=%.3f collisions=%.3f converged=%v",
+		s.Slots, s.Decoded, s.NonEmptyRatio, s.CollisionRatio, s.Converged)
+	if s.Converged {
+		fmt.Fprintf(&b, " (at slot %d)", s.ConvergenceSlot)
+	}
+	for _, t := range s.Tags {
+		fmt.Fprintf(&b, "\n  tag %2d: rx=%.1fuW tx=%.1fuW idle=%.1fuW beacons=%d lost=%d activations=%d",
+			t.TID, t.RXMicrowatts, t.TXMicrowatts, t.IdleMicrowatts, t.BeaconsSeen, t.BeaconsLost, t.Activations)
+	}
+	return b.String()
+}

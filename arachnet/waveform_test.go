@@ -1,0 +1,117 @@
+package arachnet
+
+import "testing"
+
+func TestWaveformDecodeMode(t *testing.T) {
+	cfg := chargedConfig(41)
+	cfg.Tags = cfg.Tags[:4]
+	for i := range cfg.Tags {
+		cfg.Tags[i].Period = 8
+	}
+	cfg.WaveformDecode = true
+	net, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Run(300 * Second)
+	st := net.Stats()
+	if !st.Converged {
+		t.Fatalf("waveform-mode network never converged: %v", st)
+	}
+	if st.Decoded < 80 {
+		t.Errorf("only %d packets decoded through the DSP chain", st.Decoded)
+	}
+	// Decoded payloads are real frame contents.
+	found := false
+	for _, spec := range cfg.Tags {
+		if len(net.Payloads(spec.TID)) > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no payloads recorded")
+	}
+}
+
+func TestWaveformModeMatchesProbabilisticShape(t *testing.T) {
+	// Both modes must land at the same operating point: convergence and
+	// high channel efficiency for the same workload.
+	run := func(wf bool) NetworkStats {
+		cfg := chargedConfig(42)
+		cfg.WaveformDecode = wf
+		net, err := NewNetwork(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		net.Run(900 * Second)
+		return net.Stats()
+	}
+	prob := run(false)
+	wave := run(true)
+	if !prob.Converged || !wave.Converged {
+		t.Fatalf("convergence: prob=%v wave=%v", prob.Converged, wave.Converged)
+	}
+	d := prob.NonEmptyRatio - wave.NonEmptyRatio
+	if d < -0.08 || d > 0.08 {
+		t.Errorf("modes disagree on non-empty ratio: %.3f vs %.3f",
+			prob.NonEmptyRatio, wave.NonEmptyRatio)
+	}
+}
+
+func TestResetProtocolReconverges(t *testing.T) {
+	cfg := chargedConfig(51)
+	net, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Run(900 * Second)
+	st := net.Stats()
+	if !st.Converged {
+		t.Fatal("setup: no first convergence")
+	}
+	first := st.ConvergenceSlot
+
+	// RESET: everyone recontends and the detector restarts.
+	net.ResetProtocol()
+	net.Run(net.Now() + 2*Second)
+	mid := net.Stats()
+	if mid.Converged {
+		t.Fatal("detector not restarted by RESET")
+	}
+	settled := 0
+	for _, tp := range mid.Tags {
+		if tp.Settled {
+			settled++
+		}
+	}
+	if settled > 3 {
+		t.Errorf("%d tags still settled right after RESET", settled)
+	}
+
+	// And it converges again. The detector counts slots since the
+	// RESET (the paper's first-convergence definition), so the second
+	// figure is a fresh measurement, not an absolute slot index.
+	net.Run(net.Now() + 1500*Second)
+	again := net.Stats()
+	if !again.Converged {
+		t.Fatal("no re-convergence after RESET")
+	}
+	if again.ConvergenceSlot < 32 {
+		t.Errorf("re-convergence measured at %d slots (< detector window)", again.ConvergenceSlot)
+	}
+	// Both measurements sample the same Fig. 15 distribution: same
+	// order of magnitude.
+	if again.ConvergenceSlot > 20*first || first > 20*again.ConvergenceSlot {
+		t.Errorf("convergence measurements wildly apart: %d vs %d", first, again.ConvergenceSlot)
+	}
+	// Diagnostics populated: tags migrated during recontention.
+	migrated := 0
+	for _, tp := range again.Tags {
+		if tp.Migrations > 0 {
+			migrated++
+		}
+	}
+	if migrated < 3 {
+		t.Errorf("only %d tags report migrations after a full recontention", migrated)
+	}
+}

@@ -1,0 +1,124 @@
+// Command arachnet-sim runs a configurable ARACHNET network simulation
+// and prints periodic statistics. Two engines are available:
+//
+//	-engine=network  full event-level system (default): charging,
+//	                 firmware interrupts, PIE demodulation, power
+//	-engine=slots    fast slot-level protocol simulator
+//
+// Examples:
+//
+//	arachnet-sim -duration 600 -pattern c3
+//	arachnet-sim -engine slots -slots 100000 -pattern c5 -seed 7
+//	arachnet-sim -pattern c2 -charge   # tags charge from empty
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/arachnet"
+)
+
+func main() {
+	engine := flag.String("engine", "network", "simulation engine: network or slots")
+	patternName := flag.String("pattern", "c3", "Table 3 workload (c1..c9)")
+	seed := flag.Uint64("seed", 1, "random seed")
+	duration := flag.Int("duration", 600, "network engine: seconds to simulate")
+	slots := flag.Int("slots", 10_000, "slots engine: slots to simulate")
+	charge := flag.Bool("charge", false, "network engine: tags charge from empty instead of starting charged")
+	report := flag.Int("report", 100, "progress report interval (seconds or slots)")
+	configPath := flag.String("config", "", "JSON deployment description (network engine; overrides -pattern/-charge)")
+	waveform := flag.Bool("waveform", false, "network engine: decode uplinks with full DSP instead of the link model")
+	flag.Parse()
+
+	if *configPath != "" {
+		cfg, err := arachnet.LoadConfigFile(*configPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cfg.Seed = *seed
+		cfg.WaveformDecode = *waveform
+		runNetworkConfig(cfg, *duration, *report)
+		return
+	}
+
+	var pattern arachnet.Pattern
+	found := false
+	for _, p := range arachnet.Table3Patterns() {
+		if p.Name == *patternName {
+			pattern, found = p, true
+			break
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "unknown pattern %q (c1..c9)\n", *patternName)
+		os.Exit(2)
+	}
+
+	switch *engine {
+	case "network":
+		runNetwork(pattern, *seed, *duration, *charge, *waveform, *report)
+	case "slots":
+		runSlots(pattern, *seed, *slots, *report)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown engine %q\n", *engine)
+		os.Exit(2)
+	}
+}
+
+func runNetwork(pattern arachnet.Pattern, seed uint64, duration int, charge, waveform bool, report int) {
+	cfg := arachnet.NetworkConfig{Seed: seed, WaveformDecode: waveform}
+	for i, p := range pattern.Periods {
+		cfg.Tags = append(cfg.Tags, arachnet.TagSpec{
+			TID: uint8(i + 1), Period: p, StartCharged: !charge,
+		})
+	}
+	fmt.Printf("event-level network: pattern %s (U=%.3f, %d tags), %d s\n",
+		pattern.Name, pattern.Utilization(), pattern.NumTags(), duration)
+	runNetworkConfig(cfg, duration, report)
+}
+
+func runNetworkConfig(cfg arachnet.NetworkConfig, duration, report int) {
+	net, err := arachnet.NewNetwork(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for t := report; t <= duration; t += report {
+		net.Run(arachnet.Time(t) * arachnet.Second)
+		st := net.Stats()
+		fmt.Printf("t=%4ds slots=%5d decoded=%5d non-empty=%.3f collisions=%.3f converged=%v\n",
+			t, st.Slots, st.Decoded, st.NonEmptyRatio, st.CollisionRatio, st.Converged)
+	}
+	fmt.Println()
+	fmt.Println(net.Stats())
+}
+
+func runSlots(pattern arachnet.Pattern, seed uint64, slots, report int) {
+	s, err := arachnet.NewSlotSim(arachnet.SlotSimConfig{Pattern: pattern, Seed: seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("slot-level simulator: pattern %s (U=%.3f, %d tags), %d slots\n",
+		pattern.Name, pattern.Utilization(), pattern.NumTags(), slots)
+	for done := 0; done < slots; {
+		n := report
+		if done+n > slots {
+			n = slots - done
+		}
+		s.Run(n)
+		done += n
+		fmt.Printf("slot %6d: non-empty=%.3f collisions=%.3f converged=%v settled=%v\n",
+			done, s.Window.AverageNonEmptyRatio(), s.Window.AverageCollisionRatio(),
+			s.Convergence.Converged(), s.AllSettled())
+	}
+	conv := "never"
+	if s.Convergence.Converged() {
+		conv = fmt.Sprintf("slot %d", s.Convergence.ConvergenceSlot())
+	}
+	fmt.Printf("\nfirst convergence: %s; ground truth: %d non-empty, %d collision slots\n",
+		conv, s.TruthNonEmpty, s.TruthCollisions)
+}

@@ -1,0 +1,58 @@
+// Strain-monitoring: the Sec. 6.5 case study. Three tags with strain
+// modules watch a metal plate; we displace its free end from -10 cm to
+// +10 cm and read the backscattered Wheatstone-bridge voltages at the
+// reader. The decoded payloads track the bending monotonically.
+//
+//	go run ./examples/strain-monitoring
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/arachnet"
+)
+
+func main() {
+	cfg := arachnet.NetworkConfig{Seed: 3}
+	// Tags A, B, C of Fig. 17 -> deployment positions 2, 5, 8, all
+	// fitted with the strain module and reporting every other slot.
+	tags := []uint8{2, 5, 8}
+	for _, tid := range tags {
+		cfg.Tags = append(cfg.Tags, arachnet.TagSpec{
+			TID: tid, Period: 4, WithSensor: true, StartCharged: true,
+		})
+	}
+	net, err := arachnet.NewNetwork(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Let the protocol settle before measuring.
+	net.Run(2 * arachnet.Minute)
+
+	adcToVolts := func(code uint16) float64 { return float64(code) / 1024 * 1.8 }
+
+	fmt.Println("displacement sweep (ADC-decoded bridge voltage, V):")
+	fmt.Printf("%-8s %8s %8s %8s\n", "d (cm)", "tag A", "tag B", "tag C")
+	for d := -10.0; d <= 10.01; d += 2.5 {
+		for _, tid := range tags {
+			if err := net.SetDisplacement(tid, d/100); err != nil {
+				log.Fatal(err)
+			}
+		}
+		// One minute per step gives each tag several readings.
+		net.Run(net.Now() + arachnet.Minute)
+		fmt.Printf("%-8.1f", d)
+		for _, tid := range tags {
+			vals := net.Payloads(tid)
+			if len(vals) == 0 {
+				fmt.Printf(" %8s", "-")
+				continue
+			}
+			fmt.Printf(" %8.3f", adcToVolts(vals[len(vals)-1]))
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nvoltage correlates with displacement: the BiW itself carried")
+	fmt.Println("both the power for the measurement and the data back out.")
+}

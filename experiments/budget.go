@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/biw"
+	"repro/internal/energy"
+)
+
+// RunBudgetTable reports each deployment position's energy budget and
+// the fastest reporting period it can sustain — the Sec. 6.2
+// sustainability argument, tabulated per tag.
+func RunBudgetTable() (Table, error) {
+	dep := biw.NewONVOL60()
+	ch := biw.DefaultChannel(dep)
+	tb := Table{
+		Title:  "Energy Budget per Position (Sec. 6.2 arithmetic)",
+		Header: []string{"Tag", "charging (uW)", "drain @p=1 (uW)", "headroom (uW)", "min period", "duty bound"},
+	}
+	for id := 1; id <= dep.NumTags(); id++ {
+		h := energy.NewHarvester(8)
+		vp, err := ch.TagPeakVoltage(id)
+		if err != nil {
+			return Table{}, err
+		}
+		full, err := h.ChargingTime(vp, 0, h.Cutoff.HighThreshold())
+		if err != nil {
+			return Table{}, err
+		}
+		b := energy.DefaultBudget(h.NetChargingPower(0, h.Cutoff.HighThreshold(), full))
+		p, err := b.MinSustainablePeriod()
+		if err != nil {
+			return Table{}, fmt.Errorf("tag %d: %w", id, err)
+		}
+		tb.AddRow(fmt.Sprintf("%d", id),
+			f1(b.ChargingWatts*1e6),
+			f1(b.AveragePower(1)*1e6),
+			f1(b.HeadroomWatts(1)*1e6),
+			fmt.Sprintf("%d", p),
+			f2(b.DutyCycleBound()))
+	}
+	tb.Notes = append(tb.Notes,
+		"every deployed position sustains even per-slot transmission — the paper's 'continuous operation in a duty-cycled mode' with margin")
+	return tb, nil
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Minimal ASCII charting for terminal output: sparklines for time
+// series (the Fig. 16 curves) and horizontal bars for per-category
+// counts (the Fig. 19 histogram).
+
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a fixed-width block-rune strip. Values
+// are min-max normalized; NaNs render as spaces. If width < len(values)
+// the series is downsampled by bucket means.
+func Sparkline(values []float64, width int) string {
+	if len(values) == 0 || width <= 0 {
+		return ""
+	}
+	// Downsample to width buckets.
+	series := values
+	if len(values) > width {
+		series = make([]float64, width)
+		per := float64(len(values)) / float64(width)
+		for i := 0; i < width; i++ {
+			lo := int(float64(i) * per)
+			hi := int(float64(i+1) * per)
+			if hi <= lo {
+				hi = lo + 1
+			}
+			if hi > len(values) {
+				hi = len(values)
+			}
+			var sum float64
+			for _, v := range values[lo:hi] {
+				sum += v
+			}
+			series[i] = sum / float64(hi-lo)
+		}
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range series {
+		if math.IsNaN(v) {
+			continue
+		}
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if math.IsInf(lo, 1) {
+		return strings.Repeat(" ", len(series))
+	}
+	span := hi - lo
+	var sb strings.Builder
+	for _, v := range series {
+		if math.IsNaN(v) {
+			sb.WriteByte(' ')
+			continue
+		}
+		idx := 0
+		if span > 0 {
+			idx = int((v - lo) / span * float64(len(sparkRunes)-1))
+		}
+		sb.WriteRune(sparkRunes[idx])
+	}
+	return sb.String()
+}
+
+// HBar renders one labelled horizontal bar scaled against max.
+func HBar(label string, value, max float64, width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	n := 0
+	if max > 0 {
+		n = int(value / max * float64(width))
+	}
+	if n > width {
+		n = width
+	}
+	if n < 0 {
+		n = 0
+	}
+	return fmt.Sprintf("%-8s %s %.4g", label, strings.Repeat("█", n)+strings.Repeat("·", width-n), value)
+}

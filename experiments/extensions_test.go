@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestDLSchemeStudy(t *testing.T) {
+	cells, tb, err := RunDLSchemeStudy(1, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 8 { // 4 rates x 2 schemes
+		t.Fatalf("%d cells", len(cells))
+	}
+	byKey := map[string]float64{}
+	for _, c := range cells {
+		byKey[c.Scheme+strconv.Itoa(int(c.Rate))] = c.LossPct
+	}
+	// At the default 250 bps both schemes are clean.
+	for _, sch := range []string{"OOK (ring tail)", "FSK-in-OOK-out"} {
+		if byKey[sch+"250"] > 3 {
+			t.Errorf("%s loses %.1f%% at 250 bps", sch, byKey[sch+"250"])
+		}
+	}
+	// At 1000 bps the ring tail hurts plain OOK far more than the
+	// paper's FSK-in-OOK-out scheme.
+	ook := byKey["OOK (ring tail)1000"]
+	fsk := byKey["FSK-in-OOK-out1000"]
+	if ook < fsk+10 {
+		t.Errorf("no ring-tail penalty at 1000 bps: OOK %.1f%% vs FSK %.1f%%", ook, fsk)
+	}
+	if !strings.Contains(tb.String(), "FSK") {
+		t.Error("table missing scheme names")
+	}
+}
+
+func TestMultiReaderStudy(t *testing.T) {
+	tb, err := RunMultiReaderStudy(1, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("%d rows", len(tb.Rows))
+	}
+	// Clean-isolation throughput for K readers ~ 0.75*K: parse the
+	// leak-0 column of the K=4 row.
+	var k4 float64
+	if _, err := parseFloat(tb.Rows[3][2], &k4); err != nil {
+		t.Fatal(err)
+	}
+	if k4 < 2.5 {
+		t.Errorf("4-reader clean throughput %.3f, want ~3.0", k4)
+	}
+}
+
+func parseFloat(s string, out *float64) (bool, error) {
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return false, err
+	}
+	*out = v
+	return true, nil
+}
+
+func TestAmbientHarvestStudy(t *testing.T) {
+	tb, err := RunAmbientHarvestStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("%d rows", len(tb.Rows))
+	}
+	// Activation time of tag 11 must fall monotonically with ambient
+	// power.
+	var prev float64 = 1e9
+	for _, row := range tb.Rows {
+		var v float64
+		if _, err := parseFloat(row[1], &v); err != nil {
+			t.Fatal(err)
+		}
+		if v >= prev {
+			t.Errorf("tag 11 activation not improving: %v then %v", prev, v)
+		}
+		prev = v
+	}
+}
+
+func TestBudgetTable(t *testing.T) {
+	tb, err := RunBudgetTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 12 {
+		t.Fatalf("%d rows", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if row[4] != "1" {
+			t.Errorf("tag %s min period %s, expected 1 at the paper's budget", row[0], row[4])
+		}
+	}
+}
+
+func TestRenderFig14Waveform(t *testing.T) {
+	wf, err := RenderFig14Waveform(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := []rune(wf)
+	if len(r) != 100 {
+		t.Fatalf("waveform width %d", len(r))
+	}
+	// The beacon section must render visibly taller than the
+	// backscatter section.
+	max := func(rs []rune) rune {
+		m := rs[0]
+		for _, x := range rs {
+			if x > m {
+				m = x
+			}
+		}
+		return m
+	}
+	if max(r[:30]) <= max(r[60:]) {
+		t.Error("beacon should dominate the envelope over the backscatter tail")
+	}
+}
+
+func TestModeCrossValidation(t *testing.T) {
+	tb, err := RunModeCrossValidation(5, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("%d rows", len(tb.Rows))
+	}
+	var probNE, waveNE float64
+	if _, err := parseFloat(tb.Rows[0][1], &probNE); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parseFloat(tb.Rows[1][1], &waveNE); err != nil {
+		t.Fatal(err)
+	}
+	if d := probNE - waveNE; d < -0.1 || d > 0.1 {
+		t.Errorf("modes disagree: %.3f vs %.3f non-empty", probNE, waveNE)
+	}
+}
+
+func TestFig15NetworkCrossCheck(t *testing.T) {
+	tb, err := RunFig15Network(3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var netMed, simMed float64
+	if _, err := parseFloat(tb.Rows[0][1], &netMed); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parseFloat(tb.Rows[1][1], &simMed); err != nil {
+		t.Fatal(err)
+	}
+	// Heavy-tailed distribution, few samples: same scale is the claim.
+	if netMed > 6*simMed || simMed > 6*netMed {
+		t.Errorf("engines diverge: net %v vs sim %v", netMed, simMed)
+	}
+}

@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/biw"
+	"repro/internal/dsp"
+	"repro/internal/phy"
+	"repro/internal/sim"
+)
+
+// fig12Tags are the three representative tags of Fig. 12: nearest
+// (tag 8), structural-face (tag 4), and deep cargo (tag 11).
+var fig12Tags = []int{8, 4, 11}
+
+// fig12Rates are the nominal uplink chip rates.
+var fig12Rates = []float64{93.75, 187.5, 375, 750, 1500, 3000}
+
+// Fig12aCell is one (tag, rate) SNR result.
+type Fig12aCell struct {
+	Tag   int
+	Rate  float64
+	SNRdB float64
+	// MeasuredSNRdB is the PSD-based measurement over a synthesized
+	// waveform (what the paper's reader computes); it should track the
+	// link-budget value.
+	MeasuredSNRdB float64
+}
+
+// RunFig12a computes the uplink SNR matrix, both from the link budget
+// and from PSD measurement over a synthesized baseband capture.
+func RunFig12a(seed uint64) ([]Fig12aCell, Table, error) {
+	dep := biw.NewONVOL60()
+	ch := biw.DefaultChannel(dep)
+	rng := sim.NewRand(seed)
+	var cells []Fig12aCell
+	tb := Table{
+		Title:  "Fig. 12(a): Uplink SNR vs Bit Rate (link budget / PSD-measured, dB)",
+		Header: []string{"Rate (bps)", "tag 8", "tag 4", "tag 11"},
+	}
+	for _, rate := range fig12Rates {
+		row := []string{fmt.Sprintf("%g", rate)}
+		for _, id := range fig12Tags {
+			snr, err := ch.UplinkSNRdB(id, rate)
+			if err != nil {
+				return nil, Table{}, err
+			}
+			meas, err := measureSNR(ch, id, rate, rng)
+			if err != nil {
+				return nil, Table{}, err
+			}
+			cells = append(cells, Fig12aCell{Tag: id, Rate: rate, SNRdB: snr, MeasuredSNRdB: meas})
+			row = append(row, fmt.Sprintf("%s / %s", f1(snr), f1(meas)))
+		}
+		tb.Rows = append(tb.Rows, row)
+	}
+	tb.Notes = append(tb.Notes,
+		"paper anchors: tag 8 > 11.7 dB at 3000 bps; SNR decreases with rate; tag 8 highest")
+	return cells, tb, nil
+}
+
+// measureSNR synthesizes a random FM0 backscatter capture for the tag
+// and measures SNR from its PSD, the way the reader does (Sec. 6.3).
+func measureSNR(ch *biw.Channel, id int, rate float64, rng *sim.Rand) (float64, error) {
+	amp, err := ch.BackscatterAmplitude(id)
+	if err != nil {
+		return 0, err
+	}
+	const spc = 16 // samples per chip
+	fs := rate * spc
+	// SNR test pattern: FM0 of all-zero data toggles the PZT every
+	// chip, concentrating the backscatter in a tone at chipRate/2 —
+	// the measurement pattern the PSD-based meter expects.
+	data := make(phy.Bits, 256)
+	chips := phy.FM0Encode(data, 0)
+	p := dsp.ULSynthParams{
+		CarrierHz: 90_000, Fs: fs, ChipRate: rate,
+		Leakage: 0.2, Backscatter: amp,
+		NoiseRMS: ch.NoiseRMS(fs),
+	}
+	baseband := dsp.SynthesizeULBaseband(chips, spc, p, rng)
+	// Remove the leakage DC so the PSD sees modulation + noise only.
+	blocker := dsp.NewDCBlocker(0.999)
+	return dsp.MeasureSNRdB(blocker.Process(baseband), fs, rate)
+}
+
+// Fig12bCell is one (tag, rate) loss count.
+type Fig12bCell struct {
+	Tag     int
+	Rate    float64
+	Sent    int
+	Lost    int
+	LossPct float64
+}
+
+// RunFig12b sends 1,000 uplink packets per (tag, rate) through the
+// baseband synthesis + reader decode chain and counts losses
+// (Fig. 12b; the paper's bound is < 0.5% everywhere).
+func RunFig12b(seed uint64, packets int) ([]Fig12bCell, Table, error) {
+	if packets <= 0 {
+		packets = 1000
+	}
+	dep := biw.NewONVOL60()
+	ch := biw.DefaultChannel(dep)
+	rng := sim.NewRand(seed)
+	var cells []Fig12bCell
+	tb := Table{
+		Title:  fmt.Sprintf("Fig. 12(b): Uplink Packet Loss (%d sent per setting)", packets),
+		Header: []string{"Rate (bps)", "tag 8", "tag 4", "tag 11"},
+	}
+	for _, rate := range fig12Rates {
+		row := []string{fmt.Sprintf("%g", rate)}
+		for _, id := range fig12Tags {
+			lost, err := countULLosses(ch, id, rate, packets, rng.Fork(uint64(id)*1000+uint64(rate)))
+			if err != nil {
+				return nil, Table{}, err
+			}
+			cells = append(cells, Fig12bCell{
+				Tag: id, Rate: rate, Sent: packets, Lost: lost,
+				LossPct: 100 * float64(lost) / float64(packets),
+			})
+			row = append(row, fmt.Sprintf("%d", lost))
+		}
+		tb.Rows = append(tb.Rows, row)
+	}
+	tb.Notes = append(tb.Notes, "paper: loss rises with rate but PER stays below 0.5% for all settings")
+	return cells, tb, nil
+}
+
+// countULLosses decodes `packets` frames through the fast baseband
+// chain. Two error mechanisms act, as in the paper's analysis
+// (Sec. 6.3): channel noise (dominant for weak tags) and timing slips
+// from the 12 kHz MCU clock, whose fixed absolute jitter is a growing
+// fraction of the chip at higher rates. The reader's clock recovery
+// absorbs slow drift, so timing errors appear as isolated chip-decision
+// flips with probability (rate/12kHz-anchored) matching the calibrated
+// link model.
+func countULLosses(ch *biw.Channel, id int, rate float64, packets int, rng *sim.Rand) (int, error) {
+	amp, err := ch.BackscatterAmplitude(id)
+	if err != nil {
+		return 0, err
+	}
+	const spc = 8
+	fs := rate * spc
+	// Per-chip timing-slip probability, anchored like LinkModel.
+	ratio := rate / 3000
+	peTiming := 6e-5 * ratio * ratio
+	lost := 0
+	for i := 0; i < packets; i++ {
+		pkt := phy.ULPacket{TID: uint8(id % 16), Payload: uint16(rng.Intn(1 << 12))}
+		frame, err := pkt.Marshal()
+		if err != nil {
+			return 0, err
+		}
+		chips := append(make(phy.Bits, 4), phy.FM0Encode(frame, 0)...)
+		chips = append(chips, make(phy.Bits, 2)...)
+		// Timing slips corrupt individual chip decisions.
+		for c := range chips {
+			if rng.Bool(peTiming) {
+				chips[c] ^= 1
+			}
+		}
+		p := dsp.ULSynthParams{
+			CarrierHz: 90_000, Fs: fs, ChipRate: rate,
+			Leakage: 0.2, Backscatter: amp,
+			NoiseRMS: ch.NoiseRMS(fs),
+		}
+		soft := dsp.SynthesizeULBaseband(chips, spc, p, rng)
+		sampler, err := dsp.NewChipSampler(spc)
+		if err != nil {
+			return 0, err
+		}
+		got, err := dsp.DecodeULFrame(sampler.Process(soft))
+		if err != nil || got != pkt {
+			lost++
+		}
+	}
+	return lost, nil
+}

@@ -1,0 +1,244 @@
+package biw
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPositionDistance(t *testing.T) {
+	a := Position{0, 0, 0}
+	b := Position{3, 4, 0}
+	if d := a.Distance(b); d != 5 {
+		t.Errorf("distance = %v, want 5", d)
+	}
+	if d := a.Distance(a); d != 0 {
+		t.Errorf("self distance = %v", d)
+	}
+	if a.Distance(b) != b.Distance(a) {
+		t.Error("distance not symmetric")
+	}
+}
+
+func TestElementKindString(t *testing.T) {
+	if KindPillar.String() != "pillar" {
+		t.Errorf("KindPillar = %q", KindPillar.String())
+	}
+	if got := ElementKind(99).String(); got != "ElementKind(99)" {
+		t.Errorf("unknown kind = %q", got)
+	}
+}
+
+func newTestStructure() *Structure {
+	s := NewStructure(2.0, 10.0)
+	s.AddElement("a", KindFloorPanel, Position{0, 0, 0})
+	s.AddElement("b", KindFloorPanel, Position{1, 0, 0})
+	s.AddElement("c", KindPillar, Position{2, 0, 0})
+	s.AddElement("d", KindBeam, Position{0, 5, 0})
+	if err := s.Connect("a", "b", 1.0); err != nil {
+		panic(err)
+	}
+	if err := s.Connect("b", "c", 3.0); err != nil {
+		panic(err)
+	}
+	if err := s.Connect("a", "d", 0.0); err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func TestPathLossDirect(t *testing.T) {
+	s := newTestStructure()
+	loss, dist, err := s.PathLossDB("a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// coupling 10 + distance 1m * 2 dB/m + junction 1 = 13
+	if math.Abs(loss-13) > 1e-9 {
+		t.Errorf("loss = %v, want 13", loss)
+	}
+	if math.Abs(dist-1) > 1e-9 {
+		t.Errorf("dist = %v, want 1", dist)
+	}
+}
+
+func TestPathLossMultiHop(t *testing.T) {
+	s := newTestStructure()
+	loss, dist, err := s.PathLossDB("a", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 + (1*2+1) + (1*2+3) = 18
+	if math.Abs(loss-18) > 1e-9 {
+		t.Errorf("loss = %v, want 18", loss)
+	}
+	if math.Abs(dist-2) > 1e-9 {
+		t.Errorf("dist = %v, want 2", dist)
+	}
+}
+
+func TestPathLossSameElement(t *testing.T) {
+	s := newTestStructure()
+	loss, dist, err := s.PathLossDB("a", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss != 10 || dist != 0 {
+		t.Errorf("same-element: loss=%v dist=%v, want 10, 0", loss, dist)
+	}
+}
+
+func TestPathLossSymmetric(t *testing.T) {
+	s := newTestStructure()
+	for _, pair := range [][2]string{{"a", "c"}, {"b", "d"}, {"c", "d"}} {
+		l1, _, err1 := s.PathLossDB(pair[0], pair[1])
+		l2, _, err2 := s.PathLossDB(pair[1], pair[0])
+		if err1 != nil || err2 != nil {
+			t.Fatalf("path errors: %v %v", err1, err2)
+		}
+		if math.Abs(l1-l2) > 1e-9 {
+			t.Errorf("loss %s<->%s asymmetric: %v vs %v", pair[0], pair[1], l1, l2)
+		}
+	}
+}
+
+func TestPathLossPicksCheapestPath(t *testing.T) {
+	s := NewStructure(1.0, 0.0)
+	s.AddElement("a", KindFloorPanel, Position{0, 0, 0})
+	s.AddElement("b", KindFloorPanel, Position{1, 0, 0})
+	s.AddElement("c", KindFloorPanel, Position{2, 0, 0})
+	// Direct a-c edge with a huge junction vs a-b-c with small ones.
+	if err := s.Connect("a", "c", 20.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Connect("a", "b", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Connect("b", "c", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	loss, _, err := s.PathLossDB("a", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(loss-3) > 1e-9 { // 2m + 0.5 + 0.5
+		t.Errorf("loss = %v, want 3 (via b)", loss)
+	}
+}
+
+func TestPathLossErrors(t *testing.T) {
+	s := newTestStructure()
+	if _, _, err := s.PathLossDB("a", "nope"); err == nil {
+		t.Error("expected error for unknown destination")
+	}
+	if _, _, err := s.PathLossDB("nope", "a"); err == nil {
+		t.Error("expected error for unknown source")
+	}
+	if err := s.Connect("a", "nope", 1); err == nil {
+		t.Error("expected error connecting unknown element")
+	}
+	// Disconnected element.
+	s.AddElement("island", KindBeam, Position{9, 9, 9})
+	if _, _, err := s.PathLossDB("a", "island"); err == nil {
+		t.Error("expected error for disconnected element")
+	}
+}
+
+func TestGain(t *testing.T) {
+	s := newTestStructure()
+	g, err := s.Gain("a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Pow(10, -13.0/20)
+	if math.Abs(g-want) > 1e-12 {
+		t.Errorf("gain = %v, want %v", g, want)
+	}
+}
+
+func TestPropagationDelay(t *testing.T) {
+	s := newTestStructure()
+	d, err := s.PropagationDelay("a", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2.0 / SpeedOfSound
+	if math.Abs(d-want) > 1e-12 {
+		t.Errorf("delay = %v, want %v", d, want)
+	}
+}
+
+func TestElementsSorted(t *testing.T) {
+	s := newTestStructure()
+	names := s.Elements()
+	if len(names) != 4 {
+		t.Fatalf("got %d elements", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("elements not sorted: %v", names)
+		}
+	}
+}
+
+func TestResonanceResponse(t *testing.T) {
+	if r := ResonanceResponse(ResonantFrequencyHz); math.Abs(r-1) > 0.01 {
+		t.Errorf("response at resonance = %v, want ~1", r)
+	}
+	// A few kHz off resonance the response must collapse (basis of the
+	// 'FSK in OOK out' downlink).
+	off := ResonanceResponse(ResonantFrequencyHz + 5000)
+	if off > 0.3 {
+		t.Errorf("off-resonance response = %v, want < 0.3", off)
+	}
+	// Ambient vehicle vibration band is invisible at the transducer.
+	amb := ResonanceResponse(AmbientVibrationHz)
+	if amb > 0.001 {
+		t.Errorf("ambient response = %v, want ~0", amb)
+	}
+	if ResonanceResponse(0) != 0 || ResonanceResponse(-5) != 0 {
+		t.Error("non-positive frequency should have zero response")
+	}
+}
+
+func TestResonanceMonotoneAwayFromPeak(t *testing.T) {
+	prev := ResonanceResponse(ResonantFrequencyHz)
+	for df := 500.0; df <= 20000; df += 500 {
+		r := ResonanceResponse(ResonantFrequencyHz + df)
+		if r > prev+1e-9 {
+			t.Fatalf("response not decreasing above resonance at +%v Hz", df)
+		}
+		prev = r
+	}
+}
+
+// Property: adding an edge can never increase the minimum path loss.
+func TestPathLossMonotoneUnderEdgeAddition(t *testing.T) {
+	f := func(j1, j2 uint8) bool {
+		s := NewStructure(1.0, 0.0)
+		s.AddElement("a", KindFloorPanel, Position{0, 0, 0})
+		s.AddElement("b", KindFloorPanel, Position{3, 0, 0})
+		s.AddElement("m", KindFloorPanel, Position{1.5, 1, 0})
+		if err := s.Connect("a", "b", float64(j1)); err != nil {
+			return false
+		}
+		before, _, err := s.PathLossDB("a", "b")
+		if err != nil {
+			return false
+		}
+		if err := s.Connect("a", "m", float64(j2)); err != nil {
+			return false
+		}
+		if err := s.Connect("m", "b", float64(j2)); err != nil {
+			return false
+		}
+		after, _, err := s.PathLossDB("a", "b")
+		if err != nil {
+			return false
+		}
+		return after <= before+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,68 @@
+package dsp
+
+import (
+	"math"
+	"sort"
+)
+
+// IQ-domain collision detection (Sec. 5.3). With a single tag
+// backscattering, the baseband constellation collapses onto two
+// clusters (reflective / absorptive states, shifted by the carrier
+// leakage). With k concurrently transmitting tags the reflections
+// superpose and up to 2^k clusters appear. The reader counts clusters
+// and declares a collision when it sees more than two, even if the
+// capture effect would let it decode one packet.
+
+// CountClusters estimates the number of distinct amplitude clusters in
+// the IQ block. Samples are clustered greedily on their magnitude with
+// the given merge radius (same units as the samples); clusters holding
+// fewer than minFraction of the samples are discarded as transient
+// edges between states.
+func CountClusters(block []IQ, radius float64, minFraction float64) int {
+	if len(block) == 0 || radius <= 0 {
+		return 0
+	}
+	mags := make([]float64, len(block))
+	for i, s := range block {
+		mags[i] = s.Magnitude()
+	}
+	sort.Float64s(mags)
+
+	type cluster struct {
+		center float64
+		count  int
+	}
+	var clusters []cluster
+	for _, m := range mags {
+		placed := false
+		for i := range clusters {
+			if math.Abs(m-clusters[i].center) <= radius {
+				// Incremental mean keeps centers tracking the data.
+				clusters[i].center += (m - clusters[i].center) / float64(clusters[i].count+1)
+				clusters[i].count++
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			clusters = append(clusters, cluster{center: m, count: 1})
+		}
+	}
+	minCount := int(minFraction * float64(len(block)))
+	if minCount < 1 {
+		minCount = 1
+	}
+	n := 0
+	for _, c := range clusters {
+		if c.count >= minCount {
+			n++
+		}
+	}
+	return n
+}
+
+// CollisionDetected applies the paper's rule: more than two significant
+// clusters means at least two tags transmitted concurrently.
+func CollisionDetected(block []IQ, radius, minFraction float64) bool {
+	return CountClusters(block, radius, minFraction) > 2
+}

@@ -1,0 +1,113 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// DownConverter mixes the real passband ADC stream with quadrature
+// local oscillators at the carrier frequency and low-pass filters the
+// products, producing baseband I/Q samples. A frequency-offset
+// calibration (Sec. 6.1) can be applied by adjusting LOHz.
+type DownConverter struct {
+	LOHz   float64
+	Fs     float64
+	iFIR   *FIR
+	qFIR   *FIR
+	sample int
+}
+
+// NewDownConverter builds a converter with a low-pass corner suitable
+// for backscatter chip rates (a few kHz).
+func NewDownConverter(loHz, fs, cutoffHz float64, taps int) (*DownConverter, error) {
+	if loHz <= 0 || fs <= 0 || loHz >= fs/2 {
+		return nil, fmt.Errorf("dsp: LO %v Hz invalid for fs %v", loHz, fs)
+	}
+	i, err := NewLowPassFIR(cutoffHz, fs, taps)
+	if err != nil {
+		return nil, err
+	}
+	q, err := NewLowPassFIR(cutoffHz, fs, taps)
+	if err != nil {
+		return nil, err
+	}
+	return &DownConverter{LOHz: loHz, Fs: fs, iFIR: i, qFIR: q}, nil
+}
+
+// IQ is one complex baseband sample.
+type IQ struct {
+	I, Q float64
+}
+
+// Magnitude returns |IQ|.
+func (s IQ) Magnitude() float64 { return math.Hypot(s.I, s.Q) }
+
+// Phase returns the angle in radians.
+func (s IQ) Phase() float64 { return math.Atan2(s.Q, s.I) }
+
+// Process mixes and filters a block of passband samples.
+func (d *DownConverter) Process(block []float64) []IQ {
+	out := make([]IQ, len(block))
+	for n, x := range block {
+		t := float64(d.sample) / d.Fs
+		ph := 2 * math.Pi * d.LOHz * t
+		// Factor 2 restores the baseband amplitude lost in mixing.
+		out[n] = IQ{
+			I: d.iFIR.ProcessSample(2 * x * math.Cos(ph)),
+			Q: d.qFIR.ProcessSample(-2 * x * math.Sin(ph)),
+		}
+		d.sample++
+	}
+	return out
+}
+
+// Magnitudes extracts |IQ| from a block.
+func Magnitudes(block []IQ) []float64 {
+	out := make([]float64, len(block))
+	for i, s := range block {
+		out[i] = s.Magnitude()
+	}
+	return out
+}
+
+// EnvelopeDetector is the tag-side analog front end: an ideal rectifier
+// followed by a single-pole RC low-pass. Paired with a comparator it
+// turns the keyed carrier into the binary levels the MCU's GPIO edge
+// interrupts consume (Sec. 4.3, Fig. 6a).
+type EnvelopeDetector struct {
+	// TauSeconds is the RC constant; must be several carrier cycles but
+	// well under a chip.
+	TauSeconds float64
+	Fs         float64
+	state      float64
+}
+
+// NewEnvelopeDetector returns a detector for the given sample rate.
+func NewEnvelopeDetector(tauSeconds, fs float64) (*EnvelopeDetector, error) {
+	if tauSeconds <= 0 || fs <= 0 {
+		return nil, fmt.Errorf("dsp: invalid envelope detector params")
+	}
+	return &EnvelopeDetector{TauSeconds: tauSeconds, Fs: fs}, nil
+}
+
+// ProcessSample rectifies and smooths one sample.
+func (e *EnvelopeDetector) ProcessSample(x float64) float64 {
+	r := math.Abs(x)
+	alpha := 1 / (e.TauSeconds*e.Fs + 1)
+	if r > e.state {
+		// Fast attack: the diode charges the capacitor directly.
+		e.state = r
+	} else {
+		e.state += alpha * (r - e.state)
+	}
+	return e.state
+}
+
+// Process runs a block through the detector.
+func (e *EnvelopeDetector) Process(block []float64) []float64 {
+	out := make([]float64, len(block))
+	for i, x := range block {
+		out[i] = e.ProcessSample(x)
+	}
+	return out
+}

@@ -1,0 +1,182 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// FIR is a finite-impulse-response filter with streaming state, so it
+// can process a signal in chunks inside the pipeline.
+type FIR struct {
+	taps  []float64
+	delay []float64
+	pos   int
+}
+
+// NewLowPassFIR designs a Hamming-windowed sinc low-pass filter with
+// the given cutoff (Hz), sample rate (Hz) and tap count (odd
+// recommended).
+func NewLowPassFIR(cutoffHz, fs float64, taps int) (*FIR, error) {
+	if taps < 3 {
+		return nil, fmt.Errorf("dsp: need at least 3 taps, got %d", taps)
+	}
+	if cutoffHz <= 0 || cutoffHz >= fs/2 {
+		return nil, fmt.Errorf("dsp: cutoff %v Hz outside (0, fs/2)", cutoffHz)
+	}
+	h := make([]float64, taps)
+	fc := cutoffHz / fs
+	mid := float64(taps-1) / 2
+	var sum float64
+	for i := range h {
+		x := float64(i) - mid
+		var s float64
+		if x == 0 {
+			s = 2 * fc
+		} else {
+			s = math.Sin(2*math.Pi*fc*x) / (math.Pi * x)
+		}
+		w := 0.54 - 0.46*math.Cos(2*math.Pi*float64(i)/float64(taps-1))
+		h[i] = s * w
+		sum += h[i]
+	}
+	for i := range h { // normalize to unity DC gain
+		h[i] /= sum
+	}
+	return &FIR{taps: h, delay: make([]float64, taps)}, nil
+}
+
+// Taps returns a copy of the filter coefficients.
+func (f *FIR) Taps() []float64 { return append([]float64(nil), f.taps...) }
+
+// Reset clears the delay line.
+func (f *FIR) Reset() {
+	for i := range f.delay {
+		f.delay[i] = 0
+	}
+	f.pos = 0
+}
+
+// ProcessSample pushes one sample through the filter.
+func (f *FIR) ProcessSample(x float64) float64 {
+	f.delay[f.pos] = x
+	var y float64
+	idx := f.pos
+	for _, t := range f.taps {
+		y += t * f.delay[idx]
+		idx--
+		if idx < 0 {
+			idx = len(f.delay) - 1
+		}
+	}
+	f.pos++
+	if f.pos == len(f.delay) {
+		f.pos = 0
+	}
+	return y
+}
+
+// Process filters a block in place-order and returns the output block.
+func (f *FIR) Process(block []float64) []float64 {
+	out := make([]float64, len(block))
+	for i, x := range block {
+		out[i] = f.ProcessSample(x)
+	}
+	return out
+}
+
+// Decimator keeps every factor-th sample, with phase preserved across
+// chunk boundaries.
+type Decimator struct {
+	Factor int
+	phase  int
+}
+
+// NewDecimator returns a decimator; factor must be >= 1.
+func NewDecimator(factor int) (*Decimator, error) {
+	if factor < 1 {
+		return nil, fmt.Errorf("dsp: decimation factor %d < 1", factor)
+	}
+	return &Decimator{Factor: factor}, nil
+}
+
+// Process returns the decimated chunk.
+func (d *Decimator) Process(block []float64) []float64 {
+	out := make([]float64, 0, len(block)/d.Factor+1)
+	for _, x := range block {
+		if d.phase == 0 {
+			out = append(out, x)
+		}
+		d.phase++
+		if d.phase == d.Factor {
+			d.phase = 0
+		}
+	}
+	return out
+}
+
+// DCBlocker removes the DC component (the un-modulated carrier
+// leakage) with a single-pole high-pass: y[n] = x[n] - x[n-1] + a*y[n-1].
+type DCBlocker struct {
+	A       float64
+	prevIn  float64
+	prevOut float64
+	primed  bool
+}
+
+// NewDCBlocker returns a DC blocker with pole a (0.9..0.999 typical).
+func NewDCBlocker(a float64) *DCBlocker { return &DCBlocker{A: a} }
+
+// ProcessSample pushes one sample.
+func (d *DCBlocker) ProcessSample(x float64) float64 {
+	if !d.primed {
+		d.prevIn = x
+		d.primed = true
+	}
+	y := x - d.prevIn + d.A*d.prevOut
+	d.prevIn = x
+	d.prevOut = y
+	return y
+}
+
+// Process filters a block.
+func (d *DCBlocker) Process(block []float64) []float64 {
+	out := make([]float64, len(block))
+	for i, x := range block {
+		out[i] = d.ProcessSample(x)
+	}
+	return out
+}
+
+// SchmittTrigger converts an analog waveform into binary levels with
+// hysteresis — the reader-side equivalent of the tag's comparator.
+type SchmittTrigger struct {
+	High, Low float64
+	state     bool
+}
+
+// NewSchmittTrigger returns a trigger with the given thresholds.
+func NewSchmittTrigger(low, high float64) (*SchmittTrigger, error) {
+	if high <= low {
+		return nil, fmt.Errorf("dsp: schmitt high %v <= low %v", high, low)
+	}
+	return &SchmittTrigger{High: high, Low: low}, nil
+}
+
+// ProcessSample returns the binary state after seeing x.
+func (s *SchmittTrigger) ProcessSample(x float64) bool {
+	if x >= s.High {
+		s.state = true
+	} else if x <= s.Low {
+		s.state = false
+	}
+	return s.state
+}
+
+// Process converts a block to levels.
+func (s *SchmittTrigger) Process(block []float64) []bool {
+	out := make([]bool, len(block))
+	for i, x := range block {
+		out[i] = s.ProcessSample(x)
+	}
+	return out
+}

@@ -1,0 +1,205 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLowPassFIRDCGain(t *testing.T) {
+	f, err := NewLowPassFIR(1000, 10000, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, tap := range f.Taps() {
+		sum += tap
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("DC gain = %v, want 1", sum)
+	}
+}
+
+func TestLowPassFIRSelectivity(t *testing.T) {
+	const fs = 10000.0
+	f, err := NewLowPassFIR(500, fs, 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rms := func(freq float64) float64 {
+		f.Reset()
+		var sum float64
+		n := 2000
+		for i := 0; i < n; i++ {
+			y := f.ProcessSample(math.Sin(2 * math.Pi * freq * float64(i) / fs))
+			if i > 200 { // skip transient
+				sum += y * y
+			}
+		}
+		return math.Sqrt(sum / float64(n-200))
+	}
+	pass := rms(100)
+	stop := rms(2000)
+	if pass < 0.6 {
+		t.Errorf("passband rms = %v, want ~0.707", pass)
+	}
+	if stop > pass/30 {
+		t.Errorf("stopband leakage: pass=%v stop=%v", pass, stop)
+	}
+}
+
+func TestLowPassFIRErrors(t *testing.T) {
+	if _, err := NewLowPassFIR(1000, 10000, 2); err == nil {
+		t.Error("too few taps accepted")
+	}
+	if _, err := NewLowPassFIR(0, 10000, 31); err == nil {
+		t.Error("zero cutoff accepted")
+	}
+	if _, err := NewLowPassFIR(6000, 10000, 31); err == nil {
+		t.Error("cutoff above Nyquist accepted")
+	}
+}
+
+func TestFIRBlockEqualsSampleBySample(t *testing.T) {
+	f1, _ := NewLowPassFIR(800, 8000, 21)
+	f2, _ := NewLowPassFIR(800, 8000, 21)
+	in := make([]float64, 100)
+	for i := range in {
+		in[i] = math.Sin(float64(i) * 0.3)
+	}
+	blockOut := f1.Process(in)
+	for i, x := range in {
+		if y := f2.ProcessSample(x); math.Abs(y-blockOut[i]) > 1e-12 {
+			t.Fatalf("sample %d: block %v vs stream %v", i, blockOut[i], y)
+		}
+	}
+}
+
+func TestDecimator(t *testing.T) {
+	d, err := NewDecimator(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8}
+	out := d.Process(in)
+	want := []float64{0, 4, 8}
+	if len(out) != len(want) {
+		t.Fatalf("out = %v", out)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("out = %v, want %v", out, want)
+		}
+	}
+}
+
+func TestDecimatorPhaseAcrossChunks(t *testing.T) {
+	d, _ := NewDecimator(3)
+	var out []float64
+	out = append(out, d.Process([]float64{0, 1})...)
+	out = append(out, d.Process([]float64{2, 3, 4, 5, 6})...)
+	want := []float64{0, 3, 6}
+	if len(out) != len(want) {
+		t.Fatalf("out = %v", out)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("chunked decimation = %v, want %v", out, want)
+		}
+	}
+}
+
+func TestDecimatorErrors(t *testing.T) {
+	if _, err := NewDecimator(0); err == nil {
+		t.Error("factor 0 accepted")
+	}
+	d, _ := NewDecimator(1)
+	in := []float64{1, 2, 3}
+	out := d.Process(in)
+	if len(out) != 3 {
+		t.Error("factor 1 should pass everything")
+	}
+}
+
+func TestDCBlockerRemovesOffset(t *testing.T) {
+	b := NewDCBlocker(0.995)
+	var last float64
+	for i := 0; i < 5000; i++ {
+		last = b.ProcessSample(3.0) // pure DC
+	}
+	if math.Abs(last) > 0.01 {
+		t.Errorf("DC residue = %v", last)
+	}
+}
+
+func TestDCBlockerPassesAC(t *testing.T) {
+	b := NewDCBlocker(0.995)
+	var sumIn, sumOut float64
+	n := 4000
+	for i := 0; i < n; i++ {
+		x := 2 + math.Sin(2*math.Pi*float64(i)/20) // DC + tone
+		y := b.ProcessSample(x)
+		if i > 1000 {
+			sumIn += math.Sin(2*math.Pi*float64(i)/20) * math.Sin(2*math.Pi*float64(i)/20)
+			sumOut += y * y
+		}
+	}
+	if sumOut < 0.5*sumIn {
+		t.Errorf("AC attenuated too much: %v vs %v", sumOut, sumIn)
+	}
+}
+
+func TestDCBlockerFirstSampleNoTransient(t *testing.T) {
+	b := NewDCBlocker(0.99)
+	if y := b.ProcessSample(5); y != 0 {
+		t.Errorf("first sample output %v, want 0 (primed)", y)
+	}
+}
+
+func TestSchmittTriggerHysteresis(t *testing.T) {
+	s, err := NewSchmittTrigger(0.3, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := []float64{0, 0.5, 0.8, 0.5, 0.4, 0.2, 0.5, 0.69}
+	want := []bool{false, false, true, true, true, false, false, false}
+	for i, x := range seq {
+		if got := s.ProcessSample(x); got != want[i] {
+			t.Fatalf("step %d (x=%v): got %v, want %v", i, x, got, want[i])
+		}
+	}
+}
+
+func TestSchmittTriggerRejectsNoiseInBand(t *testing.T) {
+	s, _ := NewSchmittTrigger(0.4, 0.6)
+	s.ProcessSample(1.0) // latch high
+	flips := 0
+	prev := true
+	for i := 0; i < 1000; i++ {
+		x := 0.5 + 0.05*math.Sin(float64(i)) // noise inside band
+		cur := s.ProcessSample(x)
+		if cur != prev {
+			flips++
+		}
+		prev = cur
+	}
+	if flips != 0 {
+		t.Errorf("in-band noise caused %d flips", flips)
+	}
+}
+
+func TestSchmittTriggerErrors(t *testing.T) {
+	if _, err := NewSchmittTrigger(0.7, 0.3); err == nil {
+		t.Error("inverted thresholds accepted")
+	}
+}
+
+func TestSchmittBlockProcess(t *testing.T) {
+	s, _ := NewSchmittTrigger(0.3, 0.7)
+	out := s.Process([]float64{0, 1, 0.5, 0})
+	want := []bool{false, true, true, false}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("block = %v, want %v", out, want)
+		}
+	}
+}

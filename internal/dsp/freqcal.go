@@ -1,0 +1,68 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Frequency-offset calibration (Sec. 6.1): the reader's DAQ clock and
+// the 90 kHz drive synthesis drift relative to each other, so the
+// receive chain estimates the actual carrier frequency from the
+// captured samples and retunes the down-converter's local oscillator.
+// The estimator measures the carrier phase advance between two
+// Goertzel-like windows: a frequency error df produces a phase slope
+// of 2*pi*df between window centers.
+
+// EstimateFrequencyOffset returns the difference (Hz) between the true
+// carrier in `signal` and nominalHz. The unambiguous range is
+// +/- fs/(2*gap) where gap is the window spacing chosen internally;
+// for a 500 kHz capture this comfortably covers the +/-few-hundred-Hz
+// drift of real oscillators.
+func EstimateFrequencyOffset(signal []float64, fs, nominalHz float64) (float64, error) {
+	if fs <= 0 || nominalHz <= 0 {
+		return 0, fmt.Errorf("dsp: invalid rates")
+	}
+	// Two windows of wlen samples, spaced gap samples apart.
+	wlen := int(fs / nominalHz * 32) // ~32 carrier cycles per window
+	gap := 4 * wlen
+	if len(signal) < gap+wlen {
+		return 0, fmt.Errorf("dsp: capture too short for offset estimation (%d < %d)",
+			len(signal), gap+wlen)
+	}
+	phase := func(start int) float64 {
+		var i, q float64
+		for n := 0; n < wlen; n++ {
+			t := float64(start+n) / fs
+			s := signal[start+n]
+			i += s * math.Cos(2*math.Pi*nominalHz*t)
+			q += s * -math.Sin(2*math.Pi*nominalHz*t)
+		}
+		return math.Atan2(q, i)
+	}
+	p1 := phase(0)
+	p2 := phase(gap)
+	dphi := p2 - p1
+	// Wrap to (-pi, pi].
+	for dphi > math.Pi {
+		dphi -= 2 * math.Pi
+	}
+	for dphi <= -math.Pi {
+		dphi += 2 * math.Pi
+	}
+	dt := float64(gap) / fs
+	return dphi / (2 * math.Pi * dt), nil
+}
+
+// CalibrateDownConverter estimates the carrier offset from a capture
+// and returns a down-converter retuned to the measured frequency.
+func CalibrateDownConverter(capture []float64, fs, nominalHz, cutoffHz float64, taps int) (*DownConverter, float64, error) {
+	off, err := EstimateFrequencyOffset(capture, fs, nominalHz)
+	if err != nil {
+		return nil, 0, err
+	}
+	dc, err := NewDownConverter(nominalHz+off, fs, cutoffHz, taps)
+	if err != nil {
+		return nil, 0, err
+	}
+	return dc, off, nil
+}

@@ -1,0 +1,108 @@
+package dsp
+
+import (
+	"context"
+	"sync"
+)
+
+// Streaming pipeline with back-pressure (Sec. 6.1: "Each two adjacent
+// blocks share a buffer with a back-pressure mechanism to manage data
+// flow"). Stages are goroutines connected by bounded channels: when a
+// downstream stage stalls, the bounded buffer fills and the upstream
+// stage blocks, exactly like the shared ring buffers in the paper's
+// C++ reader.
+
+// Block is one chunk of samples flowing through the pipeline.
+type Block []float64
+
+// Stage transforms one chunk. Stages run concurrently; each instance
+// processes chunks in order.
+type Stage func(Block) Block
+
+// Pipeline is a chain of stages with bounded buffers between them.
+type Pipeline struct {
+	stages  []Stage
+	bufSize int
+}
+
+// NewPipeline builds a pipeline; bufSize is the per-link buffer depth
+// (the back-pressure window), minimum 1.
+func NewPipeline(bufSize int, stages ...Stage) *Pipeline {
+	if bufSize < 1 {
+		bufSize = 1
+	}
+	return &Pipeline{stages: stages, bufSize: bufSize}
+}
+
+// Run consumes blocks from in and delivers processed blocks on the
+// returned channel, which closes when in closes or ctx is cancelled.
+// Each stage runs in its own goroutine.
+func (p *Pipeline) Run(ctx context.Context, in <-chan Block) <-chan Block {
+	cur := in
+	for _, st := range p.stages {
+		next := make(chan Block, p.bufSize)
+		go func(st Stage, in <-chan Block, out chan<- Block) {
+			defer close(out)
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case b, ok := <-in:
+					if !ok {
+						return
+					}
+					select {
+					case <-ctx.Done():
+						return
+					case out <- st(b):
+					}
+				}
+			}
+		}(st, cur, next)
+		cur = next
+	}
+	return cur
+}
+
+// Collect drains a pipeline output into one flat slice; convenient for
+// offline (whole-capture) processing in tests and experiments.
+func Collect(ch <-chan Block) []float64 {
+	var out []float64
+	for b := range ch {
+		out = append(out, b...)
+	}
+	return out
+}
+
+// ProcessAll pushes a whole signal through the pipeline in chunks of
+// chunkSize and returns the concatenated output.
+func (p *Pipeline) ProcessAll(signal []float64, chunkSize int) []float64 {
+	if chunkSize < 1 {
+		chunkSize = len(signal)
+		if chunkSize == 0 {
+			return nil
+		}
+	}
+	in := make(chan Block, p.bufSize)
+	ctx := context.Background()
+	out := p.Run(ctx, in)
+	var wg sync.WaitGroup
+	var result []float64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		result = Collect(out)
+	}()
+	for off := 0; off < len(signal); off += chunkSize {
+		end := off + chunkSize
+		if end > len(signal) {
+			end = len(signal)
+		}
+		chunk := make(Block, end-off)
+		copy(chunk, signal[off:end])
+		in <- chunk
+	}
+	close(in)
+	wg.Wait()
+	return result
+}

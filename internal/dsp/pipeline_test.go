@@ -1,0 +1,146 @@
+package dsp
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestPipelineOrderPreserved(t *testing.T) {
+	double := func(b Block) Block {
+		out := make(Block, len(b))
+		for i, v := range b {
+			out[i] = 2 * v
+		}
+		return out
+	}
+	addOne := func(b Block) Block {
+		out := make(Block, len(b))
+		for i, v := range b {
+			out[i] = v + 1
+		}
+		return out
+	}
+	p := NewPipeline(2, double, addOne)
+	out := p.ProcessAll([]float64{1, 2, 3, 4, 5}, 2)
+	want := []float64{3, 5, 7, 9, 11}
+	if len(out) != len(want) {
+		t.Fatalf("out = %v", out)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("out = %v, want %v", out, want)
+		}
+	}
+}
+
+func TestPipelineBackPressure(t *testing.T) {
+	// A slow downstream stage must throttle the producer: with buffer
+	// size 1 the producer cannot run far ahead.
+	var produced, consumed int
+	slow := func(b Block) Block {
+		time.Sleep(2 * time.Millisecond)
+		consumed++
+		return b
+	}
+	p := NewPipeline(1, slow)
+	in := make(chan Block, 1)
+	out := p.Run(context.Background(), in)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range out {
+		}
+	}()
+	for i := 0; i < 10; i++ {
+		in <- Block{float64(i)}
+		produced++
+		// The producer can be at most buffers+in-flight ahead.
+		if produced-consumed > 4 {
+			t.Errorf("producer ran ahead: produced=%d consumed=%d", produced, consumed)
+		}
+	}
+	close(in)
+	<-done
+	if consumed != 10 {
+		t.Errorf("consumed %d blocks", consumed)
+	}
+}
+
+func TestPipelineContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	stage := func(b Block) Block { return b }
+	p := NewPipeline(1, stage)
+	in := make(chan Block)
+	out := p.Run(ctx, in)
+	in <- Block{1}
+	<-out
+	cancel()
+	// After cancellation the output channel must close even though the
+	// input stays open.
+	select {
+	case _, ok := <-out:
+		if ok {
+			// A block may have been in flight; the next read must
+			// observe closure.
+			if _, ok2 := <-out; ok2 {
+				t.Error("pipeline kept producing after cancel")
+			}
+		}
+	case <-time.After(time.Second):
+		t.Error("pipeline did not shut down after cancel")
+	}
+}
+
+func TestPipelineRealChain(t *testing.T) {
+	// Assemble filter -> decimate as pipeline stages and verify the
+	// result equals running the blocks directly.
+	mkStages := func() (Stage, Stage) {
+		fir, err := NewLowPassFIR(1000, 48000, 31)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := NewDecimator(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return func(b Block) Block { return fir.Process(b) },
+			func(b Block) Block { return dec.Process(b) }
+	}
+	sig := make([]float64, 1024)
+	for i := range sig {
+		sig[i] = math.Sin(2*math.Pi*440*float64(i)/48000) + 0.2*math.Sin(2*math.Pi*9000*float64(i)/48000)
+	}
+	s1, s2 := mkStages()
+	got := NewPipeline(4, s1, s2).ProcessAll(sig, 128)
+
+	r1, r2 := mkStages()
+	var want []float64
+	for off := 0; off < len(sig); off += 128 {
+		want = append(want, r2(r1(sig[off:off+128]))...)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("lengths differ: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("pipeline diverged at %d", i)
+		}
+	}
+}
+
+func TestPipelineEmptyInput(t *testing.T) {
+	p := NewPipeline(1, func(b Block) Block { return b })
+	if out := p.ProcessAll(nil, 8); out != nil {
+		t.Errorf("empty input produced %v", out)
+	}
+}
+
+func TestPipelineDefaultChunk(t *testing.T) {
+	p := NewPipeline(0, func(b Block) Block { return b })
+	out := p.ProcessAll([]float64{1, 2, 3}, 0)
+	if len(out) != 3 {
+		t.Errorf("out = %v", out)
+	}
+}

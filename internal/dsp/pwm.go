@@ -1,0 +1,73 @@
+package dsp
+
+import "math"
+
+// Reader transmit path (Sec. 6.1): the DAQ emits a PWM square wave at
+// the 90 kHz resonance, an 18 W class-D style amplifier raises it to
+// 36 V peak, and the TX PZT — itself a sharp mechanical resonator —
+// filters the harmonics down to a near-sinusoidal vibration. PWM keeps
+// the amplifier in switching mode (high efficiency), which is how a
+// modest 18 W amplifier drives the whole BiW.
+
+// PWM describes the reader's carrier drive.
+type PWM struct {
+	// FrequencyHz is the fundamental (90 kHz).
+	FrequencyHz float64
+	// DutyCycle in (0,1); 0.5 maximizes the fundamental and nulls even
+	// harmonics.
+	DutyCycle float64
+	// AmplitudeVolts is the rail voltage after the amplifier (36 V).
+	AmplitudeVolts float64
+}
+
+// NewPWM returns the paper's drive: 90 kHz, 50% duty, 36 V rails.
+func NewPWM() PWM {
+	return PWM{FrequencyHz: 90_000, DutyCycle: 0.5, AmplitudeVolts: 36}
+}
+
+// Sample returns the PWM level (+A or -A) at time t.
+func (p PWM) Sample(t float64) float64 {
+	phase := t*p.FrequencyHz - math.Floor(t*p.FrequencyHz)
+	if phase < p.DutyCycle {
+		return p.AmplitudeVolts
+	}
+	return -p.AmplitudeVolts
+}
+
+// Synthesize renders n samples at rate fs.
+func (p PWM) Synthesize(n int, fs float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = p.Sample(float64(i) / fs)
+	}
+	return out
+}
+
+// HarmonicAmplitude returns the peak amplitude of harmonic k (k=1 is
+// the fundamental) from the Fourier series of the rectangular wave:
+// |c_k| = (4A/k*pi) * |sin(k*pi*D)| for the bipolar PWM.
+func (p PWM) HarmonicAmplitude(k int) float64 {
+	if k < 1 {
+		return 0
+	}
+	return 4 * p.AmplitudeVolts / (float64(k) * math.Pi) *
+		math.Abs(math.Sin(float64(k)*math.Pi*p.DutyCycle))
+}
+
+// FundamentalThroughResonator returns the vibration drive that reaches
+// the BiW: the fundamental passes the PZT resonance at unit response,
+// harmonic k is attenuated by the resonator response at k*f0. The
+// result is the effective sinusoidal drive amplitude plus the residual
+// total harmonic distortion (THD) after filtering.
+func (p PWM) FundamentalThroughResonator(resonance func(fHz float64) float64) (fundamental, thd float64) {
+	fundamental = p.HarmonicAmplitude(1) * resonance(p.FrequencyHz)
+	var residual float64
+	for k := 2; k <= 15; k++ {
+		a := p.HarmonicAmplitude(k) * resonance(float64(k)*p.FrequencyHz)
+		residual += a * a
+	}
+	if fundamental > 0 {
+		thd = math.Sqrt(residual) / fundamental
+	}
+	return fundamental, thd
+}

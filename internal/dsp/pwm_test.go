@@ -1,0 +1,100 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/biw"
+)
+
+func TestPWMSampleLevels(t *testing.T) {
+	p := NewPWM()
+	if v := p.Sample(0); v != 36 {
+		t.Errorf("start of period = %v, want +36", v)
+	}
+	// Just past half a period at 50% duty: negative rail.
+	if v := p.Sample(0.51 / 90_000); v != -36 {
+		t.Errorf("second half = %v, want -36", v)
+	}
+}
+
+func TestPWMSynthesizeMeanZeroAt50(t *testing.T) {
+	p := NewPWM()
+	const fs = 1_800_000.0 // 20 samples per period
+	sig := p.Synthesize(20_000, fs)
+	var mean float64
+	for _, v := range sig {
+		mean += v
+	}
+	mean /= float64(len(sig))
+	if math.Abs(mean) > 0.5 {
+		t.Errorf("50%% duty should average ~0, got %v", mean)
+	}
+}
+
+func TestPWMHarmonics(t *testing.T) {
+	p := NewPWM()
+	// Fundamental of a +/-36 V square: 4*36/pi ~ 45.8 V.
+	if f := p.HarmonicAmplitude(1); math.Abs(f-4*36/math.Pi) > 1e-9 {
+		t.Errorf("fundamental = %v", f)
+	}
+	// Even harmonics null at 50% duty.
+	for _, k := range []int{2, 4, 6} {
+		if a := p.HarmonicAmplitude(k); a > 1e-9 {
+			t.Errorf("harmonic %d = %v, want 0", k, a)
+		}
+	}
+	// Odd harmonics fall as 1/k.
+	h3 := p.HarmonicAmplitude(3)
+	if math.Abs(h3*3-p.HarmonicAmplitude(1)) > 1e-9 {
+		t.Errorf("3rd harmonic scaling wrong: %v", h3)
+	}
+	if p.HarmonicAmplitude(0) != 0 {
+		t.Error("harmonic 0 should be 0")
+	}
+	// Asymmetric duty re-introduces even harmonics.
+	p.DutyCycle = 0.3
+	if p.HarmonicAmplitude(2) < 1 {
+		t.Error("30% duty should have even harmonics")
+	}
+}
+
+func TestPWMHarmonicsMatchFFT(t *testing.T) {
+	p := NewPWM()
+	const periods = 64
+	const spp = 64 // samples per period
+	sig := p.Synthesize(periods*spp, p.FrequencyHz*spp)
+	buf := make([]complex128, len(sig))
+	for i, v := range sig {
+		buf[i] = complex(v, 0)
+	}
+	if err := FFT(buf); err != nil {
+		t.Fatal(err)
+	}
+	// Harmonic k sits at bin k*periods; peak amplitude = 2|X|/N.
+	for _, k := range []int{1, 3, 5} {
+		got := 2 * math.Hypot(real(buf[k*periods]), imag(buf[k*periods])) / float64(len(sig))
+		want := p.HarmonicAmplitude(k)
+		if math.Abs(got-want) > want*0.02 {
+			t.Errorf("harmonic %d: FFT %v vs series %v", k, got, want)
+		}
+	}
+}
+
+func TestFundamentalThroughResonator(t *testing.T) {
+	p := NewPWM()
+	fund, thd := p.FundamentalThroughResonator(biw.ResonanceResponse)
+	// The resonator passes the fundamental nearly intact...
+	if fund < 40 || fund > 46 {
+		t.Errorf("fundamental drive = %v V", fund)
+	}
+	// ...and crushes the harmonics: the vibration is nearly sinusoidal.
+	if thd > 0.02 {
+		t.Errorf("THD after resonator = %.4f, want < 2%%", thd)
+	}
+	// Without the resonator the square wave's THD is large (~40%+).
+	_, rawTHD := p.FundamentalThroughResonator(func(float64) float64 { return 1 })
+	if rawTHD < 0.3 {
+		t.Errorf("raw PWM THD = %v, expected the square-wave harmonics", rawTHD)
+	}
+}

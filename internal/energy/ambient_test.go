@@ -1,0 +1,98 @@
+package energy
+
+import "testing"
+
+// Tests for the ambient-vibration harvesting extension (the paper's
+// Sec. 2.2 future-work path).
+
+func TestAmbientSpeedsCharging(t *testing.T) {
+	von := Schottky().EffectiveDrop()
+	vp := 2.70/16 + von // the weakest tag's input
+	base := NewHarvester(8)
+	tBase, err := base.ChargingTime(vp, 0, 2.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aug := NewHarvester(8)
+	aug.AmbientWatts = 25e-6
+	tAug, err := aug.ChargingTime(vp, 0, 2.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tAug >= tBase {
+		t.Errorf("ambient power did not speed charging: %v vs %v", tAug, tBase)
+	}
+	if tAug > 0.8*tBase {
+		t.Errorf("25 uW ambient only saved %.1f%%", 100*(1-tAug/tBase))
+	}
+}
+
+func TestAmbientAloneCanCharge(t *testing.T) {
+	// With the reader silent (vp=0), a big enough ambient source still
+	// lifts the tag to activation.
+	h := NewHarvester(8)
+	h.AmbientWatts = 50e-6
+	tm, err := h.ChargingTime(0, 0, 2.3)
+	if err != nil {
+		t.Fatalf("ambient-only charge failed: %v", err)
+	}
+	// Energy arithmetic: 2.645 mJ at ~50 uW minus leakage -> ~1 min.
+	if tm < 30 || tm > 300 {
+		t.Errorf("ambient-only charge time %v s implausible", tm)
+	}
+}
+
+func TestAmbientTooWeakStillFails(t *testing.T) {
+	// An ambient trickle below the leakage floor cannot reach the
+	// threshold.
+	h := NewHarvester(8)
+	h.AmbientWatts = 0.5e-6
+	if _, err := h.ChargingTime(0, 0, 2.3); err == nil {
+		t.Error("sub-leakage ambient source charged the tag")
+	}
+}
+
+func TestAmbientCurrentModel(t *testing.T) {
+	h := NewHarvester(8)
+	if h.ambientCurrent(1.0) != 0 {
+		t.Error("zero ambient should contribute nothing")
+	}
+	h.AmbientWatts = 10e-6
+	// Constant power: current halves when voltage doubles.
+	i1, i2 := h.ambientCurrent(1.0), h.ambientCurrent(2.0)
+	if i2 >= i1 || i1 != 2*i2 {
+		t.Errorf("constant-power model broken: %v vs %v", i1, i2)
+	}
+	// Below 50 mV the source is current-limited (no singularity).
+	if h.ambientCurrent(0.001) != h.ambientCurrent(0.05) {
+		t.Error("low-voltage current limit missing")
+	}
+}
+
+func TestAmbientIntegratePath(t *testing.T) {
+	h := NewHarvester(8)
+	h.AmbientWatts = 50e-6
+	var on bool
+	steps := 0
+	for ; steps < 10_000_000 && !on; steps++ {
+		_, on = h.Integrate(0, 0, 1e-2)
+	}
+	if !on {
+		t.Fatal("Integrate never activated on ambient power")
+	}
+}
+
+func TestShuntClampsStorage(t *testing.T) {
+	h := NewHarvester(8)
+	von := Schottky().EffectiveDrop()
+	vp := 20.0/16 + von // strongest tag: pump would push far past HTH
+	for i := 0; i < 200_000; i++ {
+		h.Integrate(vp, 0, 1e-2)
+	}
+	if v := h.Cap.Volts(); v > h.ShuntVolts+1e-9 {
+		t.Errorf("storage at %v V escaped the %v V shunt", v, h.ShuntVolts)
+	}
+	if v := h.Cap.Volts(); v < h.Cutoff.HighThreshold() {
+		t.Errorf("storage at %v V never reached HTH", v)
+	}
+}

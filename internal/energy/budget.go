@@ -1,0 +1,111 @@
+package energy
+
+import (
+	"errors"
+	"math"
+)
+
+// Energy budgeting (Sec. 6.2): the paper's sustainability argument is
+// that the per-slot energy drawn in a duty-cycled schedule must stay
+// under the net charging power. Budget makes that arithmetic a public
+// planning tool: given a tag's measured powers and its position's
+// charging power, it answers "what is the fastest reporting period this
+// tag can sustain forever?".
+type Budget struct {
+	// ChargingWatts is the position's net charging power (Fig. 11b).
+	ChargingWatts float64
+	// RXWatts, TXWatts, IdleWatts are the Table 2 mode powers.
+	RXWatts, TXWatts, IdleWatts float64
+	// SlotSeconds is the slot length.
+	SlotSeconds float64
+	// RXSeconds is the beacon listening time per slot.
+	RXSeconds float64
+	// TXSeconds is the uplink burst time in a transmitting slot.
+	TXSeconds float64
+	// SensorJoules is the per-transmission sensing cost (ADC burst).
+	SensorJoules float64
+}
+
+// DefaultBudget returns the paper's operating point for a given
+// charging power.
+func DefaultBudget(chargingWatts float64) Budget {
+	return Budget{
+		ChargingWatts: chargingWatts,
+		RXWatts:       24.8e-6,
+		TXWatts:       51.0e-6,
+		IdleWatts:     7.6e-6,
+		SlotSeconds:   1.0,
+		RXSeconds:     0.1,   // ~100 ms beacon
+		TXSeconds:     0.171, // ~171 ms UL frame at 375 bps
+	}
+}
+
+// SlotJoules returns the energy one slot costs when the tag transmits
+// (tx=true) or stays silent.
+func (b Budget) SlotJoules(tx bool) float64 {
+	idle := b.SlotSeconds - b.RXSeconds
+	e := b.RXWatts * b.RXSeconds
+	if tx {
+		idle -= b.TXSeconds
+		e += b.TXWatts*b.TXSeconds + b.SensorJoules
+	}
+	if idle < 0 {
+		idle = 0
+	}
+	return e + b.IdleWatts*idle
+}
+
+// AveragePower returns the long-run drain of a period-p schedule
+// (transmit every p-th slot).
+func (b Budget) AveragePower(period int) float64 {
+	if period < 1 {
+		period = 1
+	}
+	perCycle := b.SlotJoules(true) + float64(period-1)*b.SlotJoules(false)
+	return perCycle / (float64(period) * b.SlotSeconds)
+}
+
+// Sustainable reports whether a period-p schedule drains no more than
+// the charging supply.
+func (b Budget) Sustainable(period int) bool {
+	return b.AveragePower(period) <= b.ChargingWatts
+}
+
+// ErrNeverSustainable is returned when even an infinite period (pure
+// listening) out-drains the harvest: the tag cannot stay always-on.
+var ErrNeverSustainable = errors.New("energy: standby drain exceeds charging power")
+
+// MinSustainablePeriod returns the smallest power-of-two period the
+// budget can sustain indefinitely.
+func (b Budget) MinSustainablePeriod() (int, error) {
+	// The limit of AveragePower as period -> inf is the silent-slot
+	// power; if even that exceeds supply, no period works.
+	if b.SlotJoules(false)/b.SlotSeconds > b.ChargingWatts {
+		return 0, ErrNeverSustainable
+	}
+	for k := 0; k <= 20; k++ {
+		p := 1 << k
+		if b.Sustainable(p) {
+			return p, nil
+		}
+	}
+	return 0, ErrNeverSustainable
+}
+
+// HeadroomWatts is the margin between supply and drain at period p
+// (negative when unsustainable).
+func (b Budget) HeadroomWatts(period int) float64 {
+	return b.ChargingWatts - b.AveragePower(period)
+}
+
+// DutyCycleBound returns the maximum fraction of slots the tag may
+// transmit while staying sustainable, from the linear power model.
+func (b Budget) DutyCycleBound() float64 {
+	silent := b.SlotJoules(false) / b.SlotSeconds
+	active := b.SlotJoules(true) / b.SlotSeconds
+	if active <= silent {
+		return 1
+	}
+	d := (b.ChargingWatts - silent) / (active - silent)
+	return math.Max(0, math.Min(1, d))
+}

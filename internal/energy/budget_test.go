@@ -1,0 +1,109 @@
+package energy
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestSlotJoules(t *testing.T) {
+	b := DefaultBudget(100e-6)
+	silent := b.SlotJoules(false)
+	active := b.SlotJoules(true)
+	if active <= silent {
+		t.Fatal("transmitting slot must cost more")
+	}
+	// Silent slot: 100 ms RX + 900 ms idle.
+	want := 24.8e-6*0.1 + 7.6e-6*0.9
+	if math.Abs(silent-want) > 1e-9 {
+		t.Errorf("silent slot = %v, want %v", silent, want)
+	}
+}
+
+func TestAveragePowerMonotone(t *testing.T) {
+	b := DefaultBudget(100e-6)
+	prev := math.Inf(1)
+	for _, p := range []int{1, 2, 4, 8, 16, 32} {
+		avg := b.AveragePower(p)
+		if avg >= prev {
+			t.Fatalf("average power not decreasing at period %d", p)
+		}
+		prev = avg
+	}
+	if b.AveragePower(0) != b.AveragePower(1) {
+		t.Error("period < 1 should clamp to 1")
+	}
+}
+
+// TestPaperSustainabilityClaim verifies Sec. 6.2's conclusion: even the
+// weakest tag (47.1 uW charging) sustains duty-cycled operation, since
+// the silent-slot drain (~9.3 uW) and even per-slot transmission
+// (~16 uW average at period 1) stay below supply.
+func TestPaperSustainabilityClaim(t *testing.T) {
+	weak := DefaultBudget(47.1e-6)
+	p, err := weak.MinSustainablePeriod()
+	if err != nil {
+		t.Fatalf("weakest tag unsustainable: %v", err)
+	}
+	if p != 1 {
+		t.Errorf("weakest tag min period = %d; the paper's budget allows every-slot TX", p)
+	}
+	if weak.HeadroomWatts(4) <= 0 {
+		t.Error("no headroom at period 4")
+	}
+}
+
+func TestSensorCostChangesThePicture(t *testing.T) {
+	// The 1 mW / 2 ms ADC burst (2 uJ) is why tags sample at most once
+	// per slot: with a heavy multi-sample payload the weakest positions
+	// must slow down.
+	weak := DefaultBudget(12e-6) // hypothetical far-off position
+	weak.SensorJoules = 20e-6    // ten conversions per packet
+	p, err := weak.MinSustainablePeriod()
+	if err != nil {
+		t.Fatalf("unexpected: %v", err)
+	}
+	if p < 4 {
+		t.Errorf("heavy sensing should force a longer period, got %d", p)
+	}
+	// The same tag with single-sample payloads can go faster.
+	weak.SensorJoules = 2e-6
+	p2, err := weak.MinSustainablePeriod()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 > p {
+		t.Errorf("lighter sensing must not need a longer period (%d vs %d)", p2, p)
+	}
+}
+
+func TestNeverSustainable(t *testing.T) {
+	b := DefaultBudget(5e-6) // below the ~9.3 uW standby floor
+	if _, err := b.MinSustainablePeriod(); !errors.Is(err, ErrNeverSustainable) {
+		t.Errorf("expected ErrNeverSustainable, got %v", err)
+	}
+	if b.Sustainable(1 << 20) {
+		t.Error("no period should be sustainable below the standby floor")
+	}
+}
+
+func TestDutyCycleBound(t *testing.T) {
+	b := DefaultBudget(47.1e-6)
+	d := b.DutyCycleBound()
+	if d <= 0 || d > 1 {
+		t.Fatalf("duty bound %v out of range", d)
+	}
+	// Consistency: a period at 1/d is sustainable, one much faster than
+	// 1/d is not (when d < 1).
+	if d < 1 {
+		pOK := int(math.Ceil(1 / d))
+		if !b.Sustainable(pOK + 1) {
+			t.Errorf("period %d should be sustainable at duty bound %v", pOK+1, d)
+		}
+	}
+	// Ample supply: bound saturates at 1.
+	rich := DefaultBudget(1e-3)
+	if rich.DutyCycleBound() != 1 {
+		t.Error("rich supply should allow 100% duty")
+	}
+}

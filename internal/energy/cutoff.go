@@ -1,0 +1,66 @@
+package energy
+
+// Cutoff is the low-voltage cutoff circuit of Appendix A: a hysteresis
+// comparator that connects the supercapacitor to the MCU only when
+// enough energy is banked. Power flows to the MCU once the capacitor
+// reaches the high threshold (HTH) and is cut when it sags below the
+// low threshold (LTH), so the tag resumes from LTH rather than from
+// zero — the key to the fast (<10 s) re-activation the paper reports.
+//
+// The thresholds derive from the resistor network of Fig. 18:
+//
+//	VHTH = VREF * (R1+R2+R3) / R3
+//	VLTH = VREF * (R1+R2+R3) / (R2+R3)
+//
+// with VREF = 1.24 V, R1 = 680k, R2 = 180k, R3 = 1M, giving
+// HTH = 2.31 V and LTH = 1.95 V, while keeping the circuit's own
+// leakage below 1 uA.
+type Cutoff struct {
+	VRef       float64
+	R1, R2, R3 float64
+	// QuiescentAmps is the circuit's own standby draw.
+	QuiescentAmps float64
+
+	on bool
+}
+
+// NewCutoff returns the paper's cutoff circuit.
+func NewCutoff() *Cutoff {
+	return &Cutoff{
+		VRef:          1.24,
+		R1:            680e3,
+		R2:            180e3,
+		R3:            1e6,
+		QuiescentAmps: 0.9e-6,
+	}
+}
+
+// HighThreshold returns VHTH.
+func (c *Cutoff) HighThreshold() float64 {
+	return c.VRef * (c.R1 + c.R2 + c.R3) / c.R3
+}
+
+// LowThreshold returns VLTH.
+func (c *Cutoff) LowThreshold() float64 {
+	return c.VRef * (c.R1 + c.R2 + c.R3) / (c.R2 + c.R3)
+}
+
+// PoweringMCU reports whether the switch currently passes power.
+func (c *Cutoff) PoweringMCU() bool { return c.on }
+
+// Update advances the hysteresis state machine with the present
+// capacitor voltage and returns the (possibly new) switch state. The
+// two-threshold design means the answer depends on history: between
+// LTH and HTH the switch holds its previous state.
+func (c *Cutoff) Update(capVolts float64) bool {
+	switch {
+	case capVolts >= c.HighThreshold():
+		c.on = true
+	case capVolts < c.LowThreshold():
+		c.on = false
+	}
+	return c.on
+}
+
+// Reset forces the switch open (used when a tag is fully drained).
+func (c *Cutoff) Reset() { c.on = false }

@@ -1,0 +1,56 @@
+package energy
+
+// Multiplier is an N-stage voltage multiplier (Dickson charge pump,
+// Fig. 4): cascaded voltage doublers that amplify the rectified PZT
+// output. The open-circuit output follows the paper's formula
+//
+//	Vdd = 2N (Vp - Von)
+//
+// where Vp is the PZT peak voltage and Von the per-diode drop. The pump
+// is not a free lunch: its output impedance grows linearly with the
+// stage count (Rout = N / (f * Cstage)), which is the "inefficiency in
+// energy conversion" of Challenge 2 — more stages reach the activation
+// threshold sooner but charge more slowly.
+type Multiplier struct {
+	Stages int
+	Diode  Diode
+	// StageFarads is the per-stage pump capacitance.
+	StageFarads float64
+	// PumpHz is the switching frequency — the 90 kHz carrier itself.
+	PumpHz float64
+}
+
+// NewMultiplier returns the paper's default pump: 8 stages (16x) of
+// CDBU0130L Schottky doublers clocked by the 90 kHz carrier.
+func NewMultiplier(stages int) *Multiplier {
+	return &Multiplier{
+		Stages:      stages,
+		Diode:       Schottky(),
+		StageFarads: 2.7e-9,
+		PumpHz:      90_000,
+	}
+}
+
+// OpenCircuitVoltage returns the no-load output voltage for PZT peak
+// input vp. Inputs at or below the diode drop produce nothing: the pump
+// cannot start.
+func (m *Multiplier) OpenCircuitVoltage(vp float64) float64 {
+	von := m.Diode.EffectiveDrop()
+	if vp <= von {
+		return 0
+	}
+	return 2 * float64(m.Stages) * (vp - von)
+}
+
+// AmplificationRatio is the ideal voltage gain 2N.
+func (m *Multiplier) AmplificationRatio() float64 { return 2 * float64(m.Stages) }
+
+// OutputImpedance returns the pump's effective source resistance in
+// ohms: Rout = N / (f * C). This is what limits charging current into
+// the supercapacitor.
+func (m *Multiplier) OutputImpedance() float64 {
+	if m.PumpHz <= 0 || m.StageFarads <= 0 {
+		return 0
+	}
+	return float64(m.Stages) / (m.PumpHz * m.StageFarads)
+}

@@ -1,0 +1,87 @@
+package energy
+
+import "math"
+
+// Supercap is the tag's energy store: a 1 mF tantalum capacitor (KEMET
+// T491X108K006AT) chosen for its very low leakage (< 0.01*C*V uA at
+// rated voltage). Voltage is the single state variable; energy moves in
+// and out through Deposit/Withdraw, and Leak models self-discharge.
+type Supercap struct {
+	// Farads is the capacitance.
+	Farads float64
+	// RatedVolts is the maximum working voltage.
+	RatedVolts float64
+	// LeakAmpsAtRated is the DC leakage current at rated voltage; the
+	// model scales it linearly with voltage.
+	LeakAmpsAtRated float64
+
+	volts float64
+}
+
+// NewSupercap returns the paper's 1 mF / 6 V tantalum capacitor.
+func NewSupercap() *Supercap {
+	return &Supercap{
+		Farads:          1e-3,
+		RatedVolts:      6.0,
+		LeakAmpsAtRated: 0.25e-6,
+	}
+}
+
+// Volts returns the current capacitor voltage.
+func (s *Supercap) Volts() float64 { return s.volts }
+
+// SetVolts forces the capacitor voltage (clamped to [0, rated]).
+func (s *Supercap) SetVolts(v float64) {
+	if v < 0 {
+		v = 0
+	}
+	if v > s.RatedVolts {
+		v = s.RatedVolts
+	}
+	s.volts = v
+}
+
+// EnergyJoules returns the stored energy 1/2 C V^2.
+func (s *Supercap) EnergyJoules() float64 {
+	return 0.5 * s.Farads * s.volts * s.volts
+}
+
+// Deposit adds charge from a current i (A) flowing for dt (s).
+func (s *Supercap) Deposit(i, dt float64) {
+	if i <= 0 || dt <= 0 {
+		return
+	}
+	s.SetVolts(s.volts + i*dt/s.Farads)
+}
+
+// Withdraw removes the energy consumed by a load drawing power p (W)
+// for dt (s). It reports whether the capacitor could supply it without
+// hitting zero; on failure the voltage is left at zero.
+func (s *Supercap) Withdraw(p, dt float64) bool {
+	if p <= 0 || dt <= 0 {
+		return true
+	}
+	e := s.EnergyJoules() - p*dt
+	if e <= 0 {
+		s.volts = 0
+		return false
+	}
+	s.volts = math.Sqrt(2 * e / s.Farads)
+	return true
+}
+
+// LeakCurrent returns the leakage current at the present voltage.
+func (s *Supercap) LeakCurrent() float64 {
+	if s.RatedVolts <= 0 {
+		return 0
+	}
+	return s.LeakAmpsAtRated * s.volts / s.RatedVolts
+}
+
+// Leak applies self-discharge over dt seconds.
+func (s *Supercap) Leak(dt float64) {
+	if dt <= 0 {
+		return
+	}
+	s.SetVolts(s.volts - s.LeakCurrent()*dt/s.Farads)
+}

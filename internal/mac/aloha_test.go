@@ -1,0 +1,137 @@
+package mac
+
+import (
+	"math"
+	"testing"
+)
+
+// paperChargeTimes spreads 12 tags linearly across the measured
+// 4.5-56.2 s charging range (Sec. 6.2), with tag 8 — the tag next to
+// the reader — the fastest at 4.5 s, matching Appendix B's "over
+// 11,000 transmissions" anchor.
+func paperChargeTimes() []float64 {
+	times := make([]float64, 12)
+	step := (56.2 - 4.5) / 11
+	k := 1
+	for i := range times {
+		if i == 7 {
+			times[i] = 4.5
+			continue
+		}
+		times[i] = 4.5 + float64(k)*step
+		k++
+	}
+	return times
+}
+
+func TestAlohaFig19Shape(t *testing.T) {
+	res, err := SimulateAloha(DefaultAlohaConfig(paperChargeTimes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: only 34.0% of transmissions are collision-free overall.
+	if res.CollisionFreePct < 20 || res.CollisionFreePct > 50 {
+		t.Errorf("collision-free = %.1f%%, want ~34%% (paper)", res.CollisionFreePct)
+	}
+	// The fastest-charging tag (tag 8, 4.5 s) transmits over 11,000
+	// times in 10,000 s thanks to the 15.2% recharge shortcut.
+	tag8 := res.PerTag[7]
+	if tag8.Total < 9_000 || tag8.Total > 14_000 {
+		t.Errorf("tag 8 transmissions = %d, want ~11,000", tag8.Total)
+	}
+	// Fast tags still collide in more than half their attempts.
+	if tag8.SuccessPct > 50 {
+		t.Errorf("tag 8 success = %.1f%%, want < 50%% (paper: <40%%)", tag8.SuccessPct)
+	}
+	// The slowest tag (tag 11, 56.2 s) transmits far less but still
+	// collides most of the time.
+	tag11 := res.PerTag[10]
+	if tag11.Total > tag8.Total/5 {
+		t.Errorf("slow tag transmitted %d vs fast %d", tag11.Total, tag8.Total)
+	}
+	if tag11.SuccessPct > 60 {
+		t.Errorf("tag 11 success = %.1f%% too high", tag11.SuccessPct)
+	}
+}
+
+func TestAlohaTransmissionRateArithmetic(t *testing.T) {
+	// A single tag never collides, and its packet count follows the
+	// charge + recharge cycle arithmetic.
+	cfg := DefaultAlohaConfig([]float64{10.0})
+	cfg.NoiseFraction = 0
+	res, err := SimulateAloha(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CollisionFreePct != 100 {
+		t.Errorf("lone tag collided: %v", res.CollisionFreePct)
+	}
+	// Cycle after first activation: 0.2 s packet + 1.52 s recharge.
+	wantCount := 1 + int(math.Floor((10_000-10.0)/(0.2+10.0*0.152)))
+	got := res.PerTag[0].Total
+	if math.Abs(float64(got-wantCount)) > 3 {
+		t.Errorf("packet count = %d, want ~%d", got, wantCount)
+	}
+}
+
+func TestAlohaImbalanceAcrossChargeTimes(t *testing.T) {
+	// Appendix B's fairness point: channel access is heavily skewed
+	// toward fast-charging tags.
+	res, err := SimulateAloha(DefaultAlohaConfig([]float64{4.5, 56.2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, slow := res.PerTag[0].Total, res.PerTag[1].Total
+	if fast < 8*slow {
+		t.Errorf("fast/slow = %d/%d, expected ~12x imbalance", fast, slow)
+	}
+}
+
+func TestAlohaConfigValidation(t *testing.T) {
+	if _, err := SimulateAloha(AlohaConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	cfg := DefaultAlohaConfig([]float64{5})
+	cfg.PacketSeconds = 0
+	if _, err := SimulateAloha(cfg); err == nil {
+		t.Error("zero packet duration accepted")
+	}
+	cfg = DefaultAlohaConfig([]float64{0})
+	if _, err := SimulateAloha(cfg); err == nil {
+		t.Error("zero charge time accepted")
+	}
+}
+
+func TestAlohaDeterministic(t *testing.T) {
+	a, err := SimulateAloha(DefaultAlohaConfig(paperChargeTimes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateAloha(DefaultAlohaConfig(paperChargeTimes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalTransmissions != b.TotalTransmissions || a.CollisionFreePct != b.CollisionFreePct {
+		t.Error("same seed produced different results")
+	}
+}
+
+// TestAlohaVsDistributed quantifies the paper's core comparison: under
+// the same per-tag packet budget, the distributed slot allocation turns
+// most transmissions into successes while ALOHA wastes most of them.
+func TestAlohaVsDistributed(t *testing.T) {
+	aloha, err := SimulateAloha(DefaultAlohaConfig(paperChargeTimes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSlotSim(SlotSimConfig{Pattern: Table3Patterns()[2], Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(10_000)
+	distributedSuccess := 100 * (1 - float64(s.TruthCollisions)/float64(s.TruthNonEmpty))
+	if distributedSuccess < 2*aloha.CollisionFreePct {
+		t.Errorf("distributed %.1f%% vs ALOHA %.1f%%: expected a large win",
+			distributedSuccess, aloha.CollisionFreePct)
+	}
+}

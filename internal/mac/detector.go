@@ -1,0 +1,137 @@
+package mac
+
+// ConvergenceDetector implements the paper's first-convergence-time
+// metric (Sec. 6.4): the number of slots until the reader has seen 32
+// consecutive non-collision slots after a RESET.
+type ConvergenceDetector struct {
+	// Window is the required clean-slot run (32 in the paper).
+	Window int
+
+	slots     int
+	cleanRun  int
+	converged bool
+	at        int
+}
+
+// NewConvergenceDetector returns a detector with the paper's window.
+func NewConvergenceDetector() *ConvergenceDetector {
+	return &ConvergenceDetector{Window: 32}
+}
+
+// Observe ingests one slot outcome and returns true the first time the
+// clean-run criterion is met.
+func (c *ConvergenceDetector) Observe(collision bool) bool {
+	c.slots++
+	if collision {
+		c.cleanRun = 0
+		return false
+	}
+	c.cleanRun++
+	if !c.converged && c.cleanRun >= c.Window {
+		c.converged = true
+		c.at = c.slots
+		return true
+	}
+	return false
+}
+
+// Converged reports whether the criterion was met.
+func (c *ConvergenceDetector) Converged() bool { return c.converged }
+
+// ConvergenceSlot returns the slot count at which convergence was
+// declared (0 if not yet).
+func (c *ConvergenceDetector) ConvergenceSlot() int { return c.at }
+
+// WindowStats tracks the Fig. 16 long-running metrics over a sliding
+// window: the non-empty ratio (slots with at least one transmission,
+// collisions included) and the collision ratio (slots with more than
+// one transmitter).
+type WindowStats struct {
+	// Window is the sliding-window length (32 slots in the paper).
+	Window int
+
+	nonEmpty []bool
+	collide  []bool
+	pos      int
+	filled   int
+
+	totalSlots     int
+	totalNonEmpty  int
+	totalCollision int
+}
+
+// NewWindowStats returns stats with the paper's 32-slot window.
+func NewWindowStats() *WindowStats {
+	return &WindowStats{Window: 32, nonEmpty: make([]bool, 32), collide: make([]bool, 32)}
+}
+
+// Observe ingests one slot.
+func (w *WindowStats) Observe(nonEmpty, collision bool) {
+	if len(w.nonEmpty) != w.Window {
+		w.nonEmpty = make([]bool, w.Window)
+		w.collide = make([]bool, w.Window)
+		w.pos, w.filled = 0, 0
+	}
+	w.nonEmpty[w.pos] = nonEmpty
+	w.collide[w.pos] = collision
+	w.pos = (w.pos + 1) % w.Window
+	if w.filled < w.Window {
+		w.filled++
+	}
+	w.totalSlots++
+	if nonEmpty {
+		w.totalNonEmpty++
+	}
+	if collision {
+		w.totalCollision++
+	}
+}
+
+// NonEmptyRatio returns the windowed non-empty ratio.
+func (w *WindowStats) NonEmptyRatio() float64 {
+	if w.filled == 0 {
+		return 0
+	}
+	n := 0
+	for i := 0; i < w.filled; i++ {
+		if w.nonEmpty[i] {
+			n++
+		}
+	}
+	return float64(n) / float64(w.filled)
+}
+
+// CollisionRatio returns the windowed collision ratio.
+func (w *WindowStats) CollisionRatio() float64 {
+	if w.filled == 0 {
+		return 0
+	}
+	n := 0
+	for i := 0; i < w.filled; i++ {
+		if w.collide[i] {
+			n++
+		}
+	}
+	return float64(n) / float64(w.filled)
+}
+
+// AverageNonEmptyRatio returns the whole-run average (the 81.2% of
+// Sec. 6.4).
+func (w *WindowStats) AverageNonEmptyRatio() float64 {
+	if w.totalSlots == 0 {
+		return 0
+	}
+	return float64(w.totalNonEmpty) / float64(w.totalSlots)
+}
+
+// AverageCollisionRatio returns the whole-run average (the 0.056 of
+// Sec. 6.4).
+func (w *WindowStats) AverageCollisionRatio() float64 {
+	if w.totalSlots == 0 {
+		return 0
+	}
+	return float64(w.totalCollision) / float64(w.totalSlots)
+}
+
+// Slots returns the number of observed slots.
+func (w *WindowStats) Slots() int { return w.totalSlots }

@@ -1,0 +1,181 @@
+package mac
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+// Protocol invariants under adversarial inputs, beyond the scripted
+// scenarios of proto_test.go.
+
+// TestTagProtocolOffsetAlwaysInRange: whatever feedback a tag sees, its
+// offset stays within [0, period).
+func TestTagProtocolOffsetAlwaysInRange(t *testing.T) {
+	f := func(seed uint64, feedback []uint8) bool {
+		tag, err := NewTagProtocol(8, sim.NewRand(seed))
+		if err != nil {
+			return false
+		}
+		for _, fb := range feedback {
+			switch fb % 5 {
+			case 4:
+				tag.OnBeaconLoss()
+			default:
+				tag.OnBeacon(Feedback{
+					ACK:   fb&1 != 0,
+					Empty: fb&2 != 0,
+					Reset: fb&4 != 0,
+				})
+			}
+			if off := tag.Offset(); off < 0 || off >= 8 {
+				return false
+			}
+			if tag.Migrations() < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTagProtocolTransmitPhaseConsistent: between migrations, a tag's
+// transmissions are exactly one period apart in its own counter.
+func TestTagProtocolTransmitPhaseConsistent(t *testing.T) {
+	f := func(seed uint64, acks []bool) bool {
+		tag, err := NewTagProtocol(4, sim.NewRand(seed))
+		if err != nil {
+			return false
+		}
+		tag.ResetState()
+		lastTxCounter := -1
+		lastOffset := tag.Offset()
+		for _, ack := range acks {
+			tx := tag.OnBeacon(Feedback{ACK: ack, Empty: true})
+			if tx {
+				if tag.Offset() == lastOffset && lastTxCounter >= 0 {
+					if (tag.Counter()-lastTxCounter)%4 != 0 {
+						return false
+					}
+				}
+				lastTxCounter = tag.Counter()
+				lastOffset = tag.Offset()
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// settledConflictFree checks the reader invariant: with the future-
+// collision veto active, the belief set is always pairwise
+// conflict-free.
+func settledConflictFree(r *ReaderProtocol) bool {
+	as := r.SettledAssignments()
+	for i := range as {
+		for j := i + 1; j < len(as); j++ {
+			if as[i].Conflicts(as[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestReaderBeliefAlwaysConflictFree feeds the reader random
+// observation streams and verifies its settled-belief invariant after
+// every slot.
+func TestReaderBeliefAlwaysConflictFree(t *testing.T) {
+	f := func(seed uint64, stream []uint16) bool {
+		r, err := NewReaderProtocol(map[int]Period{1: 2, 2: 4, 3: 4, 4: 8})
+		if err != nil {
+			return false
+		}
+		r.Reset()
+		for _, ev := range stream {
+			var obs Observation
+			switch ev % 4 {
+			case 0: // silence
+			case 1: // solo decode from a random tag
+				obs.Decoded = []int{int(ev/4)%4 + 1}
+			case 2: // collision, nothing decoded
+				obs.Collision = true
+			case 3: // capture: collision plus one decode
+				obs.Collision = true
+				obs.Decoded = []int{int(ev/4)%4 + 1}
+			}
+			r.EndSlot(obs)
+			if !settledConflictFree(r) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReaderBeliefCanConflictWithoutVeto documents that the invariant
+// really is the veto's doing: with the ablation flag set, a conflicting
+// belief is reachable.
+func TestReaderBeliefCanConflictWithoutVeto(t *testing.T) {
+	r, err := NewReaderProtocol(map[int]Period{1: 4, 2: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.DisableFutureVeto = true
+	r.Reset()
+	// Tag 1 (p=4) settles at slot 0; tag 2 (p=2) decodes solo at slot
+	// 2 — offset 0 mod 2, conflicting with tag 1 at slots 4, 8, ...
+	r.EndSlot(Observation{Decoded: []int{1}})
+	r.EndSlot(Observation{})
+	fb := r.EndSlot(Observation{Decoded: []int{2}})
+	if !fb.ACK {
+		t.Fatal("veto disabled but solo decode NACKed")
+	}
+	if settledConflictFree(r) {
+		t.Error("expected a conflicting belief with the veto disabled")
+	}
+}
+
+// TestSlotSimLongRandomizedRuns is a randomized soak: many short runs
+// with random loss/capture settings must neither panic nor violate the
+// global invariants tracked by the stats.
+func TestSlotSimLongRandomizedRuns(t *testing.T) {
+	rng := sim.NewRand(2024)
+	pats := Table3Patterns()
+	for trial := 0; trial < 25; trial++ {
+		pt := pats[rng.Intn(len(pats))]
+		loss := make([]float64, pt.NumTags())
+		for i := range loss {
+			loss[i] = rng.Float64() * 0.01
+		}
+		s, err := NewSlotSim(SlotSimConfig{
+			Pattern:        pt,
+			Seed:           rng.Uint64(),
+			BeaconLossProb: loss,
+			CaptureProb:    rng.Float64(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Run(2000)
+		if s.TruthNonEmpty > s.SlotsRun || s.TruthCollisions > s.TruthNonEmpty {
+			t.Fatalf("trial %d: inconsistent counters: %d/%d/%d",
+				trial, s.TruthCollisions, s.TruthNonEmpty, s.SlotsRun)
+		}
+		if r := s.Window.AverageNonEmptyRatio(); r < 0 || r > 1 {
+			t.Fatalf("ratio %v out of range", r)
+		}
+		if !settledConflictFree(s.Reader()) {
+			t.Fatalf("trial %d: reader belief conflicted", trial)
+		}
+	}
+}

@@ -1,0 +1,391 @@
+package mac
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func newTag(t *testing.T, p Period, seed uint64) *TagProtocol {
+	t.Helper()
+	tag, err := NewTagProtocol(p, sim.NewRand(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tag
+}
+
+func TestTagStateString(t *testing.T) {
+	if Migrate.String() != "MIGRATE" || Settle.String() != "SETTLE" {
+		t.Error("state names")
+	}
+	if TagState(5).String() != "TagState(5)" {
+		t.Error("unknown state")
+	}
+}
+
+func TestNewTagProtocolValidation(t *testing.T) {
+	if _, err := NewTagProtocol(3, sim.NewRand(1)); err == nil {
+		t.Error("period 3 accepted")
+	}
+	if _, err := NewTagProtocol(4, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+	tag := newTag(t, 8, 1)
+	if tag.State() != Migrate {
+		t.Error("should start in MIGRATE")
+	}
+	if off := tag.Offset(); off < 0 || off >= 8 {
+		t.Errorf("offset %d out of range", off)
+	}
+	if !tag.Newcomer() {
+		t.Error("fresh tag should be a newcomer")
+	}
+}
+
+// runToTransmit advances beacons (free slots, no gate) until the tag
+// transmits, returning how many beacons it took.
+func runToTransmit(t *testing.T, tag *TagProtocol, fb Feedback) int {
+	t.Helper()
+	for i := 1; i <= 64; i++ {
+		if tag.OnBeacon(fb) {
+			return i
+		}
+	}
+	t.Fatal("tag never transmitted")
+	return 0
+}
+
+func TestTagMigrateToSettleOnACK(t *testing.T) {
+	tag := newTag(t, 4, 2)
+	tag.ResetState() // synchronized start: no EMPTY gating
+	runToTransmit(t, tag, Feedback{})
+	// The beacon after its transmission carries ACK.
+	tag.OnBeacon(Feedback{ACK: true})
+	if tag.State() != Settle {
+		t.Errorf("state = %v after ACK, want SETTLE", tag.State())
+	}
+	if tag.Newcomer() {
+		t.Error("ACKed tag is not a newcomer")
+	}
+}
+
+func TestTagMigrateOnNACKRandomizes(t *testing.T) {
+	tag := newTag(t, 32, 3)
+	tag.ResetState()
+	before := tag.Offset()
+	mig := tag.Migrations()
+	runToTransmit(t, tag, Feedback{})
+	tag.OnBeacon(Feedback{ACK: false})
+	if tag.State() != Migrate {
+		t.Error("should stay in MIGRATE after NACK")
+	}
+	if tag.Migrations() != mig+1 {
+		t.Error("migration not counted")
+	}
+	// With period 32 a re-randomized offset almost surely differs; run
+	// a few rounds and require at least one change.
+	changed := tag.Offset() != before
+	for i := 0; i < 5 && !changed; i++ {
+		runToTransmit(t, tag, Feedback{})
+		tag.OnBeacon(Feedback{ACK: false})
+		changed = tag.Offset() != before
+	}
+	if !changed {
+		t.Error("offset never re-randomized after NACKs")
+	}
+}
+
+func TestTagSettleToleratesNMinusOneNACKs(t *testing.T) {
+	tag := newTag(t, 4, 4)
+	tag.ResetState()
+	runToTransmit(t, tag, Feedback{})
+	tag.OnBeacon(Feedback{ACK: true}) // SETTLE
+	offset := tag.Offset()
+
+	// Two consecutive NACKs (< N=3): stays settled on the same offset.
+	for k := 0; k < 2; k++ {
+		runToTransmit(t, tag, Feedback{})
+		tag.OnBeacon(Feedback{ACK: false})
+		if tag.State() != Settle {
+			t.Fatalf("left SETTLE after %d NACKs", k+1)
+		}
+		if tag.Offset() != offset {
+			t.Fatal("offset changed while settled")
+		}
+	}
+	// An ACK resets the failure counter.
+	runToTransmit(t, tag, Feedback{})
+	tag.OnBeacon(Feedback{ACK: true})
+	// Two more NACKs still tolerated after the reset.
+	for k := 0; k < 2; k++ {
+		runToTransmit(t, tag, Feedback{})
+		tag.OnBeacon(Feedback{ACK: false})
+	}
+	if tag.State() != Settle {
+		t.Error("failure counter did not reset on ACK")
+	}
+	// The third consecutive NACK trips migration.
+	runToTransmit(t, tag, Feedback{})
+	tag.OnBeacon(Feedback{ACK: false})
+	if tag.State() != Migrate {
+		t.Error("did not migrate after N consecutive NACKs")
+	}
+}
+
+func TestTagIgnoresFeedbackWhenSilent(t *testing.T) {
+	// Sec. 5.3: tags respond to ACK/NACK only if they transmitted in
+	// the last slot.
+	tag := newTag(t, 8, 5)
+	tag.ResetState()
+	runToTransmit(t, tag, Feedback{})
+	tag.OnBeacon(Feedback{ACK: true}) // settle
+	// Beacons for slots where the tag is silent carry NACKs (other
+	// tags colliding); they must not disturb this tag.
+	state := tag.State()
+	offset := tag.Offset()
+	for i := 0; i < 7; i++ {
+		if tag.OnBeacon(Feedback{ACK: false}) {
+			tag.OnBeacon(Feedback{ACK: true})
+		}
+	}
+	if tag.State() != state || tag.Offset() != offset {
+		t.Error("silent tag reacted to other tags' NACKs")
+	}
+}
+
+func TestTagBeaconLossTriggersMigrate(t *testing.T) {
+	tag := newTag(t, 8, 6)
+	tag.ResetState()
+	runToTransmit(t, tag, Feedback{})
+	tag.OnBeacon(Feedback{ACK: true})
+	if tag.State() != Settle {
+		t.Fatal("setup failed")
+	}
+	tag.OnBeaconLoss()
+	if tag.State() != Migrate {
+		t.Error("beacon loss must re-enter MIGRATE (Sec. 5.4 refinement)")
+	}
+}
+
+func TestTagTransmitPeriodicity(t *testing.T) {
+	tag := newTag(t, 4, 7)
+	tag.ResetState()
+	var txSlots []int
+	for s := 0; s < 32; s++ {
+		if tag.OnBeacon(Feedback{ACK: true}) {
+			txSlots = append(txSlots, s)
+		}
+	}
+	if len(txSlots) != 8 {
+		t.Fatalf("%d transmissions in 32 slots with period 4", len(txSlots))
+	}
+	for i := 1; i < len(txSlots); i++ {
+		if txSlots[i]-txSlots[i-1] != 4 {
+			t.Fatalf("irregular schedule: %v", txSlots)
+		}
+	}
+}
+
+func TestNewcomerGatedByEmpty(t *testing.T) {
+	tag := newTag(t, 2, 8)
+	// Power-on without RESET: the tag is a late arrival.
+	if !tag.Newcomer() {
+		t.Fatal("setup")
+	}
+	// With EMPTY always false it must never transmit.
+	for s := 0; s < 16; s++ {
+		if tag.OnBeacon(Feedback{Empty: false}) {
+			t.Fatal("gated newcomer transmitted")
+		}
+	}
+	// Once EMPTY slots appear it probes them.
+	transmitted := false
+	for s := 0; s < 16 && !transmitted; s++ {
+		transmitted = tag.OnBeacon(Feedback{Empty: true})
+	}
+	if !transmitted {
+		t.Fatal("newcomer never probed an EMPTY slot")
+	}
+	// After its first ACK it stops consulting EMPTY.
+	tag.OnBeacon(Feedback{ACK: true, Empty: false})
+	saw := false
+	for s := 0; s < 8; s++ {
+		if tag.OnBeacon(Feedback{ACK: true, Empty: false}) {
+			saw = true
+		}
+	}
+	if !saw {
+		t.Error("integrated tag still gated by EMPTY")
+	}
+}
+
+func TestResetClearsGateAndState(t *testing.T) {
+	tag := newTag(t, 4, 9)
+	if !tag.Newcomer() {
+		t.Fatal("setup")
+	}
+	tag.OnBeacon(Feedback{Reset: true, Empty: true})
+	if tag.Newcomer() {
+		t.Error("RESET should clear the late-arrival gate")
+	}
+	if tag.State() != Migrate {
+		t.Error("RESET should enter MIGRATE")
+	}
+	if tag.Counter() != 0 {
+		t.Errorf("counter = %d after reset beacon, want 0", tag.Counter())
+	}
+}
+
+func TestReaderACKSettlesTag(t *testing.T) {
+	r, err := NewReaderProtocol(map[int]Period{1: 4, 2: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Reset()
+	fb := r.EndSlot(Observation{Decoded: []int{1}})
+	if !fb.ACK {
+		t.Error("clean solo decode should be ACKed")
+	}
+	if r.SettledCount() != 1 {
+		t.Errorf("settled = %d", r.SettledCount())
+	}
+}
+
+func TestReaderNACKOnCollision(t *testing.T) {
+	r, _ := NewReaderProtocol(map[int]Period{1: 4, 2: 4})
+	r.Reset()
+	// Capture effect: packet decoded but collision inferred.
+	fb := r.EndSlot(Observation{Decoded: []int{1}, Collision: true})
+	if fb.ACK {
+		t.Error("collision must be NACKed even with a decoded packet (Sec. 5.3)")
+	}
+	fb = r.EndSlot(Observation{Decoded: []int{1, 2}})
+	if fb.ACK {
+		t.Error("two decodes must be NACKed")
+	}
+}
+
+func TestReaderEmptyFlagEq4(t *testing.T) {
+	r, _ := NewReaderProtocol(map[int]Period{1: 2})
+	r.Reset()
+	// Slot 0: tag 1 decoded -> appears. Slot 1 opens.
+	fb := r.EndSlot(Observation{Decoded: []int{1}})
+	if !fb.Empty {
+		t.Error("slot 1 should be EMPTY (no packet at slot 1-2)")
+	}
+	// Slot 1: silence. Slot 2 opens: tag 1 was seen at slot 0 = 2-2,
+	// so slot 2 is predicted occupied.
+	fb = r.EndSlot(Observation{})
+	if fb.Empty {
+		t.Error("slot 2 should be non-EMPTY (packet seen one period ago)")
+	}
+	// Slot 2: silence. Slot 3 opens: slot 1 was silent -> EMPTY.
+	fb = r.EndSlot(Observation{})
+	if !fb.Empty {
+		t.Error("slot 3 should be EMPTY")
+	}
+}
+
+func TestReaderFutureCollisionVeto(t *testing.T) {
+	// Settle tag 1 (period 4) at slot 0; then tag 2 (period 2) shows up
+	// solo at slot 2. Its candidate (p=2, offset 0) collides with tag 1
+	// in future slots 4, 8, ... -> must be NACKed though decoded clean.
+	r, _ := NewReaderProtocol(map[int]Period{1: 4, 2: 2})
+	r.Reset()
+	fb := r.EndSlot(Observation{Decoded: []int{1}}) // slot 0: tag1
+	if !fb.ACK {
+		t.Fatal("tag 1 should settle")
+	}
+	r.EndSlot(Observation{})                       // slot 1
+	fb = r.EndSlot(Observation{Decoded: []int{2}}) // slot 2: tag2, offset 0 mod 2
+	if fb.ACK {
+		t.Error("future-colliding newcomer must be vetoed (Sec. 5.6)")
+	}
+	// At slot 3 (offset 1 mod 2) tag 2 is compatible with tag 1 at
+	// offset 0 mod 4? 3 mod 2 = 1; tag1 offset 0: 0 mod 2 = 0 != 1: OK.
+	fb = r.EndSlot(Observation{Decoded: []int{2}})
+	if !fb.ACK {
+		t.Error("compatible offset should be ACKed")
+	}
+	if r.SettledCount() != 2 {
+		t.Errorf("settled = %d", r.SettledCount())
+	}
+}
+
+func TestReaderEvictionBreaksDeadlock(t *testing.T) {
+	// Sec. 5.6 example: A and B (period 4) settled at offsets 2 and 3;
+	// newcomer C (period 2) is structurally blocked. The reader must
+	// veto C and start evicting one of A/B with successive NACKs.
+	r, _ := NewReaderProtocol(map[int]Period{1: 4, 2: 4, 3: 2})
+	r.Reset()
+	r.EndSlot(Observation{})                        // slot 0
+	r.EndSlot(Observation{})                        // slot 1
+	fb := r.EndSlot(Observation{Decoded: []int{1}}) // slot 2: A settles
+	if !fb.ACK {
+		t.Fatal("A should settle")
+	}
+	fb = r.EndSlot(Observation{Decoded: []int{2}}) // slot 3: B settles
+	if !fb.ACK {
+		t.Fatal("B should settle")
+	}
+	// Slot 4: C transmits (4 mod 2 = 0). Blocked: NACK + eviction arms.
+	fb = r.EndSlot(Observation{Decoded: []int{3}})
+	if fb.ACK {
+		t.Fatal("blocked C must be NACKed")
+	}
+	// The victim now gets NACKed at its own slots despite clean
+	// decodes, until the reader unsettles it.
+	evictionsSeen := 0
+	for round := 0; round < 12 && r.SettledCount() == 2; round++ {
+		slot := r.Slot()
+		var obs Observation
+		switch slot % 4 {
+		case 2:
+			obs = Observation{Decoded: []int{1}}
+		case 3:
+			obs = Observation{Decoded: []int{2}}
+		}
+		fb = r.EndSlot(obs)
+		if len(obs.Decoded) == 1 && !fb.ACK {
+			evictionsSeen++
+		}
+	}
+	if r.SettledCount() != 1 {
+		t.Fatalf("victim never unsettled (settled=%d)", r.SettledCount())
+	}
+	if evictionsSeen < DefaultNackThreshold {
+		t.Errorf("eviction NACKs = %d, want >= %d", evictionsSeen, DefaultNackThreshold)
+	}
+}
+
+func TestReaderUnsettlesMissingTag(t *testing.T) {
+	r, _ := NewReaderProtocol(map[int]Period{1: 2})
+	r.Reset()
+	r.EndSlot(Observation{Decoded: []int{1}}) // settle at offset 0
+	if r.SettledCount() != 1 {
+		t.Fatal("setup")
+	}
+	// Tag 1 goes dark; after N missed expected slots the belief drops.
+	for i := 0; i < 2*DefaultNackThreshold+2 && r.SettledCount() > 0; i++ {
+		r.EndSlot(Observation{})
+	}
+	if r.SettledCount() != 0 {
+		t.Error("missing tag never unsettled")
+	}
+}
+
+func TestReaderUnknownTagTolerated(t *testing.T) {
+	r, _ := NewReaderProtocol(map[int]Period{1: 4})
+	r.Reset()
+	fb := r.EndSlot(Observation{Decoded: []int{99}})
+	if !fb.ACK {
+		t.Error("unprovisioned tag should still be ACKed")
+	}
+}
+
+func TestReaderRejectsInvalidPeriods(t *testing.T) {
+	if _, err := NewReaderProtocol(map[int]Period{1: 3}); err == nil {
+		t.Error("invalid period accepted")
+	}
+}

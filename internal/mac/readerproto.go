@@ -1,0 +1,246 @@
+package mac
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ReaderProtocol is the reader-side half of the distributed slot
+// allocation: it turns per-slot channel observations into the broadcast
+// feedback (ACK/NACK + EMPTY) and implements the Sec. 5.6
+// future-collision avoidance using its a-priori knowledge of every
+// tag's period.
+type ReaderProtocol struct {
+	// Periods maps TID to its transmission period (known to the reader
+	// by provisioning, Sec. 5.5).
+	Periods map[int]Period
+	// NackThreshold mirrors the tags' N: after this many consecutive
+	// missed expected slots the reader un-settles its belief about a
+	// tag.
+	NackThreshold int
+	// DisableFutureVeto turns off the Sec. 5.6 future-collision
+	// avoidance (ablation only): every clean solo decode is ACKed.
+	DisableFutureVeto bool
+
+	slot     int          // index of the slot that is about to end
+	maxP     int          // largest provisioned period
+	appeared map[int]bool // T_a of Eq. 4
+	settled  map[int]Assignment
+	misses   map[int]int // consecutive expected-slot misses per settled tag
+
+	evictTID   int // tag being force-migrated for a blocked newcomer; -1 if none
+	evictNacks int
+}
+
+// Observation is what the reader's PHY chain reports for one slot.
+type Observation struct {
+	// Decoded lists the TIDs of CRC-valid uplink packets (usually one;
+	// the capture effect can deliver one even during a collision).
+	Decoded []int
+	// Collision is the IQ-cluster inference: more than one tag
+	// transmitted, regardless of decode success.
+	Collision bool
+}
+
+// NonEmpty reports whether anything was on the channel.
+func (o Observation) NonEmpty() bool { return len(o.Decoded) > 0 || o.Collision }
+
+// NewReaderProtocol builds the reader state machine for the
+// provisioned tag population.
+func NewReaderProtocol(periods map[int]Period) (*ReaderProtocol, error) {
+	maxP := 1
+	for tid, p := range periods {
+		if !ValidPeriod(p) {
+			return nil, fmt.Errorf("mac: tag %d has invalid period %d", tid, p)
+		}
+		if int(p) > maxP {
+			maxP = int(p)
+		}
+	}
+	r := &ReaderProtocol{
+		Periods:       periods,
+		NackThreshold: DefaultNackThreshold,
+		maxP:          maxP,
+	}
+	r.reset()
+	return r, nil
+}
+
+func (r *ReaderProtocol) reset() {
+	r.slot = 0
+	r.appeared = make(map[int]bool)
+	r.settled = make(map[int]Assignment)
+	r.misses = make(map[int]int)
+	r.evictTID = -1
+	r.evictNacks = 0
+}
+
+// Reset clears all protocol state and returns the RESET beacon
+// feedback to broadcast.
+func (r *ReaderProtocol) Reset() Feedback {
+	r.reset()
+	return Feedback{Reset: true, Empty: true}
+}
+
+// Slot returns the index of the currently open slot.
+func (r *ReaderProtocol) Slot() int { return r.slot }
+
+// SettledCount returns how many tags the reader believes are settled.
+func (r *ReaderProtocol) SettledCount() int { return len(r.settled) }
+
+// SettledAssignments returns a copy of the reader's current belief.
+func (r *ReaderProtocol) SettledAssignments() []Assignment {
+	out := make([]Assignment, 0, len(r.settled))
+	for _, a := range r.settled {
+		out = append(out, a)
+	}
+	return out
+}
+
+// settledExcept returns the settled assignments of all tags other than
+// tid in ascending tid order, paired with their tids. Map iteration
+// order must not leak into protocol decisions: victim selection has to
+// be deterministic for reproducible runs.
+func (r *ReaderProtocol) settledExcept(tid int) ([]Assignment, []int) {
+	tids := make([]int, 0, len(r.settled))
+	for id := range r.settled {
+		if id != tid {
+			tids = append(tids, id)
+		}
+	}
+	sort.Ints(tids)
+	out := make([]Assignment, len(tids))
+	for i, id := range tids {
+		out[i] = r.settled[id]
+	}
+	return out, tids
+}
+
+// EndSlot ingests the observation for the slot that just ended and
+// returns the feedback to broadcast in the beacon that opens the next
+// slot.
+func (r *ReaderProtocol) EndSlot(obs Observation) Feedback {
+	s := r.slot
+
+	ack := false
+	switch {
+	case obs.Collision || len(obs.Decoded) > 1:
+		// Definite collision: broadcast NACK (Sec. 5.3 "we set the ACK
+		// flag to false, even if the reader successfully decodes a UL
+		// packet").
+	case len(obs.Decoded) == 1:
+		ack = r.judgeSolo(obs.Decoded[0], s)
+	}
+
+	r.trackExpected(obs, s)
+
+	r.slot++
+	return Feedback{ACK: ack, Empty: r.emptyFlag(r.slot)}
+}
+
+// judgeSolo decides ACK for a cleanly decoded single packet from tid in
+// slot s, applying future-collision avoidance.
+func (r *ReaderProtocol) judgeSolo(tid, s int) bool {
+	p, known := r.Periods[tid]
+	if !known {
+		// A tag the reader was not provisioned for: tolerate it with a
+		// plain ACK (it cannot be checked for future collisions).
+		r.appeared[tid] = true
+		return true
+	}
+	r.appeared[tid] = true
+	cand := Assignment{Period: p, Offset: s % int(p)}
+
+	if cur, ok := r.settled[tid]; ok && cur == cand {
+		// Settled tag on its usual schedule.
+		r.misses[tid] = 0
+		if r.evictTID == tid {
+			// This tag is being evicted for a blocked newcomer: keep
+			// NACKing it (Sec. 5.6) until it migrates.
+			r.evictNacks++
+			if r.evictNacks >= r.NackThreshold {
+				r.unsettle(tid)
+				r.evictTID = -1
+			}
+			return false
+		}
+		return true
+	}
+
+	// New tag, or a settled tag showing up off-schedule (it migrated).
+	others, otherTIDs := r.settledExcept(tid)
+	if conflictsAny(cand, others) && !r.DisableFutureVeto {
+		// Settling here would collide with an already-settled tag in a
+		// future slot: veto.
+		if FeasibleOffset(others, p) < 0 && r.evictTID < 0 {
+			// No offset works at all: pick a victim to force-migrate.
+			if v := ChooseVictim(others, p); v >= 0 {
+				r.evictTID = otherTIDs[v]
+				r.evictNacks = 0
+			}
+		}
+		return false
+	}
+	// Viable: accept and record the belief.
+	r.settled[tid] = cand
+	r.misses[tid] = 0
+	return true
+}
+
+func conflictsAny(a Assignment, others []Assignment) bool {
+	for _, o := range others {
+		if a.Conflicts(o) {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *ReaderProtocol) unsettle(tid int) {
+	delete(r.settled, tid)
+	delete(r.misses, tid)
+}
+
+// trackExpected updates the reader's per-tag belief: a settled tag that
+// fails to show in its expected slot for NackThreshold consecutive
+// rounds is dropped (it migrated, desynchronized or browned out).
+func (r *ReaderProtocol) trackExpected(obs Observation, s int) {
+	decoded := make(map[int]bool, len(obs.Decoded))
+	for _, tid := range obs.Decoded {
+		decoded[tid] = true
+	}
+	for tid, a := range r.settled {
+		if !a.TransmitsAt(s) {
+			continue
+		}
+		if decoded[tid] {
+			continue // seen (judgeSolo already reset misses on ACK path)
+		}
+		// Missed its expected slot (whether silent or lost in a
+		// collision): after N consecutive misses the belief is stale.
+		r.misses[tid]++
+		if r.misses[tid] >= r.NackThreshold {
+			if r.evictTID == tid {
+				r.evictTID = -1
+			}
+			r.unsettle(tid)
+		}
+	}
+}
+
+// emptyFlag computes the EMPTY prediction for the slot about to open.
+// Eq. 4 phrases it as "no packet received in slot s - p_i for every
+// appeared tag i"; for settled (hence periodic) tags that is exactly
+// "no settled tag owns slot s", which is how we evaluate it. Naively
+// replaying the receive history would also count one-off probe packets
+// from migrating tags, and a single probe by a short-period tag would
+// then gate newcomers off slots that are actually free — poisoning the
+// very mechanism meant to integrate them (Sec. 5.5/5.6).
+func (r *ReaderProtocol) emptyFlag(s int) bool {
+	for _, a := range r.settled {
+		if a.TransmitsAt(s) {
+			return false
+		}
+	}
+	return true
+}

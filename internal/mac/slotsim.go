@@ -1,0 +1,293 @@
+package mac
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// SlotSim is the slot-granularity protocol simulator: every tick is one
+// slot (1 s in the deployment), link outcomes are drawn from a
+// calibrated link model, and the exact TagProtocol / ReaderProtocol
+// state machines run unmodified. The convergence (Fig. 15) and
+// long-running (Fig. 16) experiments execute here, where a million
+// slots cost milliseconds.
+type SlotSim struct {
+	cfg    SlotSimConfig
+	rng    *sim.Rand
+	reader *ReaderProtocol
+	tags   []*simTag
+	fb     Feedback
+
+	Window      *WindowStats
+	Convergence *ConvergenceDetector
+	// TruthNonEmpty / TruthCollisions count ground-truth slot states
+	// (vs the reader-observed ratios in Window).
+	TruthNonEmpty   int
+	TruthCollisions int
+	SlotsRun        int
+}
+
+type simTag struct {
+	tid      int
+	proto    *TagProtocol
+	joinSlot int
+	// Per-tag counters.
+	txCount    int
+	ackCount   int
+	lastTxSlot int // global slot of the most recent transmission; -1 if none
+}
+
+// SlotSimConfig parameterizes a run. Zero values mean: perfect links,
+// perfect collision detection, all tags present from slot 0.
+type SlotSimConfig struct {
+	Pattern Pattern
+	Seed    uint64
+	// BeaconLossProb is the per-slot probability a tag misses the
+	// beacon (per tag; nil or short slice means 0).
+	BeaconLossProb []float64
+	// ULDecodeFailProb is the probability a solo uplink packet fails
+	// CRC at the reader (per tag).
+	ULDecodeFailProb []float64
+	// CaptureProb is the chance the reader still decodes one packet
+	// during a collision (capture effect, Sec. 5.3).
+	CaptureProb float64
+	// CollisionDetectProb is the chance the IQ clustering flags a true
+	// collision; 0 means use the default of 1.0.
+	CollisionDetectProb float64
+	// JoinSlot defers each tag's activation (variable charging delay,
+	// Sec. 5.5); nil means all join at slot 0.
+	JoinSlot []int
+	// NackThreshold overrides N for all tags and the reader (0 keeps
+	// the default of 3). Ablation: BenchmarkAblationNackThreshold.
+	NackThreshold int
+	// DisableBeaconLossTimer removes the Sec. 5.4 refinement: a tag
+	// that misses a beacon silently desynchronizes instead of
+	// migrating. Ablation only.
+	DisableBeaconLossTimer bool
+	// DisableEmptyGate removes the Sec. 5.5 newcomer gate.
+	DisableEmptyGate bool
+	// DisableFutureVeto removes the Sec. 5.6 reader-side check.
+	DisableFutureVeto bool
+}
+
+func (c SlotSimConfig) beaconLoss(i int) float64 {
+	if i < len(c.BeaconLossProb) {
+		return c.BeaconLossProb[i]
+	}
+	return 0
+}
+
+func (c SlotSimConfig) ulFail(i int) float64 {
+	if i < len(c.ULDecodeFailProb) {
+		return c.ULDecodeFailProb[i]
+	}
+	return 0
+}
+
+func (c SlotSimConfig) joinSlot(i int) int {
+	if i < len(c.JoinSlot) {
+		return c.JoinSlot[i]
+	}
+	return 0
+}
+
+// NewSlotSim builds a simulator: the reader is provisioned with every
+// tag's period, tags start in MIGRATE, and the first beacon carries
+// RESET (the Fig. 15 measurement protocol).
+func NewSlotSim(cfg SlotSimConfig) (*SlotSim, error) {
+	if err := cfg.Pattern.Validate(); err != nil {
+		return nil, err
+	}
+	rng := sim.NewRand(cfg.Seed)
+	periods := make(map[int]Period, cfg.Pattern.NumTags())
+	tags := make([]*simTag, cfg.Pattern.NumTags())
+	for i, p := range cfg.Pattern.Periods {
+		tid := i + 1
+		periods[tid] = p
+		proto, err := NewTagProtocol(p, rng.Fork(uint64(tid)))
+		if err != nil {
+			return nil, err
+		}
+		if cfg.NackThreshold > 0 {
+			proto.NackThreshold = cfg.NackThreshold
+		}
+		proto.DisableEmptyGate = cfg.DisableEmptyGate
+		tags[i] = &simTag{tid: tid, proto: proto, joinSlot: cfg.joinSlot(i), lastTxSlot: -1}
+	}
+	reader, err := NewReaderProtocol(periods)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.NackThreshold > 0 {
+		reader.NackThreshold = cfg.NackThreshold
+	}
+	reader.DisableFutureVeto = cfg.DisableFutureVeto
+	detect := cfg.CollisionDetectProb
+	if detect == 0 {
+		detect = 1.0
+	}
+	cfg.CollisionDetectProb = detect
+	s := &SlotSim{
+		cfg:         cfg,
+		rng:         rng.Fork(0xC0FFEE),
+		reader:      reader,
+		tags:        tags,
+		fb:          reader.Reset(),
+		Window:      NewWindowStats(),
+		Convergence: NewConvergenceDetector(),
+	}
+	return s, nil
+}
+
+// SlotResult reports one simulated slot.
+type SlotResult struct {
+	Slot         int
+	Transmitters []int
+	Obs          Observation
+	Feedback     Feedback // broadcast at the END of this slot
+}
+
+// Step simulates one slot and returns what happened in it.
+func (s *SlotSim) Step() SlotResult {
+	slot := s.SlotsRun
+	fb := s.fb
+
+	var transmitters []*simTag
+	for i, t := range s.tags {
+		if slot < t.joinSlot {
+			continue
+		}
+		if s.rng.Bool(s.cfg.beaconLoss(i)) {
+			if !s.cfg.DisableBeaconLossTimer {
+				t.proto.OnBeaconLoss()
+			}
+			// Without the timer refinement the tag just fails to
+			// advance its counter — the silent desynchronization of
+			// Sec. 5.4's analysis.
+			continue
+		}
+		if t.proto.OnBeacon(fb) {
+			transmitters = append(transmitters, t)
+			t.txCount++
+			t.lastTxSlot = slot
+		}
+	}
+
+	var obs Observation
+	switch len(transmitters) {
+	case 0:
+	case 1:
+		t := transmitters[0]
+		if !s.rng.Bool(s.cfg.ulFail(t.tid - 1)) {
+			obs.Decoded = []int{t.tid}
+		}
+	default:
+		obs.Collision = s.rng.Bool(s.cfg.CollisionDetectProb)
+		if s.rng.Bool(s.cfg.CaptureProb) {
+			// Capture: one packet survives; pick uniformly (the
+			// waveform layer would pick the strongest).
+			t := transmitters[s.rng.Intn(len(transmitters))]
+			obs.Decoded = []int{t.tid}
+		}
+	}
+
+	next := s.reader.EndSlot(obs)
+	// Tags that transmitted learn their fate from the next beacon; ACK
+	// accounting here mirrors what they will see.
+	if next.ACK && len(transmitters) == 1 {
+		transmitters[0].ackCount++
+	}
+
+	s.Window.Observe(obs.NonEmpty(), obs.Collision)
+	truthCollision := len(transmitters) > 1
+	if len(transmitters) > 0 {
+		s.TruthNonEmpty++
+	}
+	if truthCollision {
+		s.TruthCollisions++
+	}
+	s.Convergence.Observe(truthCollision)
+
+	s.fb = next
+	s.SlotsRun++
+
+	tids := make([]int, len(transmitters))
+	for i, t := range transmitters {
+		tids[i] = t.tid
+	}
+	return SlotResult{Slot: slot, Transmitters: tids, Obs: obs, Feedback: next}
+}
+
+// Run advances n slots.
+func (s *SlotSim) Run(n int) {
+	for i := 0; i < n; i++ {
+		s.Step()
+	}
+}
+
+// RunUntilConverged steps until the convergence criterion fires or
+// maxSlots elapse; it returns the first-convergence time in slots and
+// whether it converged.
+func (s *SlotSim) RunUntilConverged(maxSlots int) (int, bool) {
+	for s.SlotsRun < maxSlots {
+		s.Step()
+		if s.Convergence.Converged() {
+			return s.Convergence.ConvergenceSlot(), true
+		}
+	}
+	return s.SlotsRun, false
+}
+
+// TagStates returns the protocol state of every tag (for assertions and
+// displays).
+func (s *SlotSim) TagStates() []TagState {
+	out := make([]TagState, len(s.tags))
+	for i, t := range s.tags {
+		out[i] = t.proto.State()
+	}
+	return out
+}
+
+// AllSettled reports whether every joined tag is in SETTLE.
+func (s *SlotSim) AllSettled() bool {
+	for _, t := range s.tags {
+		if s.SlotsRun <= t.joinSlot || t.proto.State() != Settle {
+			return false
+		}
+	}
+	return true
+}
+
+// Assignments returns the current (period, offset) of every tag in the
+// GLOBAL slot frame, so schedules of tags that joined at different
+// times (or desynchronized) are directly comparable. A tag's local
+// offset is translated via its most recent transmission slot; a tag
+// that never transmitted reports its local offset unchanged.
+func (s *SlotSim) Assignments() []Assignment {
+	out := make([]Assignment, len(s.tags))
+	for i, t := range s.tags {
+		p := t.proto.Period
+		off := t.proto.Offset()
+		if t.lastTxSlot >= 0 {
+			// The last transmission happened at the then-current
+			// offset; if the tag has not migrated since, this is its
+			// global congruence class.
+			off = t.lastTxSlot % int(p)
+		}
+		out[i] = Assignment{Period: p, Offset: off}
+	}
+	return out
+}
+
+// TagCounters returns (transmissions, acks) for 1-based tid.
+func (s *SlotSim) TagCounters(tid int) (tx, acks int, err error) {
+	if tid < 1 || tid > len(s.tags) {
+		return 0, 0, fmt.Errorf("mac: tid %d out of range", tid)
+	}
+	t := s.tags[tid-1]
+	return t.txCount, t.ackCount, nil
+}
+
+// Reader exposes the reader protocol (read-only use intended).
+func (s *SlotSim) Reader() *ReaderProtocol { return s.reader }

@@ -1,0 +1,349 @@
+package mac
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestSlotSimConvergesPerfectLinks(t *testing.T) {
+	for _, pt := range Table3Patterns() {
+		s, err := NewSlotSim(SlotSimConfig{Pattern: pt, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		slots, ok := s.RunUntilConverged(100_000)
+		if !ok {
+			t.Errorf("%s never converged", pt.Name)
+			continue
+		}
+		if slots < 32 {
+			t.Errorf("%s converged in %d slots (< window)", pt.Name, slots)
+		}
+		// Once converged with perfect links, the settled schedule is
+		// collision-free (Lemma 1): run on and demand zero further
+		// collisions.
+		before := s.TruthCollisions
+		s.Run(500)
+		if s.TruthCollisions != before {
+			t.Errorf("%s: %d collisions after convergence", pt.Name, s.TruthCollisions-before)
+		}
+	}
+}
+
+func TestSlotSimAllSettledAfterConvergence(t *testing.T) {
+	pt := Table3Patterns()[2] // c3
+	s, err := NewSlotSim(SlotSimConfig{Pattern: pt, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.RunUntilConverged(100_000); !ok {
+		t.Fatal("no convergence")
+	}
+	// Let the last ACKs land.
+	s.Run(2 * pt.Hyperperiod())
+	if !s.AllSettled() {
+		t.Errorf("states after convergence: %v", s.TagStates())
+	}
+	// The settled assignments must be mutually conflict-free.
+	if err := VerifySchedule(s.Assignments()); err != nil {
+		t.Errorf("settled schedule collides: %v", err)
+	}
+}
+
+// TestLemma1SettledImpliesCollisionFree is the DESIGN.md safety
+// property: whenever all tags are in SETTLE (with synchronized
+// counters, i.e. no beacon loss), no slot has two transmitters.
+func TestLemma1SettledImpliesCollisionFree(t *testing.T) {
+	for seed := uint64(0); seed < 30; seed++ {
+		pt := Table3Patterns()[int(seed)%len(Table3Patterns())]
+		s, err := NewSlotSim(SlotSimConfig{Pattern: pt, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 30_000; i++ {
+			res := s.Step()
+			if s.AllSettled() && len(res.Transmitters) > 1 {
+				t.Fatalf("seed %d %s: collision in slot %d with all tags settled",
+					seed, pt.Name, res.Slot)
+			}
+			if s.Convergence.Converged() && s.SlotsRun > s.Convergence.ConvergenceSlot()+500 {
+				break
+			}
+		}
+	}
+}
+
+func TestConvergenceGrowsWithUtilization(t *testing.T) {
+	// Fig. 15(a): median first-convergence time rises steeply from c1
+	// (U=0.38) to c5 (U=1.0).
+	median := func(pt Pattern) int {
+		var times []int
+		for seed := uint64(0); seed < 15; seed++ {
+			s, err := NewSlotSim(SlotSimConfig{Pattern: pt, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			slots, ok := s.RunUntilConverged(300_000)
+			if !ok {
+				t.Fatalf("%s seed %d: no convergence", pt.Name, seed)
+			}
+			times = append(times, slots)
+		}
+		sort.Ints(times)
+		return times[len(times)/2]
+	}
+	pats := Table3Patterns()
+	c1 := median(pats[0])
+	c5 := median(pats[4])
+	if c5 < 4*c1 {
+		t.Errorf("c5 median (%d) should dwarf c1 median (%d)", c5, c1)
+	}
+	if c1 < 32 || c1 > 600 {
+		t.Errorf("c1 median %d outside plausible band (paper: 139)", c1)
+	}
+	if c5 < 300 || c5 > 8000 {
+		t.Errorf("c5 median %d outside plausible band (paper: 1712)", c5)
+	}
+}
+
+func TestBeaconLossRecovery(t *testing.T) {
+	// With 1% beacon loss the network keeps getting disrupted but must
+	// keep re-settling: over a long run the collision ratio stays low
+	// and the non-empty ratio near the bound (Fig. 16 behaviour).
+	pt := Table3Patterns()[2] // c3, bound 0.84375
+	loss := make([]float64, pt.NumTags())
+	for i := range loss {
+		loss[i] = 0.001
+	}
+	s, err := NewSlotSim(SlotSimConfig{
+		Pattern:        pt,
+		Seed:           11,
+		BeaconLossProb: loss,
+		CaptureProb:    0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(10_000)
+	nonEmpty := s.Window.AverageNonEmptyRatio()
+	collision := s.Window.AverageCollisionRatio()
+	if nonEmpty < 0.70 || nonEmpty > 0.86 {
+		t.Errorf("non-empty ratio %.3f, want near 0.812 (paper)", nonEmpty)
+	}
+	if collision > 0.12 {
+		t.Errorf("collision ratio %.3f too high (paper: 0.056)", collision)
+	}
+}
+
+func TestLateArrivalIntegratesWithoutDisruption(t *testing.T) {
+	// Tags 1..11 converge first; tag 12 (period 16) joins at slot 3000.
+	// The EMPTY gate should let it integrate while settled tags keep
+	// their slots.
+	pt := Table3Patterns()[1] // c2: 12 tags period 16, U = 0.75
+	join := make([]int, 12)
+	join[11] = 3000
+	s, err := NewSlotSim(SlotSimConfig{Pattern: pt, Seed: 5, JoinSlot: join})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(3000)
+	if !s.Convergence.Converged() {
+		t.Fatal("first 11 tags did not converge before the join")
+	}
+	// Record settled offsets of the early tags.
+	pre := s.Assignments()[:11]
+	// Run long enough for tag 12 to integrate.
+	collisionsBefore := s.TruthCollisions
+	s.Run(4000)
+	if !s.AllSettled() {
+		t.Fatalf("late tag never settled; states %v", s.TagStates())
+	}
+	post := s.Assignments()
+	for i := 0; i < 11; i++ {
+		if post[i] != pre[i] {
+			t.Errorf("settled tag %d moved from %+v to %+v during late join",
+				i+1, pre[i], post[i])
+		}
+	}
+	if err := VerifySchedule(post); err != nil {
+		t.Errorf("final schedule collides: %v", err)
+	}
+	// The EMPTY gate means integration happens with almost no new
+	// collisions.
+	if d := s.TruthCollisions - collisionsBefore; d > 3 {
+		t.Errorf("late join caused %d collisions", d)
+	}
+}
+
+func TestFutureCollisionScenarioEndToEnd(t *testing.T) {
+	// Sec. 5.6: A and B (period 4) early, C (period 2) late. C is
+	// structurally blocked until the reader evicts one of A/B; then all
+	// three settle.
+	pt := Pattern{Name: "sec5.6", Periods: []Period{4, 4, 2}}
+	join := []int{0, 0, 400}
+	var settledAll bool
+	for seed := uint64(0); seed < 10 && !settledAll; seed++ {
+		s, err := NewSlotSim(SlotSimConfig{Pattern: pt, Seed: seed, JoinSlot: join})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Run(6000)
+		settledAll = s.AllSettled() && VerifySchedule(s.Assignments()) == nil
+	}
+	if !settledAll {
+		t.Error("the Sec. 5.6 deadlock was never resolved in 10 seeds")
+	}
+}
+
+func TestSlotSimDeterministic(t *testing.T) {
+	cfg := SlotSimConfig{Pattern: Table3Patterns()[3], Seed: 99,
+		BeaconLossProb: []float64{0.01, 0.01, 0.01}}
+	a, err := NewSlotSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSlotSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		ra, rb := a.Step(), b.Step()
+		if len(ra.Transmitters) != len(rb.Transmitters) || ra.Feedback != rb.Feedback {
+			t.Fatalf("same seed diverged at slot %d", i)
+		}
+	}
+}
+
+func TestSlotSimTagCounters(t *testing.T) {
+	s, err := NewSlotSim(SlotSimConfig{Pattern: Pattern{Periods: []Period{2}}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(100)
+	tx, acks, err := s.TagCounters(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tx < 40 || acks == 0 {
+		t.Errorf("tx=%d acks=%d for a lone period-2 tag over 100 slots", tx, acks)
+	}
+	if _, _, err := s.TagCounters(2); err == nil {
+		t.Error("out-of-range tid accepted")
+	}
+}
+
+func TestSlotSimRejectsBadPattern(t *testing.T) {
+	if _, err := NewSlotSim(SlotSimConfig{Pattern: Pattern{Periods: []Period{3}}}); err == nil {
+		t.Error("invalid pattern accepted")
+	}
+}
+
+func TestConvergenceDetector(t *testing.T) {
+	d := NewConvergenceDetector()
+	for i := 0; i < 31; i++ {
+		if d.Observe(false) {
+			t.Fatal("converged early")
+		}
+	}
+	if !d.Observe(false) {
+		t.Fatal("did not converge at 32 clean slots")
+	}
+	if !d.Converged() || d.ConvergenceSlot() != 32 {
+		t.Errorf("slot = %d", d.ConvergenceSlot())
+	}
+	// A collision resets the run.
+	d2 := NewConvergenceDetector()
+	for i := 0; i < 31; i++ {
+		d2.Observe(false)
+	}
+	d2.Observe(true)
+	for i := 0; i < 31; i++ {
+		if d2.Observe(false) {
+			t.Fatal("converged before a fresh 32-run")
+		}
+	}
+	if !d2.Observe(false) {
+		t.Fatal("never converged after reset")
+	}
+	if d2.ConvergenceSlot() != 64 {
+		t.Errorf("slot = %d, want 64", d2.ConvergenceSlot())
+	}
+}
+
+func TestWindowStats(t *testing.T) {
+	w := NewWindowStats()
+	for i := 0; i < 16; i++ {
+		w.Observe(true, false)
+	}
+	for i := 0; i < 16; i++ {
+		w.Observe(false, false)
+	}
+	if r := w.NonEmptyRatio(); r != 0.5 {
+		t.Errorf("windowed non-empty = %v", r)
+	}
+	w.Observe(true, true)
+	if w.CollisionRatio() == 0 {
+		t.Error("collision not reflected in window")
+	}
+	if w.Slots() != 33 {
+		t.Errorf("slots = %d", w.Slots())
+	}
+	if w.AverageNonEmptyRatio() <= 0.5 || w.AverageNonEmptyRatio() >= 0.6 {
+		t.Errorf("avg non-empty = %v", w.AverageNonEmptyRatio())
+	}
+	var empty WindowStats
+	if empty.NonEmptyRatio() != 0 || empty.AverageCollisionRatio() != 0 {
+		t.Error("empty stats should be zero")
+	}
+}
+
+// TestMillionSlotSoak runs the protocol for a million slots (c3 with
+// realistic impairments) and checks the long-run metrics stay at the
+// Fig. 16 operating point throughout. Skipped under -short.
+func TestMillionSlotSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	pt := Table3Patterns()[2]
+	loss := make([]float64, pt.NumTags())
+	ulf := make([]float64, pt.NumTags())
+	for i := range loss {
+		loss[i] = 0.001
+		ulf[i] = 0.005
+	}
+	s, err := NewSlotSim(SlotSimConfig{
+		Pattern:          pt,
+		Seed:             777,
+		BeaconLossProb:   loss,
+		ULDecodeFailProb: ulf,
+		CaptureProb:      0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 1_000_000
+	for done := 0; done < total; done += 100_000 {
+		s.Run(100_000)
+		ne := s.Window.AverageNonEmptyRatio()
+		cr := s.Window.AverageCollisionRatio()
+		if ne < 0.74 || ne > 0.86 {
+			t.Fatalf("at slot %d: non-empty drifted to %.3f", s.SlotsRun, ne)
+		}
+		if cr > 0.11 {
+			t.Fatalf("at slot %d: collision ratio drifted to %.3f", s.SlotsRun, cr)
+		}
+	}
+	// Tag counters stay self-consistent over the whole run.
+	for tid := 1; tid <= pt.NumTags(); tid++ {
+		tx, acks, err := s.TagCounters(tid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if acks > tx {
+			t.Fatalf("tag %d: %d acks for %d transmissions", tid, acks, tx)
+		}
+		if tx == 0 {
+			t.Fatalf("tag %d never transmitted in a million slots", tid)
+		}
+	}
+}

@@ -1,0 +1,229 @@
+package phy
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func randomBits(raw []byte) Bits {
+	b := make(Bits, len(raw))
+	for i, v := range raw {
+		b[i] = v & 1
+	}
+	return b
+}
+
+func TestFM0PaperMapping(t *testing.T) {
+	// Sec. 4.1: chip pairs 10/01 are FM0 bit 0; 00/11 are FM0 bit 1.
+	chips := FM0Encode(Bits{0}, 0)
+	if chips[0] == chips[1] {
+		t.Errorf("bit 0 encoded as equal halves: %v", chips)
+	}
+	chips = FM0Encode(Bits{1}, 0)
+	if chips[0] != chips[1] {
+		t.Errorf("bit 1 encoded as differing halves: %v", chips)
+	}
+}
+
+func TestFM0BoundaryInvariant(t *testing.T) {
+	// The level must invert at every bit boundary, for any data.
+	f := func(raw []byte, init byte) bool {
+		data := randomBits(raw)
+		chips := FM0Encode(data, init&1)
+		if len(chips) != 2*len(data) {
+			return false
+		}
+		level := init & 1
+		for i := 0; i < len(chips); i += 2 {
+			if chips[i] == level { // no transition at boundary
+				return false
+			}
+			level = chips[i+1]
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFM0RoundTrip(t *testing.T) {
+	f := func(raw []byte, init byte) bool {
+		data := randomBits(raw)
+		chips := FM0Encode(data, init&1)
+		decoded, err := FM0Decode(chips, init&1)
+		return err == nil && decoded.Equal(data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFM0DecodeViolation(t *testing.T) {
+	data := Bits{1, 0, 1, 1}
+	chips := FM0Encode(data, 0)
+	// Destroy the boundary transition of the third bit.
+	chips[4] = chips[3]
+	_, err := FM0Decode(chips, 0)
+	var v *FM0Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("expected FM0Violation, got %v", err)
+	}
+	if v.ChipIndex != 4 {
+		t.Errorf("violation at chip %d, want 4", v.ChipIndex)
+	}
+	if v.Error() == "" {
+		t.Error("empty violation message")
+	}
+}
+
+func TestFM0DecodeOddLength(t *testing.T) {
+	if _, err := FM0Decode(Bits{1, 0, 1}, 0); err == nil {
+		t.Error("expected error for odd chip count")
+	}
+}
+
+func TestFM0WrongInitLevelDetected(t *testing.T) {
+	data := Bits{1, 1, 0, 1}
+	chips := FM0Encode(data, 0)
+	if _, err := FM0Decode(chips, 1); err == nil {
+		t.Error("decoding with wrong initial level should violate at chip 0")
+	}
+}
+
+func TestPIEPaperMapping(t *testing.T) {
+	// Sec. 4.1: PIE bit 0 = "10", bit 1 = "110".
+	if got := PIEEncode(Bits{0}); !got.Equal(Bits{1, 0}) {
+		t.Errorf("PIE(0) = %v", got)
+	}
+	if got := PIEEncode(Bits{1}); !got.Equal(Bits{1, 1, 0}) {
+		t.Errorf("PIE(1) = %v", got)
+	}
+}
+
+func TestPIERoundTrip(t *testing.T) {
+	f := func(raw []byte) bool {
+		data := randomBits(raw)
+		decoded, err := PIEDecode(PIEEncode(data))
+		return err == nil && decoded.Equal(data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPIEChipLength(t *testing.T) {
+	f := func(raw []byte) bool {
+		data := randomBits(raw)
+		return PIEChipLength(data) == len(PIEEncode(data))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Symbol lengths are 2 or 3 chips (DESIGN.md invariant).
+	if PIEChipLength(Bits{0}) != 2 || PIEChipLength(Bits{1}) != 3 {
+		t.Error("PIE symbol lengths wrong")
+	}
+}
+
+func TestPIEDecodeErrors(t *testing.T) {
+	// Starting low is malformed.
+	if _, err := PIEDecode(Bits{0, 1}); err == nil {
+		t.Error("expected error for low-start symbol")
+	}
+	// A three-chip-high pulse is invalid.
+	if _, err := PIEDecode(Bits{1, 1, 1, 0}); err == nil {
+		t.Error("expected error for overlong pulse")
+	}
+}
+
+func TestPIEDecodeTruncatedTail(t *testing.T) {
+	// The final low separator may be cut; decoding must still work.
+	decoded, err := PIEDecode(Bits{1, 0, 1, 1}) // "0" then truncated "1"
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !decoded.Equal(Bits{0, 1}) {
+		t.Errorf("decoded %v", decoded)
+	}
+}
+
+func TestPIEDecodeIntervals(t *testing.T) {
+	bits, err := PIEDecodeIntervals([]float64{1.0, 2.0, 0.9, 2.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bits.Equal(Bits{0, 1, 0, 1}) {
+		t.Errorf("decoded %v", bits)
+	}
+	// Jitter within the window still decodes.
+	bits, err = PIEDecodeIntervals([]float64{1.45, 1.55})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bits.Equal(Bits{0, 1}) {
+		t.Errorf("threshold classification wrong: %v", bits)
+	}
+	// Outside the rejection window fails.
+	if _, err := PIEDecodeIntervals([]float64{0.3}); err == nil {
+		t.Error("expected error below window")
+	}
+	if _, err := PIEDecodeIntervals([]float64{3.0}); err == nil {
+		t.Error("expected error above window")
+	}
+}
+
+func TestCRC8KnownVectors(t *testing.T) {
+	// CRC-8/CCITT of 0x00 is 0x00; of "123456789" bytes is 0xF4
+	// (standard check value).
+	msg := Bits{}
+	for _, c := range []byte("123456789") {
+		msg = msg.Append(NewBitsFromUint(uint64(c), 8))
+	}
+	if got := CRC8(msg); got != 0xF4 {
+		t.Errorf("CRC8 check value = %#x, want 0xF4", got)
+	}
+	if CRC8(NewBitsFromUint(0, 8)) != 0 {
+		t.Error("CRC8 of zero byte should be 0")
+	}
+}
+
+func TestCRC8Check(t *testing.T) {
+	f := func(raw []byte) bool {
+		data := randomBits(raw)
+		crc := NewBitsFromUint(uint64(CRC8(data)), 8)
+		return CheckCRC8(data, crc)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if CheckCRC8(Bits{1, 0}, Bits{0, 0, 0}) {
+		t.Error("short CRC field must fail")
+	}
+}
+
+func TestCRC8DetectsSingleAndDoubleBitErrors(t *testing.T) {
+	// DESIGN.md invariant: all single- and double-bit errors in a
+	// 32-bit window are detected.
+	data := randomBits([]byte{1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1, 0, 0, 1, 0, 1})
+	crc := NewBitsFromUint(uint64(CRC8(data)), 8)
+	frame := append(append(Bits{}, data...), crc...)
+	flip := func(f Bits, i int) Bits {
+		out := append(Bits{}, f...)
+		out[i] ^= 1
+		return out
+	}
+	for i := 0; i < len(frame); i++ {
+		corrupted := flip(frame, i)
+		if CheckCRC8(corrupted[:len(data)], corrupted[len(data):]) {
+			t.Fatalf("single-bit error at %d undetected", i)
+		}
+		for j := i + 1; j < len(frame); j++ {
+			c2 := flip(corrupted, j)
+			if CheckCRC8(c2[:len(data)], c2[len(data):]) {
+				t.Fatalf("double-bit error at %d,%d undetected", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package phy
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Packet structures (Sec. 4.2, Fig. 5). The uplink frame carries sensor
+// data with integrity protection; the downlink beacon is deliberately
+// minimal — every DL bit wakes every tag through an interrupt, so each
+// bit of beacon costs standby energy fleet-wide. The beacon therefore
+// has no CRC and no tag ID.
+
+// ULPreamble marks the start of an uplink frame (8 bits). The pattern
+// maximizes transitions for the reader's clock recovery.
+var ULPreamble = Bits{1, 0, 1, 1, 0, 1, 0, 0}
+
+// DLPreamble marks the arrival of a beacon (6 bits).
+var DLPreamble = Bits{1, 0, 1, 1, 0, 0}
+
+// Field widths from Fig. 5.
+const (
+	ULPreambleBits = 8
+	TIDBits        = 4
+	PayloadBits    = 12
+	CRCBits        = 8
+	ULFrameBits    = ULPreambleBits + TIDBits + PayloadBits + CRCBits // 32
+
+	DLPreambleBits = 6
+	CMDBits        = 4
+	DLFrameBits    = DLPreambleBits + CMDBits // 10
+)
+
+// MaxTags is the tag-address space of the 4-bit TID field.
+const MaxTags = 1 << TIDBits
+
+// Command is the 4-bit CMD field of a beacon. The low three bits are
+// independent flags; the fourth is reserved for future use (Sec. 4.2).
+type Command uint8
+
+const (
+	// CmdACK acknowledges the uplink packet received in the slot that
+	// just ended. Cleared, the beacon is a NACK: either nothing
+	// decodable arrived or the reader inferred a collision.
+	CmdACK Command = 1 << 0
+	// CmdEMPTY advertises that the reader predicts the *current* slot
+	// is unoccupied, gating late-arriving tags (Sec. 5.5).
+	CmdEMPTY Command = 1 << 1
+	// CmdRESET orders all tags to reinitialize their protocol state.
+	CmdRESET Command = 1 << 2
+	// CmdReserved is the spare bit.
+	CmdReserved Command = 1 << 3
+)
+
+// Has reports whether flag f is set.
+func (c Command) Has(f Command) bool { return c&f != 0 }
+
+func (c Command) String() string {
+	s := ""
+	if c.Has(CmdACK) {
+		s += "ACK|"
+	} else {
+		s += "NACK|"
+	}
+	if c.Has(CmdEMPTY) {
+		s += "EMPTY|"
+	}
+	if c.Has(CmdRESET) {
+		s += "RESET|"
+	}
+	if c.Has(CmdReserved) {
+		s += "RSVD|"
+	}
+	return s[:len(s)-1]
+}
+
+// ULPacket is the uplink frame payload: tag ID plus one 12-bit sensor
+// sample.
+type ULPacket struct {
+	TID     uint8  // 0..15
+	Payload uint16 // 12-bit sensor reading
+}
+
+// Errors returned by the frame codecs.
+var (
+	ErrFrameLength  = errors.New("phy: wrong frame length")
+	ErrBadPreamble  = errors.New("phy: preamble mismatch")
+	ErrCRC          = errors.New("phy: CRC check failed")
+	ErrFieldTooWide = errors.New("phy: field value exceeds width")
+)
+
+// Marshal serializes the packet into the 32-bit UL frame
+// (preamble | TID | payload | CRC).
+func (p ULPacket) Marshal() (Bits, error) {
+	if p.TID >= MaxTags {
+		return nil, fmt.Errorf("%w: TID %d", ErrFieldTooWide, p.TID)
+	}
+	if p.Payload >= 1<<PayloadBits {
+		return nil, fmt.Errorf("%w: payload %d", ErrFieldTooWide, p.Payload)
+	}
+	body := NewBitsFromUint(uint64(p.TID), TIDBits).
+		Append(NewBitsFromUint(uint64(p.Payload), PayloadBits))
+	crc := NewBitsFromUint(uint64(CRC8(body)), CRCBits)
+	return append(Bits{}, ULPreamble...).Append(body, crc), nil
+}
+
+// UnmarshalUL parses and verifies a 32-bit UL frame.
+func UnmarshalUL(frame Bits) (ULPacket, error) {
+	if len(frame) != ULFrameBits {
+		return ULPacket{}, fmt.Errorf("%w: got %d bits, want %d", ErrFrameLength, len(frame), ULFrameBits)
+	}
+	if !Bits(frame[:ULPreambleBits]).Equal(ULPreamble) {
+		return ULPacket{}, ErrBadPreamble
+	}
+	body := frame[ULPreambleBits : ULPreambleBits+TIDBits+PayloadBits]
+	crc := frame[ULPreambleBits+TIDBits+PayloadBits:]
+	if !CheckCRC8(body, crc) {
+		return ULPacket{}, ErrCRC
+	}
+	return ULPacket{
+		TID:     uint8(Bits(body[:TIDBits]).Uint()),
+		Payload: uint16(Bits(body[TIDBits:]).Uint()),
+	}, nil
+}
+
+// Beacon is the downlink frame: just a command nibble behind the
+// 6-bit preamble.
+type Beacon struct {
+	Cmd Command
+}
+
+// Marshal serializes the beacon into the 10-bit DL frame.
+func (b Beacon) Marshal() (Bits, error) {
+	if b.Cmd > 0xF {
+		return nil, fmt.Errorf("%w: cmd %#x", ErrFieldTooWide, b.Cmd)
+	}
+	return append(Bits{}, DLPreamble...).
+		Append(NewBitsFromUint(uint64(b.Cmd), CMDBits)), nil
+}
+
+// UnmarshalDL parses a 10-bit DL frame. There is deliberately no CRC:
+// the beacon's job is slot timing, and the protocol tolerates the
+// occasional corrupted command (Sec. 4.2).
+func UnmarshalDL(frame Bits) (Beacon, error) {
+	if len(frame) != DLFrameBits {
+		return Beacon{}, fmt.Errorf("%w: got %d bits, want %d", ErrFrameLength, len(frame), DLFrameBits)
+	}
+	if !Bits(frame[:DLPreambleBits]).Equal(DLPreamble) {
+		return Beacon{}, ErrBadPreamble
+	}
+	return Beacon{Cmd: Command(Bits(frame[DLPreambleBits:]).Uint())}, nil
+}

@@ -1,0 +1,88 @@
+package phy
+
+import "fmt"
+
+// Pulse-interval encoding (PIE) for the downlink (Sec. 4.1). A PIE bit
+// 0 is the chip pair "10" (one high chip, one low); a PIE bit 1 is the
+// chip triple "110" (two high chips, one low). The tag decodes with two
+// GPIO edge interrupts: a positive edge resets the 12 kHz timer, the
+// negative edge reads it; the counted high duration discriminates 0
+// from 1 against a 1.5-chip threshold.
+
+// PIEEncode converts data bits to raw chips (1 = carrier on / resonant
+// tone, 0 = carrier off / off-resonant tone).
+func PIEEncode(data Bits) Bits {
+	out := make(Bits, 0, 3*len(data))
+	for _, bit := range data {
+		if bit&1 == 1 {
+			out = append(out, 1, 1, 0)
+		} else {
+			out = append(out, 1, 0)
+		}
+	}
+	return out
+}
+
+// PIEChipLength returns the number of raw chips PIEEncode will emit for
+// the given data: 2 per zero bit, 3 per one bit.
+func PIEChipLength(data Bits) int {
+	n := 0
+	for _, bit := range data {
+		if bit&1 == 1 {
+			n += 3
+		} else {
+			n += 2
+		}
+	}
+	return n
+}
+
+// PIEDecode converts raw chips back to data bits. It tolerates a
+// truncated trailing low chip (transmitters may end the frame at the
+// falling edge) but rejects malformed pulses.
+func PIEDecode(chips Bits) (Bits, error) {
+	out := Bits{}
+	i := 0
+	for i < len(chips) {
+		if chips[i]&1 != 1 {
+			return nil, fmt.Errorf("phy: PIE symbol at chip %d does not start high", i)
+		}
+		high := 0
+		for i < len(chips) && chips[i]&1 == 1 {
+			high++
+			i++
+		}
+		switch high {
+		case 1:
+			out = append(out, 0)
+		case 2:
+			out = append(out, 1)
+		default:
+			return nil, fmt.Errorf("phy: PIE pulse of %d chips is invalid", high)
+		}
+		if i < len(chips) {
+			i++ // consume the single low separator chip
+		}
+	}
+	return out, nil
+}
+
+// PIEDecodeIntervals decodes from measured high-pulse durations
+// expressed in chip units — the quantity the tag's timer interrupt
+// actually measures. Durations are classified against the 1.5-chip
+// threshold; anything outside (0.5, 2.5] chips is an error, modeling
+// the demodulator's rejection window.
+func PIEDecodeIntervals(highChips []float64) (Bits, error) {
+	out := make(Bits, 0, len(highChips))
+	for i, d := range highChips {
+		switch {
+		case d > 0.5 && d <= 1.5:
+			out = append(out, 0)
+		case d > 1.5 && d <= 2.5:
+			out = append(out, 1)
+		default:
+			return nil, fmt.Errorf("phy: PIE interval %v chips at symbol %d outside decode window", d, i)
+		}
+	}
+	return out, nil
+}

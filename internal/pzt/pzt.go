@@ -1,0 +1,163 @@
+// Package pzt models piezoelectric transducers (PZTs), the
+// electro-mechanical elements that couple ARACHNET devices to the BiW.
+// A PZT converts vibration to voltage and vice versa, and — central to
+// backscatter — presents one of two acoustic faces to an incoming wave
+// depending on its electrical termination (Fig. 2 of the paper):
+//
+//   - short-circuited (Reflective): the incident wave bounces back;
+//   - open-circuited (Absorptive): the wave is absorbed and converted
+//     into electrical energy, so little is reflected.
+//
+// Toggling between the two states with a MOSFET implements On-Off
+// Keying of the reflected signal at almost zero power.
+package pzt
+
+import (
+	"fmt"
+	"math"
+)
+
+// State is the electrical termination of the transducer.
+type State int
+
+const (
+	// Absorptive (open circuit): incident vibration is converted to
+	// electrical energy; reflection is weak. This is also the state in
+	// which the tag harvests.
+	Absorptive State = iota
+	// Reflective (short circuit): incident vibration is reflected.
+	Reflective
+)
+
+func (s State) String() string {
+	switch s {
+	case Absorptive:
+		return "absorptive"
+	case Reflective:
+		return "reflective"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Transducer is a PZT bonded to the BiW.
+type Transducer struct {
+	// ResonantHz is the transducer/BiW system resonance. All ARACHNET
+	// communication happens at this frequency (90 kHz in the paper).
+	ResonantHz float64
+	// QualityFactor shapes the resonance bandwidth and the ring-down
+	// tail after drive cutoff.
+	QualityFactor float64
+	// ReflectanceShort is the amplitude reflection coefficient in the
+	// Reflective (short-circuit) state.
+	ReflectanceShort float64
+	// ReflectanceOpen is the residual reflection in the Absorptive
+	// state; the OOK depth is the gap between the two reflectances.
+	ReflectanceOpen float64
+	// CouplingCoefficient k (0..1) is the electro-mechanical conversion
+	// efficiency: the fraction of incident mechanical amplitude that
+	// appears as open-circuit voltage (per volt of wave amplitude).
+	CouplingCoefficient float64
+
+	state State
+}
+
+// New returns a transducer with the paper's operating point: 90 kHz
+// resonance and a deep reflective/absorptive contrast.
+func New() *Transducer {
+	return &Transducer{
+		ResonantHz:          90_000,
+		QualityFactor:       45,
+		ReflectanceShort:    0.85,
+		ReflectanceOpen:     0.30,
+		CouplingCoefficient: 0.72,
+		state:               Absorptive,
+	}
+}
+
+// State returns the current termination state.
+func (t *Transducer) State() State { return t.state }
+
+// SetState switches the termination (the tag firmware drives this from
+// its UL-modulation timer interrupt).
+func (t *Transducer) SetState(s State) { t.state = s }
+
+// Reflectance returns the amplitude reflection coefficient for the
+// current state.
+func (t *Transducer) Reflectance() float64 {
+	if t.state == Reflective {
+		return t.ReflectanceShort
+	}
+	return t.ReflectanceOpen
+}
+
+// ModulationDepth is the amplitude difference between the two states —
+// the OOK "eye" the reader must detect.
+func (t *Transducer) ModulationDepth() float64 {
+	return t.ReflectanceShort - t.ReflectanceOpen
+}
+
+// OpenCircuitVoltage returns the electrical peak voltage produced by an
+// incident vibration of the given peak amplitude (expressed in the
+// equivalent drive volts of the source wave) at frequency f. Off
+// resonance the response collapses with a second-order rolloff.
+func (t *Transducer) OpenCircuitVoltage(waveAmplitude, f float64) float64 {
+	return waveAmplitude * t.CouplingCoefficient * t.frequencyResponse(f)
+}
+
+// HarvestablePower returns the electrical power (W) available to a
+// matched load when the transducer absorbs a wave that would produce
+// the given open-circuit voltage, assuming source impedance sourceOhms.
+// P = Voc^2 / (8 Rs) for a matched resistive load on a sinusoidal
+// source (peak voltage convention).
+func (t *Transducer) HarvestablePower(openCircuitVolts, sourceOhms float64) float64 {
+	if sourceOhms <= 0 {
+		return 0
+	}
+	return openCircuitVolts * openCircuitVolts / (8 * sourceOhms)
+}
+
+// frequencyResponse is the normalized second-order resonance response.
+func (t *Transducer) frequencyResponse(f float64) float64 {
+	if f <= 0 {
+		return 0
+	}
+	r := f / t.ResonantHz
+	denom := math.Sqrt(math.Pow(1-r*r, 2) + math.Pow(r/t.QualityFactor, 2))
+	if denom == 0 {
+		return 1
+	}
+	resp := (r / t.QualityFactor) / denom
+	if resp > 1 {
+		resp = 1
+	}
+	return resp
+}
+
+// RingTimeConstant is the exponential decay constant (seconds) of the
+// transducer's vibration after drive cutoff: tau = Q / (pi * f0). This
+// "ring effect" smears PIE downlink symbols; the paper mitigates it by
+// transmitting off-resonance tones for "low" symbols instead of
+// silence ("FSK in, OOK out", Sec. 4.1).
+func (t *Transducer) RingTimeConstant() float64 {
+	return t.QualityFactor / (math.Pi * t.ResonantHz)
+}
+
+// RingResidual returns the relative vibration amplitude remaining dt
+// seconds after drive cutoff.
+func (t *Transducer) RingResidual(dt float64) float64 {
+	if dt <= 0 {
+		return 1
+	}
+	return math.Exp(-dt / t.RingTimeConstant())
+}
+
+// FSKLowLeakage returns the effective residual "low"-symbol amplitude
+// when the reader uses the FSK-in-OOK-out scheme with a low tone offset
+// of offsetHz from resonance: the off-resonance tone excites the BiW
+// only through the resonance skirt, so the tag's envelope detector sees
+// a much smaller amplitude than during "high" symbols, and there is no
+// ring tail because the drive never stops.
+func (t *Transducer) FSKLowLeakage(offsetHz float64) float64 {
+	return t.frequencyResponse(t.ResonantHz + offsetHz)
+}

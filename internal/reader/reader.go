@@ -1,0 +1,311 @@
+// Package reader implements the ARACHNET reader device (Sec. 6.1): the
+// slot scheduler that broadcasts PIE beacons through the BiW, collects
+// backscattered uplink packets, infers collisions, and runs the
+// reader-side half of the distributed slot allocation (mac package).
+// The real reader's C++ signal chain is modeled by the dsp package; at
+// network level its outcome is a per-transmission decode probability
+// computed by the channel layer, plus the software-induced PIE timing
+// jitter and processing delay the paper quantifies.
+package reader
+
+import (
+	"fmt"
+
+	"repro/internal/mac"
+	"repro/internal/phy"
+	"repro/internal/sim"
+)
+
+// Config holds the reader's operating point.
+type Config struct {
+	// SlotDuration is the slot length (1 s, Sec. 6.4).
+	SlotDuration sim.Time
+	// DLRate is the downlink raw chip rate (bps).
+	DLRate float64
+	// SymbolJitter is the software PIE modulation imprecision: each
+	// edge shifts by up to this much (0.3 ms, Sec. 6.3).
+	SymbolJitter sim.Time
+	// ProcessingDelay is the reader software's added latency from UL
+	// end to decoded packet (~58.9 ms, Sec. 6.4).
+	ProcessingDelay sim.Time
+	// CaptureProb is the chance one packet decodes during a collision.
+	CaptureProb float64
+	// CollisionDetectProb is the IQ-clustering detection rate for true
+	// collisions.
+	CollisionDetectProb float64
+}
+
+// DefaultConfig returns the paper's reader settings.
+func DefaultConfig() Config {
+	return Config{
+		SlotDuration:        sim.Second,
+		DLRate:              phy.DefaultDLRate,
+		SymbolJitter:        300 * sim.Microsecond,
+		ProcessingDelay:     59 * sim.Millisecond,
+		CaptureProb:         0.5,
+		CollisionDetectProb: 1.0,
+	}
+}
+
+// Edge is one comparator transition of the beacon envelope, in absolute
+// simulation time at the reader's TX PZT (per-tag propagation is added
+// by the channel).
+type Edge struct {
+	At     sim.Time
+	Rising bool
+}
+
+// BeaconTx describes one broadcast beacon.
+type BeaconTx struct {
+	Cmd   phy.Command
+	Start sim.Time
+	End   sim.Time
+	Edges []Edge
+}
+
+// ULEvent is a tag transmission as scored by the channel layer.
+type ULEvent struct {
+	TID        uint8
+	Start      sim.Time
+	End        sim.Time
+	Amplitude  float64 // backscatter amplitude at the reader (capture ranking)
+	DecodeProb float64 // solo decode success probability
+	Payload    uint16
+	// Chips and ChipRate carry the raw FM0 stream for waveform-mode
+	// decoding (nil when the probabilistic link model is in use).
+	Chips    phy.Bits
+	ChipRate float64
+}
+
+// SlotDecodeResult is what a waveform-mode slot decoder reports.
+type SlotDecodeResult struct {
+	Obs       mac.Observation
+	Packet    phy.ULPacket
+	HasPacket bool
+}
+
+// SlotDecoder processes one slot's transmissions at waveform level
+// (synthesis + DSP) instead of the probabilistic link model.
+type SlotDecoder func(events []ULEvent) SlotDecodeResult
+
+// PingPongSample is one Fig. 14 measurement.
+type PingPongSample struct {
+	Stage1 sim.Time // beacon transmission time
+	Stage2 sim.Time // beacon end -> UL decode completion
+}
+
+// Device is the reader.
+type Device struct {
+	Cfg   Config
+	Proto *mac.ReaderProtocol
+
+	engine *sim.Engine
+	rng    *sim.Rand
+
+	// Broadcast delivers a beacon to the channel.
+	Broadcast func(bx BeaconTx)
+	// DecodeSlot, when set, replaces the probabilistic per-event decode
+	// with full waveform processing (the channel layer installs it).
+	DecodeSlot SlotDecoder
+
+	inbox        []ULEvent
+	fb           mac.Feedback
+	running      bool
+	pendingReset bool
+
+	// Stats.
+	Window      *mac.WindowStats
+	Convergence *mac.ConvergenceDetector
+	PingPongs   []PingPongSample
+	SlotsRun    int
+	Decoded     uint64
+	Payloads    map[uint8][]uint16 // last payloads per TID
+}
+
+// New builds a reader provisioned with every tag's period.
+func New(engine *sim.Engine, cfg Config, periods map[int]mac.Period, rng *sim.Rand) (*Device, error) {
+	proto, err := mac.NewReaderProtocol(periods)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.SlotDuration <= 0 {
+		return nil, fmt.Errorf("reader: non-positive slot duration")
+	}
+	return &Device{
+		Cfg:         cfg,
+		Proto:       proto,
+		engine:      engine,
+		rng:         rng,
+		Window:      mac.NewWindowStats(),
+		Convergence: mac.NewConvergenceDetector(),
+		Payloads:    make(map[uint8][]uint16),
+	}, nil
+}
+
+// Start begins slotted operation with a RESET broadcast.
+func (d *Device) Start() {
+	if d.running {
+		return
+	}
+	d.running = true
+	d.fb = d.Proto.Reset()
+	d.engine.After(0, "reader-slot", func(now sim.Time) { d.beginSlot(now) })
+}
+
+// Stop halts the slot loop after the current slot.
+func (d *Device) Stop() { d.running = false }
+
+// RequestReset makes the next beacon carry the RESET command: all
+// protocol state (reader ledger, convergence detector) reinitializes
+// and every tag re-randomizes — the measurement primitive behind the
+// paper's first-convergence experiments (Sec. 6.4).
+func (d *Device) RequestReset() { d.pendingReset = true }
+
+// feedbackToCommand maps protocol feedback onto the 4-bit CMD field.
+func feedbackToCommand(fb mac.Feedback) phy.Command {
+	var cmd phy.Command
+	if fb.ACK {
+		cmd |= phy.CmdACK
+	}
+	if fb.Empty {
+		cmd |= phy.CmdEMPTY
+	}
+	if fb.Reset {
+		cmd |= phy.CmdRESET
+	}
+	return cmd
+}
+
+// beginSlot broadcasts the beacon that opens the slot and schedules the
+// slot end.
+func (d *Device) beginSlot(now sim.Time) {
+	if !d.running {
+		return
+	}
+	if d.pendingReset {
+		d.pendingReset = false
+		d.fb = d.Proto.Reset()
+		d.Convergence = mac.NewConvergenceDetector()
+	}
+	cmd := feedbackToCommand(d.fb)
+	bx := d.modulateBeacon(cmd, now)
+	d.inbox = d.inbox[:0]
+	if d.Broadcast != nil {
+		d.Broadcast(bx)
+	}
+	d.engine.After(d.Cfg.SlotDuration, "reader-slot-end", func(end sim.Time) {
+		d.endSlot(bx, end)
+	})
+}
+
+// modulateBeacon expands the command into jittered PIE envelope edges.
+func (d *Device) modulateBeacon(cmd phy.Command, start sim.Time) BeaconTx {
+	frame, err := (phy.Beacon{Cmd: cmd}).Marshal()
+	if err != nil {
+		// The command nibble is 4 bits by construction; this cannot
+		// happen unless Config is corrupted.
+		panic(fmt.Sprintf("reader: beacon marshal: %v", err))
+	}
+	chipDur := sim.FromSeconds(1 / d.Cfg.DLRate)
+	jitter := func() sim.Time {
+		if d.Cfg.SymbolJitter <= 0 || d.rng == nil {
+			return 0
+		}
+		j := sim.Time(d.rng.Float64() * float64(d.Cfg.SymbolJitter) * 2)
+		return j - d.Cfg.SymbolJitter
+	}
+	var edges []Edge
+	t := start
+	for _, bit := range frame {
+		high := chipDur // PIE 0: one high chip
+		if bit&1 == 1 {
+			high = 2 * chipDur // PIE 1: two high chips
+		}
+		rise := t + jitter()
+		fall := t + high + jitter()
+		if fall <= rise {
+			fall = rise + 1
+		}
+		edges = append(edges, Edge{At: rise, Rising: true}, Edge{At: fall, Rising: false})
+		t += high + chipDur // one low separator chip
+	}
+	return BeaconTx{Cmd: cmd, Start: start, End: t, Edges: edges}
+}
+
+// OnTransmission is called by the channel when a tag's burst (with its
+// channel-computed scores) arrives during the current slot.
+func (d *Device) OnTransmission(ev ULEvent) {
+	d.inbox = append(d.inbox, ev)
+}
+
+// endSlot scores the slot, runs the protocol, and opens the next slot.
+func (d *Device) endSlot(bx BeaconTx, now sim.Time) {
+	if !d.running {
+		return
+	}
+	var obs mac.Observation
+	var decodedEv *ULEvent
+	if d.DecodeSlot != nil && len(d.inbox) > 0 {
+		res := d.DecodeSlot(d.inbox)
+		obs = res.Obs
+		if res.HasPacket {
+			// Bind the decode to the matching event (by TID) for the
+			// latency bookkeeping; fall back to the first event.
+			decodedEv = &d.inbox[0]
+			for i := range d.inbox {
+				if d.inbox[i].TID == res.Packet.TID {
+					decodedEv = &d.inbox[i]
+					break
+				}
+			}
+			decodedEv.Payload = res.Packet.Payload
+		}
+	} else {
+		switch len(d.inbox) {
+		case 0:
+		case 1:
+			ev := d.inbox[0]
+			if d.rng.Bool(ev.DecodeProb) {
+				obs.Decoded = []int{int(ev.TID)}
+				decodedEv = &d.inbox[0]
+			}
+		default:
+			obs.Collision = d.rng.Bool(d.Cfg.CollisionDetectProb)
+			if d.rng.Bool(d.Cfg.CaptureProb) {
+				// Capture effect: the strongest burst survives.
+				best := 0
+				for i, ev := range d.inbox {
+					if ev.Amplitude > d.inbox[best].Amplitude {
+						best = i
+					}
+				}
+				if d.rng.Bool(d.inbox[best].DecodeProb) {
+					obs.Decoded = []int{int(d.inbox[best].TID)}
+					decodedEv = &d.inbox[best]
+				}
+			}
+		}
+	}
+
+	if decodedEv != nil {
+		d.Decoded++
+		tid := decodedEv.TID
+		d.Payloads[tid] = append(d.Payloads[tid], decodedEv.Payload)
+		if len(d.Payloads[tid]) > 64 {
+			d.Payloads[tid] = d.Payloads[tid][1:]
+		}
+		d.PingPongs = append(d.PingPongs, PingPongSample{
+			Stage1: bx.End - bx.Start,
+			Stage2: decodedEv.End + d.Cfg.ProcessingDelay - bx.End,
+		})
+		if len(d.PingPongs) > 100000 {
+			d.PingPongs = d.PingPongs[1:]
+		}
+	}
+
+	d.Window.Observe(obs.NonEmpty(), obs.Collision)
+	d.Convergence.Observe(obs.Collision)
+	d.SlotsRun++
+	d.fb = d.Proto.EndSlot(obs)
+	d.beginSlot(now)
+}

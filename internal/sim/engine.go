@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// Event is a scheduled callback. Events fire in timestamp order; events
+// with equal timestamps fire in the order they were scheduled (FIFO),
+// which keeps multi-entity simulations deterministic.
+type Event struct {
+	At    Time
+	Name  string // optional label for tracing
+	Fire  func(now Time)
+	seq   uint64
+	index int // heap index; -1 once popped or cancelled
+}
+
+// Cancelled reports whether the event has been cancelled or already fired.
+func (e *Event) Cancelled() bool { return e.index == -1 }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event simulator. It is not safe
+// for concurrent use; all entities in a simulation share one engine and
+// run on its virtual clock.
+type Engine struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	fired   uint64
+	stopped bool
+}
+
+// NewEngine returns an engine with the clock at zero and an empty queue.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events waiting in the queue.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// ErrPast is returned when scheduling an event before the current time.
+var ErrPast = errors.New("sim: event scheduled in the past")
+
+// Schedule enqueues fn to run at absolute time at. It returns a handle
+// that can be cancelled. Scheduling at the current time is allowed (the
+// event fires within the current Run loop, after already-queued events
+// with the same timestamp).
+func (e *Engine) Schedule(at Time, name string, fn func(now Time)) (*Event, error) {
+	if at < e.now {
+		return nil, fmt.Errorf("%w: at=%v now=%v (%s)", ErrPast, at, e.now, name)
+	}
+	e.seq++
+	ev := &Event{At: at, Name: name, Fire: fn, seq: e.seq}
+	heap.Push(&e.queue, ev)
+	return ev, nil
+}
+
+// After enqueues fn to run delay ticks from now. Negative delays are
+// clamped to zero.
+func (e *Engine) After(delay Time, name string, fn func(now Time)) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	ev, _ := e.Schedule(e.now+delay, name, fn) // never in the past
+	return ev
+}
+
+// Cancel removes a pending event from the queue. Cancelling an event
+// that already fired (or was cancelled) is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.index == -1 {
+		return
+	}
+	heap.Remove(&e.queue, ev.index)
+	ev.index = -1
+}
+
+// Stop makes the current Run/RunUntil call return after the in-flight
+// event completes. Pending events stay queued.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step fires the single earliest event and advances the clock to it.
+// It reports whether an event was available.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	e.now = ev.At
+	e.fired++
+	ev.Fire(e.now)
+	return true
+}
+
+// RunUntil fires events in order until the queue drains, the deadline
+// passes, or Stop is called. The clock never advances past the deadline:
+// if the next event is later, the clock is set to exactly the deadline
+// and RunUntil returns. It returns the time at which it stopped.
+func (e *Engine) RunUntil(deadline Time) Time {
+	e.stopped = false
+	for !e.stopped {
+		if len(e.queue) == 0 {
+			if e.now < deadline && deadline != Never {
+				e.now = deadline
+			}
+			return e.now
+		}
+		next := e.queue[0]
+		if next.At > deadline {
+			e.now = deadline
+			return e.now
+		}
+		e.Step()
+	}
+	return e.now
+}
+
+// Run fires events until the queue drains or Stop is called, returning
+// the final clock value.
+func (e *Engine) Run() Time { return e.RunUntil(Never) }

@@ -1,0 +1,363 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{0, "0µs"},
+		{999, "999µs"},
+		{Millisecond, "1.000ms"},
+		{1500, "1.500ms"},
+		{Second, "1.000000s"},
+		{90*Second + 500*Millisecond, "90.500000s"},
+		{Never, "never"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if FromSeconds(1.5) != 1500*Millisecond {
+		t.Errorf("FromSeconds(1.5) = %v", FromSeconds(1.5))
+	}
+	if FromSeconds(-1) != 0 {
+		t.Errorf("FromSeconds(-1) = %v, want 0", FromSeconds(-1))
+	}
+	if got := (2 * Second).Seconds(); got != 2.0 {
+		t.Errorf("Seconds() = %v", got)
+	}
+	if got := (3 * Millisecond).Milliseconds(); got != 3.0 {
+		t.Errorf("Milliseconds() = %v", got)
+	}
+}
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.After(30, "c", func(Time) { order = append(order, 3) })
+	e.After(10, "a", func(Time) { order = append(order, 1) })
+	e.After(20, "b", func(Time) { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events fired out of order: %v", order)
+	}
+	if e.Now() != 30 {
+		t.Errorf("clock = %v, want 30", e.Now())
+	}
+	if e.Fired() != 3 {
+		t.Errorf("fired = %d, want 3", e.Fired())
+	}
+}
+
+func TestEngineFIFOAtSameTime(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.After(5, "tie", func(Time) { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-timestamp events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEngineSchedulePast(t *testing.T) {
+	e := NewEngine()
+	e.After(10, "x", func(Time) {})
+	e.Run()
+	if _, err := e.Schedule(5, "past", func(Time) {}); err == nil {
+		t.Fatal("expected error scheduling in the past")
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.After(10, "x", func(Time) { fired = true })
+	e.Cancel(ev)
+	if !ev.Cancelled() {
+		t.Error("event not marked cancelled")
+	}
+	e.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	// Double-cancel and nil-cancel must be safe.
+	e.Cancel(ev)
+	e.Cancel(nil)
+}
+
+func TestEngineCancelMiddleOfHeap(t *testing.T) {
+	e := NewEngine()
+	var fired []int
+	events := make([]*Event, 20)
+	for i := range events {
+		i := i
+		events[i] = e.After(Time(i), "n", func(Time) { fired = append(fired, i) })
+	}
+	for i := 5; i < 15; i++ {
+		e.Cancel(events[i])
+	}
+	e.Run()
+	if len(fired) != 10 {
+		t.Fatalf("fired %d events, want 10: %v", len(fired), fired)
+	}
+	for _, v := range fired {
+		if v >= 5 && v < 15 {
+			t.Fatalf("cancelled event %d fired", v)
+		}
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tick func(Time)
+	tick = func(Time) {
+		count++
+		e.After(10, "tick", tick)
+	}
+	e.After(10, "tick", tick)
+	end := e.RunUntil(100)
+	if end != 100 {
+		t.Errorf("RunUntil returned %v, want 100", end)
+	}
+	if count != 10 {
+		t.Errorf("ticks = %d, want 10", count)
+	}
+	if e.Now() != 100 {
+		t.Errorf("clock = %v, want exactly the deadline", e.Now())
+	}
+}
+
+func TestEngineRunUntilAdvancesIdleClock(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(500)
+	if e.Now() != 500 {
+		t.Errorf("idle RunUntil left clock at %v", e.Now())
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tick func(Time)
+	tick = func(Time) {
+		count++
+		if count == 5 {
+			e.Stop()
+		}
+		e.After(1, "tick", tick)
+	}
+	e.After(1, "tick", tick)
+	e.Run()
+	if count != 5 {
+		t.Errorf("Stop did not halt the loop: count=%d", count)
+	}
+	if e.Pending() == 0 {
+		t.Error("Stop should leave pending events queued")
+	}
+}
+
+func TestEngineScheduleDuringEvent(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.After(10, "outer", func(now Time) {
+		order = append(order, "outer")
+		// Same-time event scheduled from within an event must still fire.
+		e.After(0, "inner", func(Time) { order = append(order, "inner") })
+	})
+	e.Run()
+	if len(order) != 2 || order[1] != "inner" {
+		t.Fatalf("inner event mishandled: %v", order)
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	c := NewRand(43)
+	same := 0
+	a = NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds collide too often: %d/1000", same)
+	}
+}
+
+func TestRandForkIndependence(t *testing.T) {
+	parent := NewRand(7)
+	f1 := parent.Fork(1)
+	f2 := parent.Fork(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if f1.Uint64() == f2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("forks correlated: %d/1000 identical", same)
+	}
+}
+
+func TestRandIntnBounds(t *testing.T) {
+	r := NewRand(1)
+	for n := 1; n <= 64; n++ {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestRandIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRand(1).Intn(0)
+}
+
+func TestRandIntnUniform(t *testing.T) {
+	r := NewRand(99)
+	const n, trials = 8, 80000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(trials) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d: %d counts, want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := NewRand(seed)
+		for i := 0; i < 100; i++ {
+			f := r.Float64()
+			if f < 0 || f >= 1 {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandBool(t *testing.T) {
+	r := NewRand(3)
+	if r.Bool(0) {
+		t.Error("Bool(0) returned true")
+	}
+	if !r.Bool(1) {
+		t.Error("Bool(1) returned false")
+	}
+	hits := 0
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / trials
+	if math.Abs(p-0.3) > 0.01 {
+		t.Errorf("Bool(0.3) hit rate %.4f", p)
+	}
+}
+
+func TestRandNormFloat64Moments(t *testing.T) {
+	r := NewRand(11)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %.4f", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance = %.4f", variance)
+	}
+}
+
+func TestRandExpFloat64Mean(t *testing.T) {
+	r := NewRand(12)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.ExpFloat64()
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Errorf("exponential mean = %.4f", mean)
+	}
+}
+
+func TestRandPerm(t *testing.T) {
+	r := NewRand(5)
+	for n := 0; n < 20; n++ {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) length %d", n, len(p))
+		}
+		seen := make(map[int]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func BenchmarkEngineScheduleFire(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(Time(i%64), "bench", func(Time) {})
+		if e.Pending() > 1024 {
+			e.Run()
+		}
+	}
+	e.Run()
+}
+
+func BenchmarkRandUint64(b *testing.B) {
+	r := NewRand(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= r.Uint64()
+	}
+	_ = sink
+}
