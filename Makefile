@@ -2,9 +2,17 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench vet cover experiments examples clean
+.PHONY: all build test test-short bench vet race check cover experiments examples clean
 
 all: vet test
+
+# Full verification gate: static analysis plus the race detector over
+# every package (the fleet pool and the dsp pipeline are the
+# concurrent code paths this guards).
+check: vet race
+
+race:
+	$(GO) test -race ./...
 
 build:
 	$(GO) build ./...
@@ -36,6 +44,7 @@ examples:
 	$(GO) run ./examples/strain-monitoring
 	$(GO) run ./examples/aloha-comparison
 	$(GO) run ./examples/outage-recovery
+	$(GO) run ./examples/fleet-sweep
 
 clean:
 	$(GO) clean ./...

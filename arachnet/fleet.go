@@ -1,0 +1,335 @@
+package arachnet
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/mac"
+)
+
+// Fleet-scale simulation: run many independent vehicles (each a full
+// network or a slot-level protocol simulation) through the sharded
+// worker pool in internal/fleet, with deterministic per-job seeding
+// and fleet-wide metric aggregation. This is the scaling seam for
+// Monte Carlo sweeps (Fig. 15 style convergence distributions run
+// per-seed jobs) and for fleet-operator workloads (thousands of
+// vehicles, one simulation each).
+
+// Re-exported fleet types, so callers don't import internal packages.
+type (
+	FleetConfig       = fleet.Config
+	FleetJobSpec      = fleet.JobSpec
+	FleetJobInfo      = fleet.JobInfo
+	FleetResult       = fleet.Result
+	FleetReport       = fleet.Report
+	FleetOutcome      = fleet.JobOutcome
+	FleetObserver     = fleet.Observer
+	FleetSnapshot     = fleet.Snapshot
+	FleetDistribution = fleet.Distribution
+	FleetStatus       = fleet.Status
+)
+
+// Job status values, re-exported.
+const (
+	FleetJobOK        = fleet.StatusOK
+	FleetJobFailed    = fleet.StatusFailed
+	FleetJobPanicked  = fleet.StatusPanicked
+	FleetJobTimedOut  = fleet.StatusTimedOut
+	FleetJobCancelled = fleet.StatusCancelled
+)
+
+// Metric and counter names emitted by the built-in vehicle engines.
+const (
+	FleetMetricConvergenceSlots = "convergence_slots"
+	FleetMetricNonEmptyRatio    = "nonempty_ratio"
+	FleetMetricCollisionRatio   = "collision_ratio"
+	FleetMetricConverged        = "converged"
+	FleetCounterSlots           = "slots"
+	FleetCounterDecoded         = "decoded"
+)
+
+// DeriveFleetSeed exposes the pool's per-job seed derivation.
+func DeriveFleetSeed(fleetSeed, jobIndex uint64) uint64 { return fleet.DeriveSeed(fleetSeed, jobIndex) }
+
+// NewFleetDistribution aggregates a sample slice with the fleet's
+// order-independent percentile summary.
+func NewFleetDistribution(samples []float64) FleetDistribution {
+	return fleet.NewDistribution(samples)
+}
+
+// VehicleSpec describes one fleet vehicle (optionally replicated into
+// a seed sweep). The zero value plus a Name runs the default c3
+// workload on the fast slots engine.
+type VehicleSpec struct {
+	// Name labels the job(s); replicas get "-<k>" suffixes.
+	Name string
+	// Engine selects the simulation granularity: "slots" (default,
+	// fast protocol simulator) or "network" (full event-level system).
+	Engine string
+	// Pattern names a Table 3 workload (c1..c9); default c3.
+	Pattern string
+	// Periods overrides Pattern with explicit per-tag periods.
+	Periods []Period
+	// Network overrides everything for the network engine: a full
+	// deployment description (its Seed is replaced per job).
+	Network *NetworkConfig
+
+	// Slots is the slots-engine horizon (default 10_000).
+	Slots int
+	// ConvergeWithin switches the slots engine to convergence mode:
+	// run until the Fig. 15 detector fires, failing the job if it has
+	// not within this many slots.
+	ConvergeWithin int
+	// Seconds is the network-engine horizon in simulated seconds
+	// (default 120).
+	Seconds int
+	// ChargeFromEmpty makes network-engine tags charge from an empty
+	// supercap instead of starting energized.
+	ChargeFromEmpty bool
+
+	// Replicate expands the vehicle into this many jobs with distinct
+	// deterministic seeds (default 1).
+	Replicate int
+	// Seed pins the vehicle's seed when HasSeed is set; otherwise
+	// seeds derive from the fleet seed and job index. Replicas of a
+	// pinned vehicle use Seed, Seed+1, ...
+	Seed    uint64
+	HasSeed bool
+}
+
+// Fleet is a whole fleet run: vehicles, worker shards, master seed.
+type Fleet struct {
+	// Seed is the master seed all unpinned job seeds derive from.
+	Seed uint64
+	// Workers is the worker-shard count; <= 0 means GOMAXPROCS.
+	Workers int
+	// JobTimeout bounds each vehicle's wall-clock run; 0 = unlimited.
+	JobTimeout time.Duration
+	// Observer receives job lifecycle events (may be nil).
+	Observer FleetObserver
+	// Vehicles is the fleet population.
+	Vehicles []VehicleSpec
+}
+
+// periods resolves the slot pattern a vehicle runs.
+func (v VehicleSpec) periods() (mac.Pattern, error) {
+	if len(v.Periods) > 0 {
+		name := v.Name
+		if name == "" {
+			name = "custom"
+		}
+		return mac.Pattern{Name: name, Periods: v.Periods}, nil
+	}
+	name := v.Pattern
+	if name == "" {
+		name = "c3"
+	}
+	for _, p := range mac.Table3Patterns() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return mac.Pattern{}, fmt.Errorf("arachnet: unknown pattern %q (want c1..c9)", name)
+}
+
+// Jobs compiles the fleet into pool job specs, expanding replicas.
+func (f Fleet) Jobs() ([]FleetJobSpec, error) {
+	var specs []FleetJobSpec
+	for vi, v := range f.Vehicles {
+		reps := v.Replicate
+		if reps <= 0 {
+			reps = 1
+		}
+		name := v.Name
+		if name == "" {
+			name = fmt.Sprintf("vehicle-%d", vi)
+		}
+		for k := 0; k < reps; k++ {
+			jobName := name
+			if reps > 1 {
+				jobName = fmt.Sprintf("%s-%d", name, k)
+			}
+			run, err := v.jobFunc()
+			if err != nil {
+				return nil, fmt.Errorf("arachnet: vehicle %q: %w", name, err)
+			}
+			spec := FleetJobSpec{Name: jobName, Run: run}
+			if v.HasSeed {
+				spec.Seed = v.Seed + uint64(k)
+				spec.HasSeed = true
+			}
+			specs = append(specs, spec)
+		}
+	}
+	return specs, nil
+}
+
+// jobFunc builds the vehicle's simulation closure; the same closure is
+// shared by replicas (per-job state lives inside the call).
+func (v VehicleSpec) jobFunc() (fleet.JobFunc, error) {
+	switch v.Engine {
+	case "", "slots":
+		pt, err := v.periods()
+		if err != nil {
+			return nil, err
+		}
+		slots, converge := v.Slots, v.ConvergeWithin
+		if slots <= 0 {
+			slots = 10_000
+		}
+		return func(ctx context.Context, job FleetJobInfo) (FleetResult, error) {
+			return runSlotsVehicle(ctx, mac.SlotSimConfig{Pattern: pt, Seed: job.Seed}, slots, converge)
+		}, nil
+	case "network":
+		base := v.Network
+		if base == nil {
+			pt, err := v.periods()
+			if err != nil {
+				return nil, err
+			}
+			cfg := NetworkConfig{}
+			for i, p := range pt.Periods {
+				cfg.Tags = append(cfg.Tags, TagSpec{
+					TID: uint8(i + 1), Period: p, StartCharged: !v.ChargeFromEmpty,
+				})
+			}
+			base = &cfg
+		}
+		seconds := v.Seconds
+		if seconds <= 0 {
+			seconds = 120
+		}
+		cfg := *base
+		return func(ctx context.Context, job FleetJobInfo) (FleetResult, error) {
+			c := cfg
+			c.Seed = job.Seed
+			return runNetworkVehicle(ctx, c, seconds)
+		}, nil
+	}
+	return nil, fmt.Errorf("unknown engine %q (want slots or network)", v.Engine)
+}
+
+// fleetChunkSlots is the cancellation poll interval for the slots
+// engine; small enough that timeouts land promptly, large enough to
+// stay off the hot path.
+const fleetChunkSlots = 512
+
+// runSlotsVehicle executes one slot-level job with cooperative
+// cancellation.
+func runSlotsVehicle(ctx context.Context, cfg mac.SlotSimConfig, slots, convergeWithin int) (FleetResult, error) {
+	s, err := mac.NewSlotSim(cfg)
+	if err != nil {
+		return FleetResult{}, err
+	}
+	horizon := slots
+	if convergeWithin > 0 {
+		horizon = convergeWithin
+	}
+	for s.SlotsRun < horizon {
+		if convergeWithin > 0 && s.Convergence.Converged() {
+			break
+		}
+		if err := ctx.Err(); err != nil {
+			return FleetResult{}, err
+		}
+		n := fleetChunkSlots
+		if rest := horizon - s.SlotsRun; n > rest {
+			n = rest
+		}
+		s.Run(n)
+	}
+	if convergeWithin > 0 && !s.Convergence.Converged() {
+		return FleetResult{}, fmt.Errorf("no convergence within %d slots", convergeWithin)
+	}
+	res := FleetResult{
+		Metrics: map[string]float64{
+			FleetMetricNonEmptyRatio:  float64(s.TruthNonEmpty) / float64(s.SlotsRun),
+			FleetMetricCollisionRatio: float64(s.TruthCollisions) / float64(s.SlotsRun),
+			FleetMetricConverged:      0,
+		},
+		Counters: map[string]uint64{FleetCounterSlots: uint64(s.SlotsRun)},
+	}
+	if s.Convergence.Converged() {
+		res.Metrics[FleetMetricConverged] = 1
+		res.Metrics[FleetMetricConvergenceSlots] = float64(s.Convergence.ConvergenceSlot())
+	}
+	return res, nil
+}
+
+// runNetworkVehicle executes one full event-level job with cooperative
+// cancellation (polled every 10 simulated seconds).
+func runNetworkVehicle(ctx context.Context, cfg NetworkConfig, seconds int) (FleetResult, error) {
+	net, err := NewNetwork(cfg)
+	if err != nil {
+		return FleetResult{}, err
+	}
+	end := Time(seconds) * Second
+	for net.Now() < end {
+		if err := ctx.Err(); err != nil {
+			return FleetResult{}, err
+		}
+		next := net.Now() + 10*Second
+		if next > end {
+			next = end
+		}
+		net.Run(next)
+	}
+	st := net.Stats()
+	res := FleetResult{
+		Metrics: map[string]float64{
+			FleetMetricNonEmptyRatio:  st.NonEmptyRatio,
+			FleetMetricCollisionRatio: st.CollisionRatio,
+			FleetMetricConverged:      0,
+		},
+		Counters: map[string]uint64{
+			FleetCounterSlots:   uint64(st.Slots),
+			FleetCounterDecoded: st.Decoded,
+		},
+	}
+	if st.Converged {
+		res.Metrics[FleetMetricConverged] = 1
+		res.Metrics[FleetMetricConvergenceSlots] = float64(st.ConvergenceSlot)
+	}
+	return res, nil
+}
+
+// Run executes the fleet and returns the aggregated report.
+func (f Fleet) Run(ctx context.Context) (*FleetReport, error) {
+	specs, err := f.Jobs()
+	if err != nil {
+		return nil, err
+	}
+	return fleet.Run(ctx, FleetConfig{
+		Workers:    f.Workers,
+		Seed:       f.Seed,
+		JobTimeout: f.JobTimeout,
+		Observer:   f.Observer,
+	}, specs)
+}
+
+// RunFleet is the package-level convenience form of Fleet.Run.
+func RunFleet(ctx context.Context, f Fleet) (*FleetReport, error) { return f.Run(ctx) }
+
+// NewFleetPool builds a reusable pool for the fleet, so callers can
+// poll live progress snapshots while it runs.
+func NewFleetPool(f Fleet) (*fleet.Pool, error) {
+	specs, err := f.Jobs()
+	if err != nil {
+		return nil, err
+	}
+	return fleet.NewPool(FleetConfig{
+		Workers:    f.Workers,
+		Seed:       f.Seed,
+		JobTimeout: f.JobTimeout,
+		Observer:   f.Observer,
+	}, specs)
+}
+
+// NewFleetTraceObserver returns an observer that writes one line per
+// job lifecycle event.
+func NewFleetTraceObserver(w io.Writer) FleetObserver {
+	return fleet.NewTraceObserver(w)
+}

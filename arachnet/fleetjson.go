@@ -1,0 +1,150 @@
+package arachnet
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// JSON fleet specifications, so the arachnet-fleet CLI and external
+// automation can describe whole fleets without writing Go. The
+// per-vehicle "network" block reuses the deployment schema from
+// jsonconfig.go verbatim.
+//
+// Example:
+//
+//	{
+//	  "seed": 7,
+//	  "workers": 8,
+//	  "job_timeout_ms": 60000,
+//	  "vehicles": [
+//	    {"name": "sweep", "engine": "slots", "pattern": "c3",
+//	     "converge_within": 500000, "replicate": 64},
+//	    {"name": "suv", "engine": "network", "seconds": 300,
+//	     "network": {"tags": [{"tid": 1, "period": 4, "start_charged": true}]}}
+//	  ]
+//	}
+
+type jsonVehicleSpec struct {
+	Name            string             `json:"name"`
+	Engine          string             `json:"engine,omitempty"`
+	Pattern         string             `json:"pattern,omitempty"`
+	Periods         []int              `json:"periods,omitempty"`
+	Network         *jsonNetworkConfig `json:"network,omitempty"`
+	Slots           int                `json:"slots,omitempty"`
+	ConvergeWithin  int                `json:"converge_within,omitempty"`
+	Seconds         int                `json:"seconds,omitempty"`
+	ChargeFromEmpty bool               `json:"charge_from_empty,omitempty"`
+	Replicate       int                `json:"replicate,omitempty"`
+	Seed            *uint64            `json:"seed,omitempty"`
+}
+
+type jsonFleetSpec struct {
+	Seed         uint64            `json:"seed"`
+	Workers      int               `json:"workers,omitempty"`
+	JobTimeoutMS int64             `json:"job_timeout_ms,omitempty"`
+	Vehicles     []jsonVehicleSpec `json:"vehicles"`
+}
+
+// MarshalFleetJSON serializes a Fleet to the JSON schema. The Observer
+// field is runtime-only and is not serialized.
+func MarshalFleetJSON(f Fleet) ([]byte, error) {
+	j := jsonFleetSpec{
+		Seed:         f.Seed,
+		Workers:      f.Workers,
+		JobTimeoutMS: int64(f.JobTimeout / time.Millisecond),
+	}
+	for _, v := range f.Vehicles {
+		jv := jsonVehicleSpec{
+			Name:            v.Name,
+			Engine:          v.Engine,
+			Pattern:         v.Pattern,
+			Slots:           v.Slots,
+			ConvergeWithin:  v.ConvergeWithin,
+			Seconds:         v.Seconds,
+			ChargeFromEmpty: v.ChargeFromEmpty,
+			Replicate:       v.Replicate,
+		}
+		for _, p := range v.Periods {
+			jv.Periods = append(jv.Periods, int(p))
+		}
+		if v.Network != nil {
+			nc := configToJSON(*v.Network)
+			jv.Network = &nc
+		}
+		if v.HasSeed {
+			seed := v.Seed
+			jv.Seed = &seed
+		}
+		j.Vehicles = append(j.Vehicles, jv)
+	}
+	return json.MarshalIndent(j, "", "  ")
+}
+
+// UnmarshalFleetJSON parses and validates a fleet specification. The
+// vehicle list is validated eagerly (patterns resolve, network configs
+// build) so provisioning errors surface before any job runs.
+func UnmarshalFleetJSON(data []byte) (Fleet, error) {
+	var j jsonFleetSpec
+	if err := json.Unmarshal(data, &j); err != nil {
+		return Fleet{}, fmt.Errorf("arachnet: parse fleet spec: %w", err)
+	}
+	f := Fleet{
+		Seed:       j.Seed,
+		Workers:    j.Workers,
+		JobTimeout: time.Duration(j.JobTimeoutMS) * time.Millisecond,
+	}
+	for i, jv := range j.Vehicles {
+		v := VehicleSpec{
+			Name:            jv.Name,
+			Engine:          jv.Engine,
+			Pattern:         jv.Pattern,
+			Slots:           jv.Slots,
+			ConvergeWithin:  jv.ConvergeWithin,
+			Seconds:         jv.Seconds,
+			ChargeFromEmpty: jv.ChargeFromEmpty,
+			Replicate:       jv.Replicate,
+		}
+		for _, p := range jv.Periods {
+			v.Periods = append(v.Periods, Period(p))
+		}
+		if jv.Network != nil {
+			cfg, err := jv.Network.toConfig()
+			if err != nil {
+				return Fleet{}, fmt.Errorf("arachnet: fleet vehicle %d (%q): %w", i, jv.Name, err)
+			}
+			v.Network = &cfg
+		}
+		if jv.Seed != nil {
+			v.Seed = *jv.Seed
+			v.HasSeed = true
+		}
+		f.Vehicles = append(f.Vehicles, v)
+	}
+	if len(f.Vehicles) == 0 {
+		return Fleet{}, fmt.Errorf("arachnet: fleet spec has no vehicles")
+	}
+	if _, err := f.Jobs(); err != nil {
+		return Fleet{}, err
+	}
+	return f, nil
+}
+
+// LoadFleetFile reads and validates a JSON fleet specification.
+func LoadFleetFile(path string) (Fleet, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Fleet{}, fmt.Errorf("arachnet: read fleet spec: %w", err)
+	}
+	return UnmarshalFleetJSON(data)
+}
+
+// SaveFleetFile writes the fleet specification as JSON.
+func SaveFleetFile(path string, f Fleet) error {
+	data, err := MarshalFleetJSON(f)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

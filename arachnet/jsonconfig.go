@@ -38,8 +38,9 @@ type jsonNetworkConfig struct {
 	Tags           []jsonTagSpec `json:"tags"`
 }
 
-// MarshalConfigJSON serializes a NetworkConfig to the JSON schema.
-func MarshalConfigJSON(cfg NetworkConfig) ([]byte, error) {
+// configToJSON lowers a NetworkConfig to the wire schema; shared by
+// the network and fleet spec writers.
+func configToJSON(cfg NetworkConfig) jsonNetworkConfig {
 	j := jsonNetworkConfig{
 		Seed:           cfg.Seed,
 		SlotDurationUS: int64(cfg.SlotDuration),
@@ -52,16 +53,12 @@ func MarshalConfigJSON(cfg NetworkConfig) ([]byte, error) {
 			WithSensor: t.WithSensor, StartCharged: t.StartCharged,
 		})
 	}
-	return json.MarshalIndent(j, "", "  ")
+	return j
 }
 
-// UnmarshalConfigJSON parses the JSON schema into a NetworkConfig and
-// validates it.
-func UnmarshalConfigJSON(data []byte) (NetworkConfig, error) {
-	var j jsonNetworkConfig
-	if err := json.Unmarshal(data, &j); err != nil {
-		return NetworkConfig{}, fmt.Errorf("arachnet: parse config: %w", err)
-	}
+// toConfig raises the wire schema back into a validated NetworkConfig;
+// shared by the network and fleet spec loaders.
+func (j jsonNetworkConfig) toConfig() (NetworkConfig, error) {
 	cfg := NetworkConfig{
 		Seed:         j.Seed,
 		SlotDuration: Time(j.SlotDurationUS),
@@ -79,6 +76,21 @@ func UnmarshalConfigJSON(data []byte) (NetworkConfig, error) {
 		return NetworkConfig{}, err
 	}
 	return cfg, nil
+}
+
+// MarshalConfigJSON serializes a NetworkConfig to the JSON schema.
+func MarshalConfigJSON(cfg NetworkConfig) ([]byte, error) {
+	return json.MarshalIndent(configToJSON(cfg), "", "  ")
+}
+
+// UnmarshalConfigJSON parses the JSON schema into a NetworkConfig and
+// validates it.
+func UnmarshalConfigJSON(data []byte) (NetworkConfig, error) {
+	var j jsonNetworkConfig
+	if err := json.Unmarshal(data, &j); err != nil {
+		return NetworkConfig{}, fmt.Errorf("arachnet: parse config: %w", err)
+	}
+	return j.toConfig()
 }
 
 // LoadConfigFile reads and validates a JSON deployment description.

@@ -10,15 +10,119 @@ package repro
 // (e.g. paper 81.2% non-empty ratio -> "nonempty-ratio").
 
 import (
+	"context"
+	"fmt"
+	"sync"
 	"testing"
+	"time"
 
+	"repro/arachnet"
 	"repro/experiments"
+	"repro/internal/fleet"
 )
 
 // logTable prints the experiment table under -v.
 func logTable(b *testing.B, tb experiments.Table) {
 	b.Helper()
 	b.Log("\n" + tb.String())
+}
+
+// fleetBenchSpecs compiles the benchmark fleet: 64 c3 vehicles, 3000
+// slots each, on the fast slots engine.
+func fleetBenchSpecs(b *testing.B) []fleet.JobSpec {
+	b.Helper()
+	f := arachnet.Fleet{
+		Seed: 1,
+		Vehicles: []arachnet.VehicleSpec{
+			{Name: "veh", Pattern: "c3", Slots: 3000, Replicate: 64},
+		},
+	}
+	specs, err := f.Jobs()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return specs
+}
+
+var (
+	fleetSerialOnce sync.Once
+	fleetSerialTime time.Duration
+)
+
+// fleetSerialBaseline times one serial pass over the benchmark fleet
+// (no pool), cached across sub-benchmarks so every worker count
+// reports its speedup against the same baseline.
+func fleetSerialBaseline(b *testing.B, specs []fleet.JobSpec) time.Duration {
+	b.Helper()
+	fleetSerialOnce.Do(func() {
+		ctx := context.Background()
+		start := time.Now()
+		for i, s := range specs {
+			if _, err := s.Run(ctx, fleet.JobInfo{Index: i, Name: s.Name, Seed: fleet.DeriveSeed(1, uint64(i))}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		fleetSerialTime = time.Since(start)
+	})
+	return fleetSerialTime
+}
+
+// BenchmarkFleetThroughput measures the fleet pool against the serial
+// baseline for a 64-job fleet at 1/2/4/8 worker shards. Each op is one
+// whole fleet; the "speedup-vs-serial" metric is the headline
+// (expect >= 2x at 4 workers on a 4+ core machine; on a single-core
+// host the pool can only match serial, minus scheduling overhead).
+func BenchmarkFleetThroughput(b *testing.B) {
+	specs := fleetBenchSpecs(b)
+	b.Run("serial", func(b *testing.B) {
+		ctx := context.Background()
+		for i := 0; i < b.N; i++ {
+			for j, s := range specs {
+				if _, err := s.Run(ctx, fleet.JobInfo{Index: j, Name: s.Name, Seed: fleet.DeriveSeed(1, uint64(j))}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			serial := fleetSerialBaseline(b, specs)
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				rep, err := fleet.Run(context.Background(), fleet.Config{Workers: workers, Seed: 1}, specs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !rep.Ok() {
+					b.Fatal(rep.FirstError())
+				}
+			}
+			perFleet := time.Since(start) / time.Duration(b.N)
+			if perFleet > 0 {
+				b.ReportMetric(float64(serial)/float64(perFleet), "speedup-vs-serial")
+				b.ReportMetric(64/perFleet.Seconds(), "jobs/s")
+			}
+		})
+	}
+}
+
+// BenchmarkFleetDeterminism regenerates the fleet fingerprint at both
+// extremes of sharding; divergence fails the bench.
+func BenchmarkFleetDeterminism(b *testing.B) {
+	specs := fleetBenchSpecs(b)
+	for i := 0; i < b.N; i++ {
+		r1, err := fleet.Run(context.Background(), fleet.Config{Workers: 1, Seed: 1}, specs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r8, err := fleet.Run(context.Background(), fleet.Config{Workers: 8, Seed: 1}, specs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r1.Fingerprint() != r8.Fingerprint() {
+			b.Fatalf("fleet fingerprint diverges: %s vs %s", r1.Fingerprint(), r8.Fingerprint())
+		}
+	}
 }
 
 func BenchmarkTable1VanillaAllocation(b *testing.B) {

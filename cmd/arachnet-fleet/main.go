@@ -1,0 +1,164 @@
+// Command arachnet-fleet runs a fleet of independent ARACHNET
+// simulations through the sharded worker pool and prints the
+// aggregated report.
+//
+// The fleet is described by a JSON spec file (see arachnet/fleetjson.go
+// for the schema), or built ad hoc from flags when no spec is given:
+//
+//	arachnet-fleet fleet.json
+//	arachnet-fleet -spec fleet.json -workers 8 -timeout 90s -json
+//	arachnet-fleet -pattern c3 -vehicles 64 -converge 500000
+//	arachnet-fleet -engine network -pattern c2 -vehicles 16 -seconds 120
+//	arachnet-fleet -pattern c5 -vehicles 32 -write-spec fleet.json
+//
+// Results are deterministic for a given spec and seed: the report's
+// fingerprint is independent of -workers and of scheduling, so two
+// operators running the same spec can diff fingerprints to cross-check
+// their fleets.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"time"
+
+	"repro/arachnet"
+)
+
+func main() {
+	specPath := flag.String("spec", "", "JSON fleet specification (or pass as the first argument)")
+	workers := flag.Int("workers", 0, "worker shards (0 = GOMAXPROCS; overrides the spec)")
+	timeout := flag.Duration("timeout", 0, "per-job wall-clock timeout (overrides the spec)")
+	seed := flag.Uint64("seed", 0, "fleet master seed (overrides the spec)")
+	jsonOut := flag.Bool("json", false, "write the full report as JSON on stdout")
+	trace := flag.Bool("trace", false, "trace job lifecycle events to stderr")
+	writeSpec := flag.String("write-spec", "", "write the effective fleet spec as JSON to this file and exit")
+
+	// Ad-hoc sweep construction, used when no spec file is given.
+	engine := flag.String("engine", "slots", "ad-hoc sweep: engine (slots or network)")
+	pattern := flag.String("pattern", "c3", "ad-hoc sweep: Table 3 workload (c1..c9)")
+	vehicles := flag.Int("vehicles", 64, "ad-hoc sweep: fleet size")
+	slots := flag.Int("slots", 10_000, "ad-hoc sweep: slots per vehicle (slots engine)")
+	converge := flag.Int("converge", 0, "ad-hoc sweep: run to convergence with this slot cap (slots engine)")
+	seconds := flag.Int("seconds", 120, "ad-hoc sweep: simulated seconds per vehicle (network engine)")
+	flag.Parse()
+
+	if *specPath == "" && flag.NArg() > 0 {
+		*specPath = flag.Arg(0)
+	}
+
+	var f arachnet.Fleet
+	if *specPath != "" {
+		var err error
+		f, err = arachnet.LoadFleetFile(*specPath)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		f = arachnet.Fleet{
+			Seed: 1,
+			Vehicles: []arachnet.VehicleSpec{{
+				Name:           "vehicle",
+				Engine:         *engine,
+				Pattern:        *pattern,
+				Slots:          *slots,
+				ConvergeWithin: *converge,
+				Seconds:        *seconds,
+				Replicate:      *vehicles,
+			}},
+		}
+	}
+	flag.Visit(func(fl *flag.Flag) {
+		switch fl.Name {
+		case "workers":
+			f.Workers = *workers
+		case "timeout":
+			f.JobTimeout = *timeout
+		case "seed":
+			f.Seed = *seed
+		}
+	})
+
+	if *writeSpec != "" {
+		if err := arachnet.SaveFleetFile(*writeSpec, f); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote fleet spec to %s\n", *writeSpec)
+		return
+	}
+	if *trace {
+		f.Observer = arachnet.NewFleetTraceObserver(os.Stderr)
+	}
+
+	jobs, err := f.Jobs()
+	if err != nil {
+		fatal(err)
+	}
+	if !*jsonOut {
+		fmt.Printf("fleet: %d jobs, %d vehicles, seed %d\n", len(jobs), len(f.Vehicles), f.Seed)
+	}
+
+	// Ctrl-C cancels the run but still prints the partial report.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	rep, err := arachnet.RunFleet(ctx, f)
+	if rep == nil {
+		fatal(err)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fleet interrupted: %v (partial report follows)\n", err)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+	} else {
+		printReport(rep)
+	}
+	if !rep.Ok() {
+		os.Exit(1)
+	}
+}
+
+func printReport(rep *arachnet.FleetReport) {
+	fmt.Printf("\nfleet report (workers=%d, wall=%v)\n", rep.Workers, rep.Wall.Round(time.Millisecond))
+	fmt.Printf("  jobs: %d ok, %d failed, %d panicked, %d timed out, %d cancelled\n",
+		rep.Completed, rep.Failed, rep.Panicked, rep.TimedOut, rep.Cancelled)
+	names := make([]string, 0, len(rep.Metrics))
+	for name := range rep.Metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("  %-18s %s\n", name, rep.Metrics[name])
+	}
+	names = names[:0]
+	for name := range rep.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("  %-18s %d (fleet total)\n", name, rep.Counters[name])
+	}
+	fmt.Printf("  job latency       %s\n", rep.Latency)
+	for _, j := range rep.Jobs {
+		if j.Status != arachnet.FleetJobOK {
+			fmt.Printf("  FAILED job %d (%s): %s: %s\n", j.Index, j.Name, j.Status, j.Err)
+		}
+	}
+	fmt.Printf("  fingerprint       %s\n", rep.Fingerprint())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -8,7 +8,9 @@
 // package experiments; the substrates (BiW acoustics, PZT transducers,
 // energy harvesting, PHY codecs, reader DSP, MCU simulation, the
 // distributed slot-allocation protocol and its formal convergence
-// model) under internal/. See README.md for the architecture overview,
-// DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-versus-measured record.
+// model) under internal/. Fleet-scale runs — many independent vehicle
+// simulations sharded across a deterministic worker pool — go through
+// arachnet.RunFleet (internal/fleet, cmd/arachnet-fleet). See
+// README.md for the architecture overview, DESIGN.md for the system
+// inventory and EXPERIMENTS.md for the paper-versus-measured record.
 package repro

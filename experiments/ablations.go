@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/mac"
@@ -120,22 +121,34 @@ func RunAblationEmptyGate(seeds int) (Table, error) {
 	join := make([]int, pt.NumTags())
 	join[11] = 3000
 	run := func(disable bool) (int, int, error) {
-		totalCollisions, settled := 0, 0
-		for seed := 0; seed < seeds; seed++ {
+		name := "empty-gate-on"
+		if disable {
+			name = "empty-gate-off"
+		}
+		res, err := fleetSweep(name, seeds, func(_ context.Context, seed uint64) (map[string]float64, error) {
 			s, err := mac.NewSlotSim(mac.SlotSimConfig{
-				Pattern: pt, Seed: uint64(seed), JoinSlot: join,
+				Pattern: pt, Seed: seed, JoinSlot: join,
 				DisableEmptyGate: disable,
 			})
 			if err != nil {
-				return 0, 0, err
+				return nil, err
 			}
 			s.Run(3000)
 			pre := s.TruthCollisions
 			s.Run(4000)
-			totalCollisions += s.TruthCollisions - pre
+			m := map[string]float64{"collisions": float64(s.TruthCollisions - pre)}
 			if s.AllSettled() {
-				settled++
+				m["settled"] = 1
 			}
+			return m, nil
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		totalCollisions, settled := 0, 0
+		for _, m := range res {
+			totalCollisions += int(m["collisions"])
+			settled += int(m["settled"])
 		}
 		return totalCollisions, settled, nil
 	}
@@ -167,19 +180,31 @@ func RunAblationFutureCollision(seeds int) (Table, error) {
 	pt := mac.Pattern{Name: "sec5.6", Periods: []mac.Period{4, 4, 2}}
 	join := []int{0, 0, 400}
 	run := func(disable bool) (resolved, futureCollisions int, err error) {
-		for seed := 0; seed < seeds; seed++ {
+		name := "future-veto-on"
+		if disable {
+			name = "future-veto-off"
+		}
+		res, err := fleetSweep(name, seeds, func(_ context.Context, seed uint64) (map[string]float64, error) {
 			s, err := mac.NewSlotSim(mac.SlotSimConfig{
-				Pattern: pt, Seed: uint64(seed), JoinSlot: join,
+				Pattern: pt, Seed: seed, JoinSlot: join,
 				DisableFutureVeto: disable,
 			})
 			if err != nil {
-				return 0, 0, err
+				return nil, err
 			}
 			s.Run(6000)
+			m := map[string]float64{"collisions": float64(s.TruthCollisions)}
 			if s.AllSettled() && mac.VerifySchedule(s.Assignments()) == nil {
-				resolved++
+				m["resolved"] = 1
 			}
-			futureCollisions += s.TruthCollisions
+			return m, nil
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		for _, m := range res {
+			resolved += int(m["resolved"])
+			futureCollisions += int(m["collisions"])
 		}
 		return resolved, futureCollisions, nil
 	}

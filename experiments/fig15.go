@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -22,19 +23,27 @@ type Fig15Row struct {
 }
 
 // runConvergence measures first convergence (32 clean slots after
-// RESET) for one pattern across seeds.
+// RESET) for one pattern across seeds. The per-seed trials run through
+// the fleet worker pool; seeds stay the trial indices, so the measured
+// distribution matches the historical serial sweep exactly.
 func runConvergence(pt mac.Pattern, seeds int, maxSlots int) (Fig15Row, error) {
-	var times []int
-	for seed := 0; seed < seeds; seed++ {
-		s, err := mac.NewSlotSim(mac.SlotSimConfig{Pattern: pt, Seed: uint64(seed)})
+	res, err := fleetSweep("fig15-"+pt.Name, seeds, func(_ context.Context, seed uint64) (map[string]float64, error) {
+		s, err := mac.NewSlotSim(mac.SlotSimConfig{Pattern: pt, Seed: seed})
 		if err != nil {
-			return Fig15Row{}, err
+			return nil, err
 		}
 		t, ok := s.RunUntilConverged(maxSlots)
 		if !ok {
-			return Fig15Row{}, fmt.Errorf("%s seed %d: no convergence in %d slots", pt.Name, seed, maxSlots)
+			return nil, fmt.Errorf("%s seed %d: no convergence in %d slots", pt.Name, seed, maxSlots)
 		}
-		times = append(times, t)
+		return map[string]float64{"slots": float64(t)}, nil
+	})
+	if err != nil {
+		return Fig15Row{}, err
+	}
+	times := make([]int, len(res))
+	for i, m := range res {
+		times[i] = int(m["slots"])
 	}
 	sort.Ints(times)
 	q := func(p float64) int { return times[int(p*float64(len(times)-1))] }

@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/fleet"
+)
+
+// fleetSweep runs n seed-indexed Monte Carlo trials through the
+// internal/fleet worker pool and returns each trial's metrics in seed
+// order. Seeds are the trial indices 0..n-1 — exactly what the old
+// serial loops used — and the pool merges outcomes by job index, so
+// every figure regenerated through this path is bit-identical to the
+// historical serial sweep regardless of GOMAXPROCS.
+func fleetSweep(name string, n int, trial func(ctx context.Context, seed uint64) (map[string]float64, error)) ([]map[string]float64, error) {
+	specs := make([]fleet.JobSpec, n)
+	for i := range specs {
+		specs[i] = fleet.JobSpec{
+			Name:    fmt.Sprintf("%s-%d", name, i),
+			Seed:    uint64(i),
+			HasSeed: true,
+			Run: func(ctx context.Context, job fleet.JobInfo) (fleet.Result, error) {
+				m, err := trial(ctx, job.Seed)
+				return fleet.Result{Metrics: m}, err
+			},
+		}
+	}
+	rep, err := fleet.Run(context.Background(), fleet.Config{}, specs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]map[string]float64, n)
+	for i, o := range rep.Jobs {
+		if o.Status != fleet.StatusOK {
+			return nil, fmt.Errorf("experiments: %s: %s", o.Name, o.Err)
+		}
+		out[i] = o.Result.Metrics
+	}
+	return out, nil
+}

@@ -3,6 +3,7 @@ package dsp
 import (
 	"context"
 	"math"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -37,11 +38,12 @@ func TestPipelineOrderPreserved(t *testing.T) {
 
 func TestPipelineBackPressure(t *testing.T) {
 	// A slow downstream stage must throttle the producer: with buffer
-	// size 1 the producer cannot run far ahead.
-	var produced, consumed int
+	// size 1 the producer cannot run far ahead. The counters are shared
+	// between the producer and the stage goroutine, hence atomics.
+	var produced, consumed atomic.Int64
 	slow := func(b Block) Block {
 		time.Sleep(2 * time.Millisecond)
-		consumed++
+		consumed.Add(1)
 		return b
 	}
 	p := NewPipeline(1, slow)
@@ -55,16 +57,16 @@ func TestPipelineBackPressure(t *testing.T) {
 	}()
 	for i := 0; i < 10; i++ {
 		in <- Block{float64(i)}
-		produced++
+		produced.Add(1)
 		// The producer can be at most buffers+in-flight ahead.
-		if produced-consumed > 4 {
-			t.Errorf("producer ran ahead: produced=%d consumed=%d", produced, consumed)
+		if p, c := produced.Load(), consumed.Load(); p-c > 4 {
+			t.Errorf("producer ran ahead: produced=%d consumed=%d", p, c)
 		}
 	}
 	close(in)
 	<-done
-	if consumed != 10 {
-		t.Errorf("consumed %d blocks", consumed)
+	if c := consumed.Load(); c != 10 {
+		t.Errorf("consumed %d blocks", c)
 	}
 }
 

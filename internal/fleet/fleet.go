@@ -1,0 +1,395 @@
+// Package fleet is the fleet-scale simulation orchestrator: a job
+// queue plus a sharded worker pool that runs many independent
+// simulations (one vehicle / network per job) across GOMAXPROCS
+// workers.
+//
+// The design contract is determinism at scale: every job's seed is
+// fixed at submission time (either explicitly or derived from the
+// fleet seed and the job index, see DeriveSeed), and the final Report
+// is assembled from the per-job outcomes in job-index order. Results
+// are therefore bit-identical regardless of worker count or goroutine
+// scheduling — the property the determinism regression tests pin.
+//
+// Failure isolation: a job that panics, returns an error, or exceeds
+// its timeout is recorded in the report (StatusPanicked / StatusFailed
+// / StatusTimedOut) and never poisons sibling jobs or the pool.
+// Cancelling the run context stops feeding the queue; jobs that never
+// started are reported as StatusCancelled, and the partial report is
+// still returned.
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Result is what one job hands back to the aggregation layer.
+type Result struct {
+	// Metrics are scalar samples (one value per job) that the report
+	// aggregates into fleet-wide percentile distributions, e.g. a
+	// convergence time or a collision ratio.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Counters are additive totals summed fleet-wide, e.g. decoded
+	// packets.
+	Counters map[string]uint64 `json:"counters,omitempty"`
+}
+
+// JobInfo identifies one job to its run function and to observers.
+type JobInfo struct {
+	// Index is the job's position in the submission order; it is the
+	// aggregation key that makes reports scheduling-independent.
+	Index int    `json:"index"`
+	Name  string `json:"name"`
+	// Seed is the job's resolved random seed.
+	Seed uint64 `json:"seed"`
+}
+
+// JobFunc runs one simulation. Implementations should poll ctx at
+// convenient boundaries (every few hundred slots or simulated seconds)
+// so timeouts and cancellation take effect; a job that ignores ctx is
+// still reported as timed out, but its goroutine runs to completion in
+// the background.
+type JobFunc func(ctx context.Context, job JobInfo) (Result, error)
+
+// JobSpec describes one queued job.
+type JobSpec struct {
+	Name string
+	// Seed is used verbatim when HasSeed is set; otherwise the pool
+	// derives DeriveSeed(Config.Seed, index).
+	Seed    uint64
+	HasSeed bool
+	Run     JobFunc
+}
+
+// Config parameterizes a pool.
+type Config struct {
+	// Workers is the shard count; <= 0 means GOMAXPROCS.
+	Workers int
+	// Seed is the fleet master seed that per-job seeds derive from.
+	Seed uint64
+	// JobTimeout bounds each job's wall-clock run; 0 means no limit.
+	JobTimeout time.Duration
+	// Observer receives job lifecycle events; nil means none. Its
+	// methods are called concurrently from worker goroutines.
+	Observer Observer
+}
+
+// Status classifies a job outcome.
+type Status int
+
+const (
+	// StatusPending is the zero value: the job has not finished.
+	StatusPending Status = iota
+	StatusOK
+	StatusFailed
+	StatusPanicked
+	StatusTimedOut
+	StatusCancelled
+)
+
+// String names the status for reports and traces.
+func (s Status) String() string {
+	switch s {
+	case StatusPending:
+		return "pending"
+	case StatusOK:
+		return "ok"
+	case StatusFailed:
+		return "failed"
+	case StatusPanicked:
+		return "panicked"
+	case StatusTimedOut:
+		return "timed_out"
+	case StatusCancelled:
+		return "cancelled"
+	}
+	return fmt.Sprintf("status(%d)", int(s))
+}
+
+// MarshalJSON renders the status as its name.
+func (s Status) MarshalJSON() ([]byte, error) { return []byte(`"` + s.String() + `"`), nil }
+
+// JobOutcome is one job's full record in the report.
+type JobOutcome struct {
+	JobInfo
+	Status Status `json:"status"`
+	Result Result `json:"result"`
+	// Err is the failure description (error text or panic value);
+	// empty on success.
+	Err string `json:"error,omitempty"`
+	// Elapsed is wall-clock job time. It is diagnostic only and is
+	// excluded from the deterministic fingerprint.
+	Elapsed time.Duration `json:"elapsed_ns"`
+}
+
+// Report is the aggregated outcome of a fleet run, assembled in
+// job-index order so it is independent of scheduling.
+type Report struct {
+	Workers int `json:"workers"`
+	// Jobs holds every outcome, indexed by submission order.
+	Jobs []JobOutcome `json:"jobs"`
+
+	Completed int `json:"completed"`
+	Failed    int `json:"failed"`
+	Panicked  int `json:"panicked"`
+	TimedOut  int `json:"timed_out"`
+	Cancelled int `json:"cancelled"`
+
+	// Metrics are per-metric distributions over successful jobs.
+	Metrics map[string]Distribution `json:"metrics"`
+	// Counters are fleet-wide sums over successful jobs.
+	Counters map[string]uint64 `json:"counters"`
+	// Latency is the distribution of per-job wall times (seconds);
+	// diagnostic only, excluded from the fingerprint.
+	Latency Distribution `json:"latency_s"`
+	// Wall is the whole run's wall-clock time.
+	Wall time.Duration `json:"wall_ns"`
+}
+
+// Ok reports whether every job completed successfully.
+func (r *Report) Ok() bool {
+	return r.Failed == 0 && r.Panicked == 0 && r.TimedOut == 0 && r.Cancelled == 0
+}
+
+// FirstError returns the first non-OK job's description, or "".
+func (r *Report) FirstError() string {
+	for _, j := range r.Jobs {
+		if j.Status != StatusOK {
+			return fmt.Sprintf("job %d (%s): %s: %s", j.Index, j.Name, j.Status, j.Err)
+		}
+	}
+	return ""
+}
+
+// Pool is a reusable fleet runner over one fixed job list: construct
+// with NewPool, start with Run, and poll Snapshot from other
+// goroutines for live progress.
+type Pool struct {
+	cfg      Config
+	specs    []JobSpec
+	outcomes []JobOutcome
+	agg      *aggregator
+}
+
+// NewPool validates the configuration and builds a pool over the jobs.
+func NewPool(cfg Config, specs []JobSpec) (*Pool, error) {
+	if len(specs) == 0 {
+		return nil, errors.New("fleet: no jobs")
+	}
+	for i, s := range specs {
+		if s.Run == nil {
+			return nil, fmt.Errorf("fleet: job %d (%q) has no run function", i, s.Name)
+		}
+	}
+	return &Pool{
+		cfg:      cfg,
+		specs:    specs,
+		outcomes: make([]JobOutcome, len(specs)),
+		agg:      newAggregator(len(specs)),
+	}, nil
+}
+
+// Run executes every job and returns the aggregated report. The report
+// is non-nil even when ctx is cancelled mid-run (the error is then
+// ctx's error and unfinished jobs are marked cancelled).
+func (p *Pool) Run(ctx context.Context) (*Report, error) {
+	workers := p.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(p.specs) {
+		workers = len(p.specs)
+	}
+	start := time.Now()
+
+	queue := make(chan int)
+	go func() {
+		defer close(queue)
+		for i := range p.specs {
+			select {
+			case queue <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range queue {
+				out := p.runJob(ctx, idx)
+				p.outcomes[idx] = out
+				p.agg.add(out)
+				if p.cfg.Observer != nil {
+					p.cfg.Observer.JobFinished(out)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Jobs the feeder never handed out (cancellation) are pending in
+	// the outcome table; record them so the report stays complete.
+	for i := range p.outcomes {
+		if p.outcomes[i].Status == StatusPending {
+			out := JobOutcome{
+				JobInfo: p.jobInfo(i),
+				Status:  StatusCancelled,
+				Err:     context.Canceled.Error(),
+			}
+			p.outcomes[i] = out
+			p.agg.add(out)
+		}
+	}
+
+	rep := p.buildReport(workers, time.Since(start))
+	return rep, ctx.Err()
+}
+
+// jobInfo resolves a job's identity, deriving the seed when the spec
+// does not pin one.
+func (p *Pool) jobInfo(idx int) JobInfo {
+	spec := p.specs[idx]
+	info := JobInfo{Index: idx, Name: spec.Name, Seed: spec.Seed}
+	if !spec.HasSeed {
+		info.Seed = DeriveSeed(p.cfg.Seed, uint64(idx))
+	}
+	return info
+}
+
+// runJob executes one job with panic recovery and timeout isolation.
+func (p *Pool) runJob(ctx context.Context, idx int) JobOutcome {
+	info := p.jobInfo(idx)
+	out := JobOutcome{JobInfo: info}
+	if ctx.Err() != nil {
+		out.Status = StatusCancelled
+		out.Err = ctx.Err().Error()
+		return out
+	}
+	if p.cfg.Observer != nil {
+		p.cfg.Observer.JobStarted(info)
+	}
+
+	jctx := ctx
+	if p.cfg.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		jctx, cancel = context.WithTimeout(ctx, p.cfg.JobTimeout)
+		defer cancel()
+	}
+
+	type jobReturn struct {
+		res      Result
+		err      error
+		panicked bool
+	}
+	done := make(chan jobReturn, 1)
+	start := time.Now()
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				done <- jobReturn{err: fmt.Errorf("panic: %v", r), panicked: true}
+			}
+		}()
+		res, err := p.specs[idx].Run(jctx, info)
+		done <- jobReturn{res: res, err: err}
+	}()
+
+	select {
+	case ret := <-done:
+		out.Elapsed = time.Since(start)
+		switch {
+		case ret.panicked:
+			out.Status = StatusPanicked
+			out.Err = ret.err.Error()
+		case ret.err == nil:
+			out.Status = StatusOK
+			out.Result = ret.res
+		case errors.Is(ret.err, context.DeadlineExceeded):
+			out.Status = StatusTimedOut
+			out.Err = ret.err.Error()
+		case errors.Is(ret.err, context.Canceled):
+			out.Status = StatusCancelled
+			out.Err = ret.err.Error()
+		default:
+			out.Status = StatusFailed
+			out.Err = ret.err.Error()
+		}
+	case <-jctx.Done():
+		// The job ignored its context; abandon its goroutine (the
+		// buffered channel lets it finish and be collected) and
+		// classify by which context fired.
+		out.Elapsed = time.Since(start)
+		if ctx.Err() != nil {
+			out.Status = StatusCancelled
+			out.Err = ctx.Err().Error()
+		} else {
+			out.Status = StatusTimedOut
+			out.Err = fmt.Sprintf("job exceeded timeout %v", p.cfg.JobTimeout)
+		}
+	}
+	return out
+}
+
+// buildReport folds the outcome table, in index order, into the final
+// deterministic report.
+func (p *Pool) buildReport(workers int, wall time.Duration) *Report {
+	rep := &Report{
+		Workers:  workers,
+		Jobs:     p.outcomes,
+		Metrics:  make(map[string]Distribution),
+		Counters: make(map[string]uint64),
+		Wall:     wall,
+	}
+	samples := make(map[string][]float64)
+	lat := make([]float64, 0, len(p.outcomes))
+	for _, o := range p.outcomes {
+		switch o.Status {
+		case StatusOK:
+			rep.Completed++
+		case StatusFailed:
+			rep.Failed++
+		case StatusPanicked:
+			rep.Panicked++
+		case StatusTimedOut:
+			rep.TimedOut++
+		case StatusCancelled:
+			rep.Cancelled++
+		}
+		if o.Status == StatusOK {
+			for name, v := range o.Result.Metrics {
+				samples[name] = append(samples[name], v)
+			}
+			for name, v := range o.Result.Counters {
+				rep.Counters[name] += v
+			}
+			lat = append(lat, o.Elapsed.Seconds())
+		}
+	}
+	for name, s := range samples {
+		rep.Metrics[name] = NewDistribution(s)
+	}
+	rep.Latency = NewDistribution(lat)
+	return rep
+}
+
+// Snapshot returns the live progress view; safe to call concurrently
+// with Run. Percentiles are exact over the jobs finished so far, but
+// the view reflects completion order — the final Report is the
+// canonical index-ordered aggregate.
+func (p *Pool) Snapshot() Snapshot { return p.agg.snapshot() }
+
+// Run is the one-shot convenience wrapper: build a pool and run it.
+func Run(ctx context.Context, cfg Config, specs []JobSpec) (*Report, error) {
+	p, err := NewPool(cfg, specs)
+	if err != nil {
+		return nil, err
+	}
+	return p.Run(ctx)
+}

@@ -1,0 +1,291 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// workJob is a deterministic CPU-bound job: a short PRNG walk whose
+// result depends only on the seed.
+func workJob(ctx context.Context, job JobInfo) (Result, error) {
+	rng := sim.NewRand(job.Seed)
+	var acc float64
+	for i := 0; i < 2000; i++ {
+		acc += rng.Float64()
+		if i%500 == 0 && ctx.Err() != nil {
+			return Result{}, ctx.Err()
+		}
+	}
+	return Result{
+		Metrics:  map[string]float64{"acc": acc},
+		Counters: map[string]uint64{"steps": 2000},
+	}, nil
+}
+
+func makeSpecs(n int) []JobSpec {
+	specs := make([]JobSpec, n)
+	for i := range specs {
+		specs[i] = JobSpec{Name: fmt.Sprintf("job-%d", i), Run: workJob}
+	}
+	return specs
+}
+
+// TestDeterminismAcrossWorkerCounts is the determinism regression: the
+// same fleet run with 1, 3, and 8 workers must produce bit-identical
+// reports (fingerprints cover per-job seeds, metrics and fleet
+// aggregates).
+func TestDeterminismAcrossWorkerCounts(t *testing.T) {
+	var prints []string
+	for _, workers := range []int{1, 3, 8} {
+		rep, err := Run(context.Background(), Config{Workers: workers, Seed: 42}, makeSpecs(37))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !rep.Ok() {
+			t.Fatalf("workers=%d: %s", workers, rep.FirstError())
+		}
+		if rep.Completed != 37 {
+			t.Fatalf("workers=%d: completed %d", workers, rep.Completed)
+		}
+		prints = append(prints, rep.Fingerprint())
+	}
+	for i := 1; i < len(prints); i++ {
+		if prints[i] != prints[0] {
+			t.Errorf("fingerprint diverges with worker count: %s vs %s", prints[i], prints[0])
+		}
+	}
+}
+
+// TestSeedDerivation pins the derivation's independence properties.
+func TestSeedDerivation(t *testing.T) {
+	seen := map[uint64]bool{}
+	for idx := uint64(0); idx < 1000; idx++ {
+		s := DeriveSeed(7, idx)
+		if seen[s] {
+			t.Fatalf("seed collision at index %d", idx)
+		}
+		seen[s] = true
+	}
+	if DeriveSeed(1, 0) == DeriveSeed(2, 0) {
+		t.Error("fleet seed does not influence derivation")
+	}
+	if DeriveSeed(5, 3) != DeriveSeed(5, 3) {
+		t.Error("derivation is not a pure function")
+	}
+	// Explicit seeds pass through untouched.
+	rep, err := Run(context.Background(), Config{Workers: 2, Seed: 9},
+		[]JobSpec{{Name: "explicit", Seed: 1234, HasSeed: true, Run: workJob},
+			{Name: "derived", Run: workJob}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Jobs[0].Seed != 1234 {
+		t.Errorf("explicit seed overridden: %d", rep.Jobs[0].Seed)
+	}
+	if rep.Jobs[1].Seed != DeriveSeed(9, 1) {
+		t.Errorf("derived seed mismatch: %d", rep.Jobs[1].Seed)
+	}
+}
+
+// TestFaultIsolation injects a panicking job, an erroring job, and a
+// timeout-exceeding job among healthy siblings: each failure is
+// counted in the report and no sibling is poisoned.
+func TestFaultIsolation(t *testing.T) {
+	specs := makeSpecs(12)
+	specs[3].Run = func(ctx context.Context, job JobInfo) (Result, error) {
+		panic("injected fault")
+	}
+	specs[5].Run = func(ctx context.Context, job JobInfo) (Result, error) {
+		return Result{}, fmt.Errorf("injected error")
+	}
+	specs[7].Run = func(ctx context.Context, job JobInfo) (Result, error) {
+		// Cooperative slow job: waits far beyond the pool timeout.
+		select {
+		case <-ctx.Done():
+			return Result{}, ctx.Err()
+		case <-time.After(10 * time.Second):
+			return workJob(ctx, job)
+		}
+	}
+	rep, err := Run(context.Background(),
+		Config{Workers: 4, Seed: 1, JobTimeout: 30 * time.Millisecond}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != 9 || rep.Panicked != 1 || rep.Failed != 1 || rep.TimedOut != 1 {
+		t.Fatalf("counts: %+v", rep)
+	}
+	if rep.Jobs[3].Status != StatusPanicked || !strings.Contains(rep.Jobs[3].Err, "injected fault") {
+		t.Errorf("job 3: %+v", rep.Jobs[3])
+	}
+	if rep.Jobs[5].Status != StatusFailed {
+		t.Errorf("job 5: %+v", rep.Jobs[5])
+	}
+	if rep.Jobs[7].Status != StatusTimedOut {
+		t.Errorf("job 7: %+v", rep.Jobs[7])
+	}
+	for _, i := range []int{0, 1, 2, 4, 6, 8, 9, 10, 11} {
+		if rep.Jobs[i].Status != StatusOK {
+			t.Errorf("sibling job %d poisoned: %+v", i, rep.Jobs[i])
+		}
+	}
+	if rep.Ok() {
+		t.Error("report claims success despite failures")
+	}
+	if rep.FirstError() == "" {
+		t.Error("FirstError empty")
+	}
+}
+
+// TestUncooperativeTimeout: a job that never checks its context is
+// still reported as timed out and the pool moves on.
+func TestUncooperativeTimeout(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	specs := makeSpecs(3)
+	specs[1].Run = func(ctx context.Context, job JobInfo) (Result, error) {
+		<-block // ignores ctx entirely
+		return Result{}, nil
+	}
+	rep, err := Run(context.Background(),
+		Config{Workers: 2, JobTimeout: 20 * time.Millisecond}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Jobs[1].Status != StatusTimedOut {
+		t.Fatalf("job 1: %+v", rep.Jobs[1])
+	}
+	if rep.Completed != 2 {
+		t.Fatalf("siblings: %+v", rep)
+	}
+}
+
+// TestCancellation: cancelling the run context mid-flight yields a
+// partial report with the remaining jobs marked cancelled.
+func TestCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var started atomic.Int32
+	specs := make([]JobSpec, 64)
+	for i := range specs {
+		specs[i] = JobSpec{Name: fmt.Sprintf("job-%d", i),
+			Run: func(c context.Context, job JobInfo) (Result, error) {
+				if started.Add(1) == 4 {
+					cancel()
+				}
+				select {
+				case <-c.Done():
+					return Result{}, c.Err()
+				case <-time.After(time.Millisecond):
+					return Result{Metrics: map[string]float64{"v": 1}}, nil
+				}
+			}}
+	}
+	rep, err := Run(ctx, Config{Workers: 2}, specs)
+	if err == nil {
+		t.Fatal("expected context error")
+	}
+	if rep == nil {
+		t.Fatal("no partial report on cancellation")
+	}
+	if rep.Cancelled == 0 {
+		t.Errorf("no jobs recorded cancelled: %+v", rep)
+	}
+	if len(rep.Jobs) != 64 {
+		t.Errorf("report holds %d jobs", len(rep.Jobs))
+	}
+	for i, j := range rep.Jobs {
+		if j.Status == StatusPending {
+			t.Errorf("job %d left pending", i)
+		}
+	}
+}
+
+// TestSnapshot exercises the streaming metrics view during and after a
+// run.
+func TestSnapshot(t *testing.T) {
+	p, err := NewPool(Config{Workers: 2, Seed: 3}, makeSpecs(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	sn := p.Snapshot()
+	if sn.Done != 16 || sn.Completed != 16 || sn.Total != 16 {
+		t.Fatalf("snapshot: %+v", sn)
+	}
+	if sn.Metrics["acc"].Count != 16 {
+		t.Errorf("metric samples: %+v", sn.Metrics["acc"])
+	}
+	if sn.Counters["steps"] != 16*2000 {
+		t.Errorf("counter: %d", sn.Counters["steps"])
+	}
+	if !strings.Contains(sn.String(), "16/16 done") {
+		t.Errorf("snapshot string: %s", sn)
+	}
+}
+
+// TestDistribution pins the percentile arithmetic.
+func TestDistribution(t *testing.T) {
+	if d := NewDistribution(nil); d.Count != 0 {
+		t.Errorf("empty distribution: %+v", d)
+	}
+	d := NewDistribution([]float64{5, 1, 3, 2, 4})
+	if d.Count != 5 || d.Min != 1 || d.Max != 5 || d.P50 != 3 || d.Mean != 3 {
+		t.Errorf("distribution: %+v", d)
+	}
+	// Order independence, including the mean's summation order.
+	d2 := NewDistribution([]float64{4, 2, 1, 3, 5})
+	if d != d2 {
+		t.Errorf("distribution depends on sample order: %+v vs %+v", d, d2)
+	}
+}
+
+// TestPoolValidation covers constructor errors.
+func TestPoolValidation(t *testing.T) {
+	if _, err := NewPool(Config{}, nil); err == nil {
+		t.Error("empty job list accepted")
+	}
+	if _, err := NewPool(Config{}, []JobSpec{{Name: "x"}}); err == nil {
+		t.Error("nil run function accepted")
+	}
+}
+
+// TestObservers checks lifecycle delivery and the trace writer.
+func TestObservers(t *testing.T) {
+	var starts, finishes atomic.Int32
+	obs := ObserverFuncs{
+		OnStart:  func(JobInfo) { starts.Add(1) },
+		OnFinish: func(JobOutcome) { finishes.Add(1) },
+	}
+	if _, err := Run(context.Background(), Config{Workers: 3, Observer: obs}, makeSpecs(10)); err != nil {
+		t.Fatal(err)
+	}
+	if starts.Load() != 10 || finishes.Load() != 10 {
+		t.Errorf("observer calls: %d starts, %d finishes", starts.Load(), finishes.Load())
+	}
+
+	var b strings.Builder
+	mu := &syncWriter{b: &b}
+	tr := NewTraceObserver(mu)
+	if _, err := Run(context.Background(), Config{Workers: 2, Observer: tr}, makeSpecs(4)); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "start  job") || !strings.Contains(out, "finish job") {
+		t.Errorf("trace output:\n%s", out)
+	}
+}
+
+// syncWriter guards the strings.Builder (TraceObserver already locks,
+// but the builder itself is not otherwise protected from misuse).
+type syncWriter struct{ b *strings.Builder }
+
+func (w *syncWriter) Write(p []byte) (int, error) { return w.b.Write(p) }

@@ -1,0 +1,207 @@
+package fleet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Distribution summarizes one metric's per-job samples fleet-wide.
+// All statistics, including the mean, are computed over the sorted
+// sample multiset, so a Distribution is a pure function of the sample
+// values — independent of completion order.
+type Distribution struct {
+	Count int     `json:"count"`
+	Sum   float64 `json:"sum"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	P25   float64 `json:"p25"`
+	P50   float64 `json:"p50"`
+	P75   float64 `json:"p75"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// NewDistribution aggregates samples; the zero Distribution is
+// returned for an empty slice.
+func NewDistribution(samples []float64) Distribution {
+	if len(samples) == 0 {
+		return Distribution{}
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	q := func(p float64) float64 { return s[int(p*float64(len(s)-1))] }
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	return Distribution{
+		Count: len(s), Sum: sum, Mean: sum / float64(len(s)),
+		Min: s[0], P25: q(0.25), P50: q(0.5), P75: q(0.75),
+		P90: q(0.90), P99: q(0.99), Max: s[len(s)-1],
+	}
+}
+
+// String renders the headline statistics.
+func (d Distribution) String() string {
+	return fmt.Sprintf("n=%d mean=%.3g p50=%.3g p90=%.3g p99=%.3g min=%.3g max=%.3g",
+		d.Count, d.Mean, d.P50, d.P90, d.P99, d.Min, d.Max)
+}
+
+// Snapshot is the live progress view of a running pool.
+type Snapshot struct {
+	Total     int `json:"total"`
+	Done      int `json:"done"`
+	Completed int `json:"completed"`
+	Failed    int `json:"failed"`
+	Panicked  int `json:"panicked"`
+	TimedOut  int `json:"timed_out"`
+	Cancelled int `json:"cancelled"`
+
+	Metrics  map[string]Distribution `json:"metrics"`
+	Counters map[string]uint64       `json:"counters"`
+	Elapsed  time.Duration           `json:"elapsed_ns"`
+}
+
+// String renders a one-line progress summary.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("%d/%d done (ok=%d failed=%d panicked=%d timed-out=%d cancelled=%d)",
+		s.Done, s.Total, s.Completed, s.Failed, s.Panicked, s.TimedOut, s.Cancelled)
+}
+
+// aggregator is the streaming side of the metrics layer: workers feed
+// outcomes as they finish, snapshots are served on demand.
+type aggregator struct {
+	mu       sync.Mutex
+	start    time.Time
+	total    int
+	counts   [StatusCancelled + 1]int
+	samples  map[string][]float64
+	counters map[string]uint64
+}
+
+func newAggregator(total int) *aggregator {
+	return &aggregator{
+		start:    time.Now(),
+		total:    total,
+		samples:  make(map[string][]float64),
+		counters: make(map[string]uint64),
+	}
+}
+
+func (a *aggregator) add(o JobOutcome) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if o.Status >= 0 && int(o.Status) < len(a.counts) {
+		a.counts[o.Status]++
+	}
+	if o.Status != StatusOK {
+		return
+	}
+	for name, v := range o.Result.Metrics {
+		a.samples[name] = append(a.samples[name], v)
+	}
+	for name, v := range o.Result.Counters {
+		a.counters[name] += v
+	}
+}
+
+func (a *aggregator) snapshot() Snapshot {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	sn := Snapshot{
+		Total:     a.total,
+		Completed: a.counts[StatusOK],
+		Failed:    a.counts[StatusFailed],
+		Panicked:  a.counts[StatusPanicked],
+		TimedOut:  a.counts[StatusTimedOut],
+		Cancelled: a.counts[StatusCancelled],
+		Metrics:   make(map[string]Distribution, len(a.samples)),
+		Counters:  make(map[string]uint64, len(a.counters)),
+		Elapsed:   time.Since(a.start),
+	}
+	sn.Done = sn.Completed + sn.Failed + sn.Panicked + sn.TimedOut + sn.Cancelled
+	for name, s := range a.samples {
+		sn.Metrics[name] = NewDistribution(s)
+	}
+	for name, v := range a.counters {
+		sn.Counters[name] = v
+	}
+	return sn
+}
+
+// Fingerprint hashes everything deterministic about the report — job
+// identities, statuses, errors, per-job metrics and counters, and the
+// fleet-wide aggregates — and excludes all wall-clock fields. Two runs
+// of the same fleet spec must produce the same fingerprint regardless
+// of worker count; the determinism regression tests assert exactly
+// that.
+func (r *Report) Fingerprint() string {
+	h := fnv.New64a()
+	buf := make([]byte, 8)
+	wu := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf, v)
+		h.Write(buf)
+	}
+	ws := func(s string) {
+		wu(uint64(len(s)))
+		h.Write([]byte(s))
+	}
+	wf := func(v float64) { wu(math.Float64bits(v)) }
+	wdist := func(d Distribution) {
+		wu(uint64(d.Count))
+		for _, v := range []float64{d.Sum, d.Mean, d.Min, d.P25, d.P50, d.P75, d.P90, d.P99, d.Max} {
+			wf(v)
+		}
+	}
+	wu(uint64(len(r.Jobs)))
+	for _, j := range r.Jobs {
+		wu(uint64(j.Index))
+		ws(j.Name)
+		wu(j.Seed)
+		wu(uint64(j.Status))
+		ws(j.Err)
+		names := make([]string, 0, len(j.Result.Metrics))
+		for name := range j.Result.Metrics {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			ws(name)
+			wf(j.Result.Metrics[name])
+		}
+		names = names[:0]
+		for name := range j.Result.Counters {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			ws(name)
+			wu(j.Result.Counters[name])
+		}
+	}
+	names := make([]string, 0, len(r.Metrics))
+	for name := range r.Metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ws(name)
+		wdist(r.Metrics[name])
+	}
+	names = names[:0]
+	for name := range r.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ws(name)
+		wu(r.Counters[name])
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

@@ -1,0 +1,68 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Observer receives job lifecycle events from the pool. Methods are
+// invoked from worker goroutines; implementations must be safe for
+// concurrent use.
+type Observer interface {
+	JobStarted(job JobInfo)
+	JobFinished(outcome JobOutcome)
+}
+
+// ObserverFuncs adapts plain functions to the Observer interface;
+// nil fields are skipped.
+type ObserverFuncs struct {
+	OnStart  func(job JobInfo)
+	OnFinish func(outcome JobOutcome)
+}
+
+// JobStarted implements Observer.
+func (o ObserverFuncs) JobStarted(job JobInfo) {
+	if o.OnStart != nil {
+		o.OnStart(job)
+	}
+}
+
+// JobFinished implements Observer.
+func (o ObserverFuncs) JobFinished(outcome JobOutcome) {
+	if o.OnFinish != nil {
+		o.OnFinish(outcome)
+	}
+}
+
+// TraceObserver writes one line per lifecycle event, serialized by an
+// internal mutex so interleaved workers never garble the stream.
+type TraceObserver struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewTraceObserver traces lifecycle events to w.
+func NewTraceObserver(w io.Writer) *TraceObserver { return &TraceObserver{w: w} }
+
+// JobStarted implements Observer.
+func (t *TraceObserver) JobStarted(job JobInfo) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	fmt.Fprintf(t.w, "start  job %4d %-24s seed=%d\n", job.Index, job.Name, job.Seed)
+}
+
+// JobFinished implements Observer.
+func (t *TraceObserver) JobFinished(o JobOutcome) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if o.Err != "" {
+		fmt.Fprintf(t.w, "finish job %4d %-24s %s (%v): %s\n", o.Index, o.Name, o.Status, o.Elapsed.Round(fmtRound), o.Err)
+		return
+	}
+	fmt.Fprintf(t.w, "finish job %4d %-24s %s (%v)\n", o.Index, o.Name, o.Status, o.Elapsed.Round(fmtRound))
+}
+
+// fmtRound keeps traced durations readable.
+const fmtRound = 100 * time.Microsecond

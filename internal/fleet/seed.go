@@ -1,0 +1,18 @@
+package fleet
+
+// DeriveSeed maps (fleetSeed, jobIndex) to a per-job seed. The
+// derivation is a pure function of its arguments — never of worker
+// count, scheduling order, or wall time — which is what makes fleet
+// results reproducible from a single master seed. Two SplitMix64
+// finalization rounds over the golden-ratio-stepped inputs give
+// well-mixed, collision-resistant streams even for adjacent indices.
+func DeriveSeed(fleetSeed, jobIndex uint64) uint64 {
+	z := fleetSeed ^ (jobIndex+1)*0x9e3779b97f4a7c15
+	for i := 0; i < 2; i++ {
+		z += 0x9e3779b97f4a7c15
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+	}
+	return z
+}
