@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/mac"
+	"repro/internal/obs"
 	"repro/internal/phy"
 	"repro/internal/reader"
 	"repro/internal/sim"
@@ -48,6 +49,13 @@ type NetworkConfig struct {
 	// instead of the calibrated probabilistic link model. Slower but
 	// fully mechanistic; see arachnet/waveform.go.
 	WaveformDecode bool
+	// Trace, when set, receives structured observability events from
+	// every layer: engine event firing, slot open/close, tag
+	// settle/unsettle/evict, energy cutoff and brownout, and decode
+	// outcomes. A nil tracer (the default) costs nothing. Mute
+	// KindSimEvent unless engine-level detail is wanted — event-level
+	// runs fire thousands of engine events per simulated second.
+	Trace *obs.Tracer `json:"-"`
 }
 
 // DefaultNetworkConfig returns the paper's 12-tag deployment with the

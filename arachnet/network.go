@@ -48,6 +48,7 @@ func NewNetwork(cfg NetworkConfig) (*Network, error) {
 		return nil, err
 	}
 	engine := sim.NewEngine()
+	engine.SetTracer(cfg.Trace)
 	rng := sim.NewRand(cfg.Seed)
 	dep := biw.NewONVOL60()
 	ch := biw.DefaultChannel(dep)
@@ -61,6 +62,7 @@ func NewNetwork(cfg NetworkConfig) (*Network, error) {
 	if err != nil {
 		return nil, err
 	}
+	rd.SetTracer(cfg.Trace)
 
 	n := &Network{
 		Cfg:        cfg,
@@ -78,6 +80,7 @@ func NewNetwork(cfg NetworkConfig) (*Network, error) {
 		tcfg.DLRate = cfg.DLRate
 		tcfg.SlotDuration = cfg.SlotDuration
 		tcfg.WithSensor = spec.WithSensor
+		tcfg.Trace = cfg.Trace
 		dev, err := tag.New(engine, tcfg, rng.Fork(uint64(spec.TID)))
 		if err != nil {
 			return nil, err

@@ -1,0 +1,73 @@
+package arachnet
+
+import (
+	"io"
+
+	"repro/internal/fleet"
+	"repro/internal/obs"
+)
+
+// Unified observability. Every layer of the simulator — the discrete
+// event engine, the slot protocol, the energy subsystem, the decode
+// chain and the fleet pool — emits the same typed event records through
+// an obs.Tracer, re-exported here so callers don't import internal
+// packages. A nil tracer disables everything at (near-)zero cost.
+
+// Re-exported observability types.
+type (
+	Tracer            = obs.Tracer
+	TraceEvent        = obs.Event
+	TraceKind         = obs.Kind
+	TraceSink         = obs.Sink
+	JSONLSink         = obs.JSONLSink
+	MemorySink        = obs.MemorySink
+	TraceMetrics      = obs.Metrics
+	MetricsSnapshot   = obs.Snapshot
+	CounterSnapshot   = obs.CounterSnapshot
+	HistogramSnapshot = obs.HistogramSnapshot
+)
+
+// Trace event kinds, re-exported.
+const (
+	TraceSlotOpen    = obs.KindSlotOpen
+	TraceSlotClose   = obs.KindSlotClose
+	TraceTagSettle   = obs.KindTagSettle
+	TraceTagUnsettle = obs.KindTagUnsettle
+	TraceTagEvict    = obs.KindTagEvict
+	TraceCutoffOn    = obs.KindCutoffOn
+	TraceCutoffOff   = obs.KindCutoffOff
+	TraceBrownout    = obs.KindBrownout
+	TraceSimEvent    = obs.KindSimEvent
+	TraceDecode      = obs.KindDecode
+	TraceJobStart    = obs.KindJobStart
+	TraceJobFinish   = obs.KindJobFinish
+)
+
+// NewTracer builds a tracer over the given sinks.
+func NewTracer(sinks ...TraceSink) *Tracer { return obs.New(sinks...) }
+
+// NewJSONLSink writes one JSON object per event to w; check Err() when
+// the run completes.
+func NewJSONLSink(w io.Writer) *JSONLSink { return obs.NewJSONLSink(w) }
+
+// NewMemorySink buffers events in memory (Drain bounds the growth).
+func NewMemorySink() *MemorySink { return obs.NewMemorySink() }
+
+// NewTraceMetrics builds an empty metrics registry to attach to a
+// tracer via AttachMetrics.
+func NewTraceMetrics() *TraceMetrics { return obs.NewMetrics() }
+
+// TraceEventsOfKind filters events by kind.
+func TraceEventsOfKind(events []TraceEvent, k TraceKind) []TraceEvent {
+	return obs.OfKind(events, k)
+}
+
+// NewFleetTracerObserver returns a fleet observer that forwards job
+// lifecycle events to the tracer as TraceJobStart / TraceJobFinish.
+func NewFleetTracerObserver(t *Tracer) FleetObserver { return fleet.NewTracerObserver(t) }
+
+// FleetObservers fans lifecycle events out to several observers; nil
+// entries are skipped.
+func FleetObservers(observers ...FleetObserver) FleetObserver {
+	return fleet.MultiObserver(observers...)
+}

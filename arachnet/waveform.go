@@ -2,6 +2,7 @@ package arachnet
 
 import (
 	"repro/internal/dsp"
+	"repro/internal/obs"
 	"repro/internal/reader"
 	"repro/internal/sim"
 )
@@ -101,6 +102,15 @@ func (n *Network) decodeSlotWaveform(events []reader.ULEvent) reader.SlotDecodeR
 		res.Packet = pkt
 		res.HasPacket = true
 		res.Obs.Decoded = []int{int(pkt.TID)}
+	}
+	if n.Cfg.Trace.Enabled() {
+		ev := obs.Event{Kind: obs.KindDecode, T: n.engine.Now().Seconds(),
+			Collision: res.Obs.Collision, Value: float64(clusters), Detail: "crc_fail"}
+		if res.HasPacket {
+			ev.TID = int(res.Packet.TID)
+			ev.Detail = "ok"
+		}
+		n.Cfg.Trace.Emit(ev)
 	}
 	return res
 }

@@ -36,7 +36,9 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-job wall-clock timeout (overrides the spec)")
 	seed := flag.Uint64("seed", 0, "fleet master seed (overrides the spec)")
 	jsonOut := flag.Bool("json", false, "write the full report as JSON on stdout")
-	trace := flag.Bool("trace", false, "trace job lifecycle events to stderr")
+	tracePath := flag.String("trace", "", `write job lifecycle events as JSONL to this file ("-" = stderr)`)
+	traceText := flag.Bool("trace-text", false, "trace job lifecycle events as text to stderr")
+	metrics := flag.Bool("metrics", false, "print aggregated event metrics to stderr at exit")
 	writeSpec := flag.String("write-spec", "", "write the effective fleet spec as JSON to this file and exit")
 
 	// Ad-hoc sweep construction, used when no spec file is given.
@@ -91,8 +93,34 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wrote fleet spec to %s\n", *writeSpec)
 		return
 	}
-	if *trace {
-		f.Observer = arachnet.NewFleetTraceObserver(os.Stderr)
+	// Lifecycle observability: JSONL and/or metrics ride the obs event
+	// types; -trace-text keeps the human-readable stderr stream.
+	var jsonl *arachnet.JSONLSink
+	var traceFile *os.File
+	var tr *arachnet.Tracer
+	if *tracePath != "" || *metrics {
+		var sinks []arachnet.TraceSink
+		if *tracePath != "" {
+			out := os.Stderr
+			if *tracePath != "-" {
+				file, err := os.Create(*tracePath)
+				if err != nil {
+					fatal(err)
+				}
+				traceFile = file
+				out = file
+			}
+			jsonl = arachnet.NewJSONLSink(out)
+			sinks = append(sinks, jsonl)
+		}
+		tr = arachnet.NewTracer(sinks...)
+		if *metrics {
+			tr.AttachMetrics(arachnet.NewTraceMetrics())
+		}
+		f.Observer = arachnet.NewFleetTracerObserver(tr)
+	}
+	if *traceText {
+		f.Observer = arachnet.FleetObservers(arachnet.NewFleetTraceObserver(os.Stderr), f.Observer)
 	}
 
 	jobs, err := f.Jobs()
@@ -123,6 +151,19 @@ func main() {
 		}
 	} else {
 		printReport(rep)
+	}
+	if jsonl != nil {
+		if err := jsonl.Err(); err != nil {
+			fatal(fmt.Errorf("trace: %w", err))
+		}
+	}
+	if traceFile != nil {
+		if err := traceFile.Close(); err != nil {
+			fatal(fmt.Errorf("trace: %w", err))
+		}
+	}
+	if *metrics {
+		fmt.Fprintln(os.Stderr, tr.Metrics().Snapshot())
 	}
 	if !rep.Ok() {
 		os.Exit(1)

@@ -10,6 +10,7 @@
 //	arachnet-sim -duration 600 -pattern c3
 //	arachnet-sim -engine slots -slots 100000 -pattern c5 -seed 7
 //	arachnet-sim -pattern c2 -charge   # tags charge from empty
+//	arachnet-sim -pattern c3 -trace events.jsonl -metrics
 package main
 
 import (
@@ -30,7 +31,21 @@ func main() {
 	report := flag.Int("report", 100, "progress report interval (seconds or slots)")
 	configPath := flag.String("config", "", "JSON deployment description (network engine; overrides -pattern/-charge)")
 	waveform := flag.Bool("waveform", false, "network engine: decode uplinks with full DSP instead of the link model")
+	tracePath := flag.String("trace", "", `write the JSONL observability event stream to this file ("-" = stderr)`)
+	metrics := flag.Bool("metrics", false, "print aggregated event metrics to stderr at exit")
+	simEvents := flag.Bool("sim-events", false, "include engine-level sim_event records in the trace (very verbose)")
 	flag.Parse()
+
+	tr, finishTrace, err := setupTrace(*tracePath, *metrics)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if !*simEvents {
+		// Event-level runs fire thousands of engine events per simulated
+		// second; keep the stream at protocol/energy granularity.
+		tr.Mute(arachnet.TraceSimEvent)
+	}
 
 	if *configPath != "" {
 		cfg, err := arachnet.LoadConfigFile(*configPath)
@@ -40,7 +55,9 @@ func main() {
 		}
 		cfg.Seed = *seed
 		cfg.WaveformDecode = *waveform
+		cfg.Trace = tr
 		runNetworkConfig(cfg, *duration, *report)
+		finishTrace()
 		return
 	}
 
@@ -59,17 +76,66 @@ func main() {
 
 	switch *engine {
 	case "network":
-		runNetwork(pattern, *seed, *duration, *charge, *waveform, *report)
+		runNetwork(pattern, *seed, *duration, *charge, *waveform, *report, tr)
 	case "slots":
-		runSlots(pattern, *seed, *slots, *report)
+		runSlots(pattern, *seed, *slots, *report, tr)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown engine %q\n", *engine)
 		os.Exit(2)
 	}
+	finishTrace()
 }
 
-func runNetwork(pattern arachnet.Pattern, seed uint64, duration int, charge, waveform bool, report int) {
-	cfg := arachnet.NetworkConfig{Seed: seed, WaveformDecode: waveform}
+// setupTrace builds the tracer for the -trace / -metrics flags. The
+// returned finish function checks for trailing write errors, closes the
+// trace file, and prints the metrics snapshot; it exits non-zero on a
+// truncated trace.
+func setupTrace(path string, metrics bool) (*arachnet.Tracer, func(), error) {
+	if path == "" && !metrics {
+		return nil, func() {}, nil
+	}
+	var sinks []arachnet.TraceSink
+	var jsonl *arachnet.JSONLSink
+	var file *os.File
+	if path != "" {
+		out := os.Stderr
+		if path != "-" {
+			f, err := os.Create(path)
+			if err != nil {
+				return nil, nil, err
+			}
+			file = f
+			out = f
+		}
+		jsonl = arachnet.NewJSONLSink(out)
+		sinks = append(sinks, jsonl)
+	}
+	tr := arachnet.NewTracer(sinks...)
+	if metrics {
+		tr.AttachMetrics(arachnet.NewTraceMetrics())
+	}
+	finish := func() {
+		if jsonl != nil {
+			if err := jsonl.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "trace:", err)
+				os.Exit(1)
+			}
+		}
+		if file != nil {
+			if err := file.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "trace:", err)
+				os.Exit(1)
+			}
+		}
+		if metrics {
+			fmt.Fprintln(os.Stderr, tr.Metrics().Snapshot())
+		}
+	}
+	return tr, finish, nil
+}
+
+func runNetwork(pattern arachnet.Pattern, seed uint64, duration int, charge, waveform bool, report int, tr *arachnet.Tracer) {
+	cfg := arachnet.NetworkConfig{Seed: seed, WaveformDecode: waveform, Trace: tr}
 	for i, p := range pattern.Periods {
 		cfg.Tags = append(cfg.Tags, arachnet.TagSpec{
 			TID: uint8(i + 1), Period: p, StartCharged: !charge,
@@ -96,8 +162,8 @@ func runNetworkConfig(cfg arachnet.NetworkConfig, duration, report int) {
 	fmt.Println(net.Stats())
 }
 
-func runSlots(pattern arachnet.Pattern, seed uint64, slots, report int) {
-	s, err := arachnet.NewSlotSim(arachnet.SlotSimConfig{Pattern: pattern, Seed: seed})
+func runSlots(pattern arachnet.Pattern, seed uint64, slots, report int, tr *arachnet.Tracer) {
+	s, err := arachnet.NewSlotSim(arachnet.SlotSimConfig{Pattern: pattern, Seed: seed, Trace: tr})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

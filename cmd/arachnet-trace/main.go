@@ -3,8 +3,14 @@
 // observed, and what the beacon fed back. Useful for plotting the
 // convergence dynamics of Fig. 15/16 or debugging protocol changes.
 //
+// The CSV is a view over the structured observability stream: every
+// row is rendered from the slot-close event the simulator emits. The
+// full stream — including the reader's settle/unsettle/evict decisions
+// that the CSV cannot show — can be captured as JSONL with -trace.
+//
 //	arachnet-trace -pattern c3 -slots 500 > trace.csv
-//	arachnet-trace -pattern c5 -seed 9 -loss 0.001
+//	arachnet-trace -pattern c5 -seed 9 -loss 0.001 -trace events.jsonl
+//	arachnet-trace -pattern c3 -metrics
 package main
 
 import (
@@ -24,6 +30,8 @@ func main() {
 	slots := flag.Int("slots", 500, "slots to trace")
 	loss := flag.Float64("loss", 0, "per-tag beacon loss probability")
 	capture := flag.Float64("capture", 0.5, "capture-effect decode probability")
+	tracePath := flag.String("trace", "", `write the JSONL event stream to this file ("-" = stderr)`)
+	metrics := flag.Bool("metrics", false, "print aggregated event metrics to stderr at exit")
 	flag.Parse()
 
 	var pattern arachnet.Pattern
@@ -39,6 +47,31 @@ func main() {
 		os.Exit(2)
 	}
 
+	// The memory sink feeds the CSV; the optional JSONL sink shares the
+	// same tracer so both views see the identical event sequence.
+	mem := arachnet.NewMemorySink()
+	sinks := []arachnet.TraceSink{mem}
+	var jsonl *arachnet.JSONLSink
+	var traceFile *os.File
+	if *tracePath != "" {
+		out := os.Stderr
+		if *tracePath != "-" {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			traceFile = f
+			out = f
+		}
+		jsonl = arachnet.NewJSONLSink(out)
+		sinks = append(sinks, jsonl)
+	}
+	tr := arachnet.NewTracer(sinks...)
+	if *metrics {
+		tr.AttachMetrics(arachnet.NewTraceMetrics())
+	}
+
 	lossVec := make([]float64, pattern.NumTags())
 	for i := range lossVec {
 		lossVec[i] = *loss
@@ -48,6 +81,7 @@ func main() {
 		Seed:           *seed,
 		BeaconLossProb: lossVec,
 		CaptureProb:    *capture,
+		Trace:          tr,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -55,29 +89,62 @@ func main() {
 	}
 
 	w := csv.NewWriter(os.Stdout)
-	defer w.Flush()
 	header := []string{"slot", "transmitters", "decoded", "collision", "ack", "empty", "converged", "window_nonempty", "window_collision"}
 	if err := w.Write(header); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	for i := 0; i < *slots; i++ {
-		res := s.Step()
-		row := []string{
-			strconv.Itoa(res.Slot),
-			joinInts(res.Transmitters),
-			joinInts(res.Obs.Decoded),
-			strconv.FormatBool(res.Obs.Collision),
-			strconv.FormatBool(res.Feedback.ACK),
-			strconv.FormatBool(res.Feedback.Empty),
-			strconv.FormatBool(s.Convergence.Converged()),
-			fmt.Sprintf("%.3f", s.Window.NonEmptyRatio()),
-			fmt.Sprintf("%.3f", s.Window.CollisionRatio()),
+		s.Step()
+		// Render the row from the slot-close event; draining per step
+		// keeps memory bounded on long runs.
+		var row []string
+		for _, ev := range mem.Drain() {
+			if ev.Kind != arachnet.TraceSlotClose {
+				continue
+			}
+			row = []string{
+				strconv.Itoa(ev.Slot),
+				joinInts(ev.TIDs),
+				joinInts(ev.Decoded),
+				strconv.FormatBool(ev.Collision),
+				strconv.FormatBool(ev.ACK),
+				strconv.FormatBool(ev.Empty),
+				strconv.FormatBool(s.Convergence.Converged()),
+				fmt.Sprintf("%.3f", s.Window.NonEmptyRatio()),
+				fmt.Sprintf("%.3f", s.Window.CollisionRatio()),
+			}
+		}
+		if row == nil {
+			fmt.Fprintf(os.Stderr, "no slot-close event for slot %d\n", i)
+			os.Exit(1)
 		}
 		if err := w.Write(row); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+	}
+	// A silently truncated trace is worse than a loud failure: surface
+	// CSV buffer flush errors and JSONL write errors, and exit non-zero.
+	w.Flush()
+	if err := w.Error(); err != nil {
+		fmt.Fprintln(os.Stderr, "csv:", err)
+		os.Exit(1)
+	}
+	if jsonl != nil {
+		if err := jsonl.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			os.Exit(1)
+		}
+	}
+	if traceFile != nil {
+		if err := traceFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			os.Exit(1)
+		}
+	}
+	if *metrics {
+		fmt.Fprintln(os.Stderr, tr.Metrics().Snapshot())
 	}
 }
 

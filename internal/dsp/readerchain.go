@@ -3,6 +3,7 @@ package dsp
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/phy"
 )
 
@@ -24,6 +25,9 @@ type ReaderChain struct {
 	// detection; zero values select defaults scaled to the signal.
 	ClusterRadius      float64
 	ClusterMinFraction float64
+	// Trace, when set, receives a decode-outcome event per processed
+	// slot capture. A nil tracer (the default) costs nothing.
+	Trace *obs.Tracer
 }
 
 // NewReaderChain returns a chain at the paper's operating point.
@@ -87,6 +91,15 @@ func (c *ReaderChain) Process(capture []float64) (SlotVerdict, error) {
 	if err == nil {
 		verdict.Packet = pkt
 		verdict.Decoded = true
+	}
+	if c.Trace.Enabled() {
+		ev := obs.Event{Kind: obs.KindDecode, Collision: verdict.Collision,
+			Value: float64(verdict.Clusters), Detail: "crc_fail"}
+		if verdict.Decoded {
+			ev.TID = int(pkt.TID)
+			ev.Detail = "ok"
+		}
+		c.Trace.Emit(ev)
 	}
 	return verdict, nil
 }

@@ -1,5 +1,7 @@
 package energy
 
+import "repro/internal/obs"
+
 // Cutoff is the low-voltage cutoff circuit of Appendix A: a hysteresis
 // comparator that connects the supercapacitor to the MCU only when
 // enough energy is banked. Power flows to the MCU once the capacitor
@@ -20,6 +22,14 @@ type Cutoff struct {
 	R1, R2, R3 float64
 	// QuiescentAmps is the circuit's own standby draw.
 	QuiescentAmps float64
+
+	// Trace, when set, receives obs.KindCutoffOn / obs.KindCutoffOff
+	// events on hysteresis transitions. TraceTID identifies the owning
+	// tag and Now supplies the simulated time in seconds (both
+	// optional).
+	Trace    *obs.Tracer
+	TraceTID int
+	Now      func() float64
 
 	on bool
 }
@@ -53,11 +63,23 @@ func (c *Cutoff) PoweringMCU() bool { return c.on }
 // two-threshold design means the answer depends on history: between
 // LTH and HTH the switch holds its previous state.
 func (c *Cutoff) Update(capVolts float64) bool {
+	prev := c.on
 	switch {
 	case capVolts >= c.HighThreshold():
 		c.on = true
 	case capVolts < c.LowThreshold():
 		c.on = false
+	}
+	if c.on != prev && c.Trace.Enabled() {
+		kind := obs.KindCutoffOff
+		if c.on {
+			kind = obs.KindCutoffOn
+		}
+		var t float64
+		if c.Now != nil {
+			t = c.Now()
+		}
+		c.Trace.Emit(obs.Event{Kind: kind, T: t, TID: c.TraceTID, Value: capVolts})
 	}
 	return c.on
 }

@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/obs"
 )
 
 func TestSchottkyDrop(t *testing.T) {
@@ -472,5 +474,69 @@ func TestNetChargingPowerArithmetic(t *testing.T) {
 	}
 	if h.NetChargingPower(0, 2.3, 0) != 0 {
 		t.Error("zero elapsed must return 0")
+	}
+}
+
+// TestSupercapWithdrawExactBalance is the regression test for the
+// brownout-boundary bug: withdrawing exactly the stored energy is not a
+// brownout — it must succeed and leave the capacitor at precisely 0 V.
+func TestSupercapWithdrawExactBalance(t *testing.T) {
+	s := NewSupercap()
+	s.SetVolts(2.0)
+	// Constructing the demand from EnergyJoules() makes p*dt bitwise
+	// equal to the stored energy, hitting the e == 0 boundary exactly.
+	e := s.EnergyJoules()
+	if !s.Withdraw(e, 1.0) {
+		t.Fatal("exact-balance withdraw reported brownout")
+	}
+	if s.Volts() != 0 {
+		t.Fatalf("volts after exact-balance withdraw = %v, want 0", s.Volts())
+	}
+	// One joule-epsilon more must still brown out.
+	s.SetVolts(2.0)
+	if s.Withdraw(math.Nextafter(e, 2*e), 1.0) {
+		t.Fatal("over-demand withdraw succeeded")
+	}
+	if s.Volts() != 0 {
+		t.Fatal("failed withdraw should leave cap empty")
+	}
+}
+
+// TestEnergyTraceEvents checks that brownouts and cutoff transitions
+// emit the observability events with the wired tag identity and clock.
+func TestEnergyTraceEvents(t *testing.T) {
+	mem := obs.NewMemorySink()
+	tr := obs.New(mem)
+	now := 0.0
+	clock := func() float64 { return now }
+
+	s := NewSupercap()
+	s.Trace, s.TraceTID, s.Now = tr, 7, clock
+	s.SetVolts(1.0)
+	now = 2.5
+	if s.Withdraw(1.0, 1.0) {
+		t.Fatal("over-demand withdraw succeeded")
+	}
+
+	c := NewCutoff()
+	c.Trace, c.TraceTID, c.Now = tr, 7, clock
+	now = 3.0
+	c.Update(2.4) // above HTH: switch on
+	c.Update(2.0) // hysteresis band: no transition
+	now = 4.0
+	c.Update(1.9) // below LTH: switch off
+
+	evs := mem.Events()
+	browns := obs.OfKind(evs, obs.KindBrownout)
+	if len(browns) != 1 || browns[0].TID != 7 || browns[0].T != 2.5 {
+		t.Fatalf("brownout events wrong: %+v", browns)
+	}
+	ons := obs.OfKind(evs, obs.KindCutoffOn)
+	offs := obs.OfKind(evs, obs.KindCutoffOff)
+	if len(ons) != 1 || ons[0].T != 3.0 || ons[0].Value != 2.4 {
+		t.Fatalf("cutoff-on events wrong: %+v", ons)
+	}
+	if len(offs) != 1 || offs[0].T != 4.0 || offs[0].Value != 1.9 {
+		t.Fatalf("cutoff-off events wrong: %+v", offs)
 	}
 }

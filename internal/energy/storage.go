@@ -1,6 +1,10 @@
 package energy
 
-import "math"
+import (
+	"math"
+
+	"repro/internal/obs"
+)
 
 // Supercap is the tag's energy store: a 1 mF tantalum capacitor (KEMET
 // T491X108K006AT) chosen for its very low leakage (< 0.01*C*V uA at
@@ -14,6 +18,13 @@ type Supercap struct {
 	// LeakAmpsAtRated is the DC leakage current at rated voltage; the
 	// model scales it linearly with voltage.
 	LeakAmpsAtRated float64
+
+	// Trace, when set, receives an obs.KindBrownout event whenever a
+	// withdrawal exhausts the capacitor. TraceTID identifies the owning
+	// tag and Now supplies the simulated time in seconds (both optional).
+	Trace    *obs.Tracer
+	TraceTID int
+	Now      func() float64
 
 	volts float64
 }
@@ -55,19 +66,32 @@ func (s *Supercap) Deposit(i, dt float64) {
 }
 
 // Withdraw removes the energy consumed by a load drawing power p (W)
-// for dt (s). It reports whether the capacitor could supply it without
-// hitting zero; on failure the voltage is left at zero.
+// for dt (s). It reports whether the capacitor could supply it; on
+// failure (the demand exceeds the stored energy) the voltage is left at
+// zero. A withdrawal of exactly the stored energy succeeds and leaves
+// the capacitor at 0 V — the boundary is not a brownout.
 func (s *Supercap) Withdraw(p, dt float64) bool {
 	if p <= 0 || dt <= 0 {
 		return true
 	}
 	e := s.EnergyJoules() - p*dt
-	if e <= 0 {
+	if e < 0 {
 		s.volts = 0
+		if s.Trace.Enabled() {
+			s.Trace.Emit(obs.Event{Kind: obs.KindBrownout, T: s.now(), TID: s.TraceTID, Value: p * dt})
+		}
 		return false
 	}
 	s.volts = math.Sqrt(2 * e / s.Farads)
 	return true
+}
+
+// now resolves the trace timestamp (0 when no clock is wired).
+func (s *Supercap) now() float64 {
+	if s.Now == nil {
+		return 0
+	}
+	return s.Now()
 }
 
 // LeakCurrent returns the leakage current at the present voltage.

@@ -5,6 +5,8 @@ import (
 	"io"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Observer receives job lifecycle events from the pool. Methods are
@@ -13,6 +15,30 @@ import (
 type Observer interface {
 	JobStarted(job JobInfo)
 	JobFinished(outcome JobOutcome)
+}
+
+// JobStartEvent converts a job start into the shared observability
+// event type; every fleet observer renders or forwards this record.
+func JobStartEvent(job JobInfo) obs.Event {
+	return obs.Event{Kind: obs.KindJobStart, Job: job.Index, Name: job.Name, Seed: job.Seed}
+}
+
+// JobFinishEvent converts a job outcome into the shared observability
+// event type. Value carries the wall-clock elapsed seconds; Detail is
+// the status, with the error text appended for failed jobs.
+func JobFinishEvent(o JobOutcome) obs.Event {
+	ev := obs.Event{
+		Kind:   obs.KindJobFinish,
+		Job:    o.Index,
+		Name:   o.Name,
+		Seed:   o.Seed,
+		Value:  o.Elapsed.Seconds(),
+		Detail: o.Status.String(),
+	}
+	if o.Err != "" {
+		ev.Detail += ": " + o.Err
+	}
+	return ev
 }
 
 // ObserverFuncs adapts plain functions to the Observer interface;
@@ -36,8 +62,54 @@ func (o ObserverFuncs) JobFinished(outcome JobOutcome) {
 	}
 }
 
+// MultiObserver fans lifecycle events out to several observers; nil
+// entries are skipped.
+func MultiObserver(observers ...Observer) Observer {
+	kept := make(multiObserver, 0, len(observers))
+	for _, o := range observers {
+		if o != nil {
+			kept = append(kept, o)
+		}
+	}
+	return kept
+}
+
+type multiObserver []Observer
+
+// JobStarted implements Observer.
+func (m multiObserver) JobStarted(job JobInfo) {
+	for _, o := range m {
+		o.JobStarted(job)
+	}
+}
+
+// JobFinished implements Observer.
+func (m multiObserver) JobFinished(outcome JobOutcome) {
+	for _, o := range m {
+		o.JobFinished(outcome)
+	}
+}
+
+// TracerObserver forwards job lifecycle events to an obs.Tracer, so a
+// fleet run shares one sink (and one metrics registry) with the
+// per-vehicle simulations. The tracer itself serializes concurrent
+// emits.
+type TracerObserver struct {
+	T *obs.Tracer
+}
+
+// NewTracerObserver wraps a tracer as a fleet observer.
+func NewTracerObserver(t *obs.Tracer) TracerObserver { return TracerObserver{T: t} }
+
+// JobStarted implements Observer.
+func (t TracerObserver) JobStarted(job JobInfo) { t.T.Emit(JobStartEvent(job)) }
+
+// JobFinished implements Observer.
+func (t TracerObserver) JobFinished(o JobOutcome) { t.T.Emit(JobFinishEvent(o)) }
+
 // TraceObserver writes one line per lifecycle event, serialized by an
-// internal mutex so interleaved workers never garble the stream.
+// internal mutex so interleaved workers never garble the stream. The
+// text is a rendering of the same obs events TracerObserver forwards.
 type TraceObserver struct {
 	mu sync.Mutex
 	w  io.Writer
@@ -48,20 +120,19 @@ func NewTraceObserver(w io.Writer) *TraceObserver { return &TraceObserver{w: w} 
 
 // JobStarted implements Observer.
 func (t *TraceObserver) JobStarted(job JobInfo) {
+	ev := JobStartEvent(job)
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	fmt.Fprintf(t.w, "start  job %4d %-24s seed=%d\n", job.Index, job.Name, job.Seed)
+	fmt.Fprintf(t.w, "start  job %4d %-24s seed=%d\n", ev.Job, ev.Name, ev.Seed)
 }
 
 // JobFinished implements Observer.
 func (t *TraceObserver) JobFinished(o JobOutcome) {
+	ev := JobFinishEvent(o)
+	elapsed := time.Duration(ev.Value * float64(time.Second)).Round(fmtRound)
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if o.Err != "" {
-		fmt.Fprintf(t.w, "finish job %4d %-24s %s (%v): %s\n", o.Index, o.Name, o.Status, o.Elapsed.Round(fmtRound), o.Err)
-		return
-	}
-	fmt.Fprintf(t.w, "finish job %4d %-24s %s (%v)\n", o.Index, o.Name, o.Status, o.Elapsed.Round(fmtRound))
+	fmt.Fprintf(t.w, "finish job %4d %-24s %s (%v)\n", ev.Job, ev.Name, ev.Detail, elapsed)
 }
 
 // fmtRound keeps traced durations readable.

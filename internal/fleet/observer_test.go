@@ -1,0 +1,63 @@
+package fleet
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestTracerObserver checks that the pool's lifecycle reaches an
+// obs.Tracer as the shared job event types, with starts and finishes
+// paired per job.
+func TestTracerObserver(t *testing.T) {
+	mem := obs.NewMemorySink()
+	tr := obs.New(mem)
+	tr.AttachMetrics(obs.NewMetrics())
+	if _, err := Run(context.Background(), Config{Workers: 3, Observer: NewTracerObserver(tr)}, makeSpecs(8)); err != nil {
+		t.Fatal(err)
+	}
+	evs := mem.Events()
+	starts := obs.OfKind(evs, obs.KindJobStart)
+	finishes := obs.OfKind(evs, obs.KindJobFinish)
+	if len(starts) != 8 || len(finishes) != 8 {
+		t.Fatalf("got %d starts, %d finishes, want 8 each", len(starts), len(finishes))
+	}
+	seen := make(map[int]bool)
+	for _, ev := range finishes {
+		if ev.Detail != StatusOK.String() {
+			t.Fatalf("job %d finished %q", ev.Job, ev.Detail)
+		}
+		if ev.Value < 0 {
+			t.Fatalf("job %d negative elapsed %v", ev.Job, ev.Value)
+		}
+		seen[ev.Job] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("finish events cover %d distinct jobs, want 8", len(seen))
+	}
+	sn := tr.Metrics().Snapshot()
+	counts := map[string]uint64{}
+	for _, c := range sn.Counters {
+		counts[c.Name] = c.Value
+	}
+	if counts["events_job_start"] != 8 || counts["events_job_finish"] != 8 {
+		t.Fatalf("metrics counters wrong: %+v", sn.Counters)
+	}
+}
+
+// TestJobFinishEventError checks that failures carry the error text in
+// the event detail.
+func TestJobFinishEventError(t *testing.T) {
+	ev := JobFinishEvent(JobOutcome{
+		JobInfo: JobInfo{Index: 3, Name: "veh-3"},
+		Status:  StatusFailed,
+		Err:     "boom",
+	})
+	if ev.Kind != obs.KindJobFinish || ev.Job != 3 {
+		t.Fatalf("event wrong: %+v", ev)
+	}
+	if want := StatusFailed.String() + ": boom"; ev.Detail != want {
+		t.Fatalf("detail = %q, want %q", ev.Detail, want)
+	}
+}

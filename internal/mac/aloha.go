@@ -84,7 +84,10 @@ func SimulateAloha(cfg AlohaConfig) (AlohaResult, error) {
 		// First activation: full charge from empty.
 		t := full * (1 + cfg.NoiseFraction*r.NormFloat64())
 		recharge := full * cfg.RechargeFraction
-		for t < cfg.DurationSeconds {
+		// A packet must fit entirely inside the horizon: a transmission
+		// whose end would spill past DurationSeconds is never started
+		// (the run ends), so it must not be generated or counted.
+		for t+cfg.PacketSeconds <= cfg.DurationSeconds {
 			// Transmit now; charging pauses during the packet.
 			events = append(events, alohaTx{tag: i + 1, start: t, end: t + cfg.PacketSeconds})
 			t += cfg.PacketSeconds

@@ -1,0 +1,135 @@
+package mac
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// evictFixture provisions three tags — tid 1 and 2 with period 4, tid 3
+// with period 2 — and settles tids 1 and 2 at offsets 0 and 1. Both
+// congruence classes mod 2 are then occupied, so the period-2 newcomer
+// (tid 3) is blocked with no feasible offset: the Sec. 5.6 eviction
+// machinery must kick in.
+func evictFixture(t *testing.T) (*ReaderProtocol, *obs.MemorySink) {
+	t.Helper()
+	mem := obs.NewMemorySink()
+	r, err := NewReaderProtocol(map[int]Period{1: 4, 2: 4, 3: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Trace = obs.New(mem)
+	r.Reset()
+
+	// Slot 0: tid 1 settles at (4,0). Slot 1: tid 2 settles at (4,1).
+	if fb := r.EndSlot(Observation{Decoded: []int{1}}); !fb.ACK {
+		t.Fatal("tid 1 not ACKed on settle")
+	}
+	if fb := r.EndSlot(Observation{Decoded: []int{2}}); !fb.ACK {
+		t.Fatal("tid 2 not ACKed on settle")
+	}
+	if r.SettledCount() != 2 {
+		t.Fatalf("settled = %d, want 2", r.SettledCount())
+	}
+	return r, mem
+}
+
+// TestEvictionLifecycle drives the full Sec. 5.6 eviction arc: a blocked
+// newcomer causes a victim to be chosen, the victim is NACKed on its own
+// schedule until the threshold, then unsettled with evictTID cleared,
+// and the newcomer finally settles into the freed class.
+func TestEvictionLifecycle(t *testing.T) {
+	r, mem := evictFixture(t)
+
+	// Slot 2: blocked newcomer. Equal-period candidates tie, so the
+	// lowest-tid settled tag (tid 1) becomes the victim.
+	if fb := r.EndSlot(Observation{Decoded: []int{3}}); fb.ACK {
+		t.Fatal("blocked newcomer was ACKed")
+	}
+	if got := r.EvictTarget(); got != 1 {
+		t.Fatalf("EvictTarget = %d, want 1", got)
+	}
+
+	// The victim keeps transmitting on schedule (slots 4, 8, 12) and is
+	// decoded cleanly each time; the reader must NACK it every time and
+	// drop it exactly at the threshold. tid 2 shows up in its own slots
+	// (5, 9, 13) so trackExpected doesn't unsettle it as a bystander.
+	for round := 0; round < DefaultNackThreshold; round++ {
+		r.EndSlot(Observation{}) // slots 3, 7, 11: empty
+		if fb := r.EndSlot(Observation{Decoded: []int{1}}); fb.ACK {
+			t.Fatalf("victim ACKed in round %d", round)
+		}
+		if fb := r.EndSlot(Observation{Decoded: []int{2}}); !fb.ACK {
+			t.Fatalf("bystander tid 2 NACKed in round %d", round)
+		}
+		r.EndSlot(Observation{Decoded: []int{3}}) // still blocked until victim drops
+	}
+	if got := r.EvictTarget(); got != -1 {
+		t.Fatalf("EvictTarget after completed eviction = %d, want -1", got)
+	}
+	if r.SettledCount() != 2 { // tid 2 remains; tid 3 settled in slot 14
+		t.Fatalf("settled = %d, want 2", r.SettledCount())
+	}
+
+	evs := mem.Events()
+	settles := obs.OfKind(evs, obs.KindTagSettle)
+	if len(settles) != 3 || settles[2].TID != 3 || settles[2].Period != 2 || settles[2].Offset != 0 {
+		t.Fatalf("settle events wrong: %+v", settles)
+	}
+	evicts := obs.OfKind(evs, obs.KindTagEvict)
+	if len(evicts) != 1 || evicts[0].TID != 1 || evicts[0].Slot != 2 || evicts[0].Detail != "blocked_tid=3" {
+		t.Fatalf("evict events wrong: %+v", evicts)
+	}
+	unsettles := obs.OfKind(evs, obs.KindTagUnsettle)
+	if len(unsettles) != 1 || unsettles[0].TID != 1 || unsettles[0].Detail != "evicted" {
+		t.Fatalf("unsettle events wrong: %+v", unsettles)
+	}
+	if unsettles[0].Slot != 12 {
+		t.Fatalf("victim dropped in slot %d, want 12", unsettles[0].Slot)
+	}
+}
+
+// TestEvictionVictimGoesSilent exercises the race where the eviction
+// victim stops showing up mid-eviction (browned out or desynchronized):
+// trackExpected reaches its own miss threshold first, and must both
+// unsettle the victim and clear the eviction so a stale evictTID cannot
+// NACK a future reincarnation of the tag forever.
+func TestEvictionVictimGoesSilent(t *testing.T) {
+	r, mem := evictFixture(t)
+
+	r.EndSlot(Observation{Decoded: []int{3}}) // slot 2: victim tid 1 chosen
+	if got := r.EvictTarget(); got != 1 {
+		t.Fatalf("EvictTarget = %d, want 1", got)
+	}
+
+	// The victim never transmits again. Its expected slots (4, 8, 12)
+	// pass empty; tid 2 stays alive in slots 5, 9, 13.
+	for round := 0; round < DefaultNackThreshold; round++ {
+		r.EndSlot(Observation{})                  // slots 3, 7, 11
+		r.EndSlot(Observation{})                  // slots 4, 8, 12: victim silent
+		r.EndSlot(Observation{Decoded: []int{2}}) // slots 5, 9, 13
+		r.EndSlot(Observation{})                  // slots 6, 10, 14
+	}
+	if got := r.EvictTarget(); got != -1 {
+		t.Fatalf("EvictTarget after silent victim = %d, want -1", got)
+	}
+	if r.SettledCount() != 1 {
+		t.Fatalf("settled = %d, want 1 (only tid 2)", r.SettledCount())
+	}
+
+	// The freed even class must now admit the newcomer with a plain
+	// ACK. Slot 15 is odd (candidate (2,1) would conflict with tid 2 at
+	// (4,1)), so the newcomer probes in slot 16.
+	r.EndSlot(Observation{}) // slot 15
+	if fb := r.EndSlot(Observation{Decoded: []int{3}}); !fb.ACK {
+		t.Fatal("newcomer still blocked after eviction cleared")
+	}
+
+	unsettles := obs.OfKind(mem.Events(), obs.KindTagUnsettle)
+	if len(unsettles) != 1 || unsettles[0].TID != 1 || unsettles[0].Detail != "missed" {
+		t.Fatalf("unsettle events wrong: %+v", unsettles)
+	}
+	if unsettles[0].Slot != 12 {
+		t.Fatalf("victim dropped in slot %d, want 12", unsettles[0].Slot)
+	}
+}

@@ -3,6 +3,8 @@ package mac
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/obs"
 )
 
 // ReaderProtocol is the reader-side half of the distributed slot
@@ -21,6 +23,9 @@ type ReaderProtocol struct {
 	// DisableFutureVeto turns off the Sec. 5.6 future-collision
 	// avoidance (ablation only): every clean solo decode is ACKed.
 	DisableFutureVeto bool
+	// Trace, when set, receives settle / unsettle / evict events as the
+	// reader's belief changes. A nil tracer costs nothing.
+	Trace *obs.Tracer
 
 	slot     int          // index of the slot that is about to end
 	maxP     int          // largest provisioned period
@@ -88,6 +93,10 @@ func (r *ReaderProtocol) Slot() int { return r.slot }
 // SettledCount returns how many tags the reader believes are settled.
 func (r *ReaderProtocol) SettledCount() int { return len(r.settled) }
 
+// EvictTarget returns the TID currently being force-migrated for a
+// blocked newcomer, or -1 when no eviction is in progress.
+func (r *ReaderProtocol) EvictTarget() int { return r.evictTID }
+
 // SettledAssignments returns a copy of the reader's current belief.
 func (r *ReaderProtocol) SettledAssignments() []Assignment {
 	out := make([]Assignment, 0, len(r.settled))
@@ -119,20 +128,20 @@ func (r *ReaderProtocol) settledExcept(tid int) ([]Assignment, []int) {
 // EndSlot ingests the observation for the slot that just ended and
 // returns the feedback to broadcast in the beacon that opens the next
 // slot.
-func (r *ReaderProtocol) EndSlot(obs Observation) Feedback {
+func (r *ReaderProtocol) EndSlot(o Observation) Feedback {
 	s := r.slot
 
 	ack := false
 	switch {
-	case obs.Collision || len(obs.Decoded) > 1:
+	case o.Collision || len(o.Decoded) > 1:
 		// Definite collision: broadcast NACK (Sec. 5.3 "we set the ACK
 		// flag to false, even if the reader successfully decodes a UL
 		// packet").
-	case len(obs.Decoded) == 1:
-		ack = r.judgeSolo(obs.Decoded[0], s)
+	case len(o.Decoded) == 1:
+		ack = r.judgeSolo(o.Decoded[0], s)
 	}
 
-	r.trackExpected(obs, s)
+	r.trackExpected(o, s)
 
 	r.slot++
 	return Feedback{ACK: ack, Empty: r.emptyFlag(r.slot)}
@@ -161,6 +170,9 @@ func (r *ReaderProtocol) judgeSolo(tid, s int) bool {
 			if r.evictNacks >= r.NackThreshold {
 				r.unsettle(tid)
 				r.evictTID = -1
+				if r.Trace.Enabled() {
+					r.Trace.Emit(obs.Event{Kind: obs.KindTagUnsettle, Slot: s, TID: tid, Detail: "evicted"})
+				}
 			}
 			return false
 		}
@@ -177,6 +189,10 @@ func (r *ReaderProtocol) judgeSolo(tid, s int) bool {
 			if v := ChooseVictim(others, p); v >= 0 {
 				r.evictTID = otherTIDs[v]
 				r.evictNacks = 0
+				if r.Trace.Enabled() {
+					r.Trace.Emit(obs.Event{Kind: obs.KindTagEvict, Slot: s, TID: r.evictTID,
+						Detail: fmt.Sprintf("blocked_tid=%d", tid)})
+				}
 			}
 		}
 		return false
@@ -184,6 +200,10 @@ func (r *ReaderProtocol) judgeSolo(tid, s int) bool {
 	// Viable: accept and record the belief.
 	r.settled[tid] = cand
 	r.misses[tid] = 0
+	if r.Trace.Enabled() {
+		r.Trace.Emit(obs.Event{Kind: obs.KindTagSettle, Slot: s, TID: tid,
+			Period: int(cand.Period), Offset: cand.Offset})
+	}
 	return true
 }
 
@@ -204,9 +224,9 @@ func (r *ReaderProtocol) unsettle(tid int) {
 // trackExpected updates the reader's per-tag belief: a settled tag that
 // fails to show in its expected slot for NackThreshold consecutive
 // rounds is dropped (it migrated, desynchronized or browned out).
-func (r *ReaderProtocol) trackExpected(obs Observation, s int) {
-	decoded := make(map[int]bool, len(obs.Decoded))
-	for _, tid := range obs.Decoded {
+func (r *ReaderProtocol) trackExpected(o Observation, s int) {
+	decoded := make(map[int]bool, len(o.Decoded))
+	for _, tid := range o.Decoded {
 		decoded[tid] = true
 	}
 	for tid, a := range r.settled {
@@ -224,6 +244,9 @@ func (r *ReaderProtocol) trackExpected(obs Observation, s int) {
 				r.evictTID = -1
 			}
 			r.unsettle(tid)
+			if r.Trace.Enabled() {
+				r.Trace.Emit(obs.Event{Kind: obs.KindTagUnsettle, Slot: s, TID: tid, Detail: "missed"})
+			}
 		}
 	}
 }

@@ -3,6 +3,7 @@ package mac
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -69,6 +70,10 @@ type SlotSimConfig struct {
 	DisableEmptyGate bool
 	// DisableFutureVeto removes the Sec. 5.6 reader-side check.
 	DisableFutureVeto bool
+	// Trace, when set, receives slot open/close events from the
+	// simulator and settle/unsettle/evict events from the reader
+	// protocol. A nil tracer (the default) costs nothing.
+	Trace *obs.Tracer
 }
 
 func (c SlotSimConfig) beaconLoss(i int) float64 {
@@ -123,6 +128,7 @@ func NewSlotSim(cfg SlotSimConfig) (*SlotSim, error) {
 		reader.NackThreshold = cfg.NackThreshold
 	}
 	reader.DisableFutureVeto = cfg.DisableFutureVeto
+	reader.Trace = cfg.Trace
 	detect := cfg.CollisionDetectProb
 	if detect == 0 {
 		detect = 1.0
@@ -152,6 +158,9 @@ type SlotResult struct {
 func (s *SlotSim) Step() SlotResult {
 	slot := s.SlotsRun
 	fb := s.fb
+	if s.cfg.Trace.Enabled() {
+		s.cfg.Trace.Emit(obs.Event{Kind: obs.KindSlotOpen, Slot: slot, ACK: fb.ACK, Empty: fb.Empty})
+	}
 
 	var transmitters []*simTag
 	for i, t := range s.tags {
@@ -174,32 +183,32 @@ func (s *SlotSim) Step() SlotResult {
 		}
 	}
 
-	var obs Observation
+	var seen Observation
 	switch len(transmitters) {
 	case 0:
 	case 1:
 		t := transmitters[0]
 		if !s.rng.Bool(s.cfg.ulFail(t.tid - 1)) {
-			obs.Decoded = []int{t.tid}
+			seen.Decoded = []int{t.tid}
 		}
 	default:
-		obs.Collision = s.rng.Bool(s.cfg.CollisionDetectProb)
+		seen.Collision = s.rng.Bool(s.cfg.CollisionDetectProb)
 		if s.rng.Bool(s.cfg.CaptureProb) {
 			// Capture: one packet survives; pick uniformly (the
 			// waveform layer would pick the strongest).
 			t := transmitters[s.rng.Intn(len(transmitters))]
-			obs.Decoded = []int{t.tid}
+			seen.Decoded = []int{t.tid}
 		}
 	}
 
-	next := s.reader.EndSlot(obs)
+	next := s.reader.EndSlot(seen)
 	// Tags that transmitted learn their fate from the next beacon; ACK
 	// accounting here mirrors what they will see.
 	if next.ACK && len(transmitters) == 1 {
 		transmitters[0].ackCount++
 	}
 
-	s.Window.Observe(obs.NonEmpty(), obs.Collision)
+	s.Window.Observe(seen.NonEmpty(), seen.Collision)
 	truthCollision := len(transmitters) > 1
 	if len(transmitters) > 0 {
 		s.TruthNonEmpty++
@@ -216,7 +225,11 @@ func (s *SlotSim) Step() SlotResult {
 	for i, t := range transmitters {
 		tids[i] = t.tid
 	}
-	return SlotResult{Slot: slot, Transmitters: tids, Obs: obs, Feedback: next}
+	if s.cfg.Trace.Enabled() {
+		s.cfg.Trace.Emit(obs.Event{Kind: obs.KindSlotClose, Slot: slot, TIDs: tids,
+			Decoded: seen.Decoded, Collision: seen.Collision, ACK: next.ACK, Empty: next.Empty})
+	}
+	return SlotResult{Slot: slot, Transmitters: tids, Obs: seen, Feedback: next}
 }
 
 // Run advances n slots.

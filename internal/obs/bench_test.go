@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"io"
+	"testing"
+)
+
+// BenchmarkEmitDisabled measures the disabled path every hot loop pays:
+// a nil tracer and the Enabled() guard. This is the cost the <5%
+// BenchmarkFleetThroughput budget rides on — it must stay at a couple
+// of nanoseconds.
+func BenchmarkEmitDisabled(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if tr.Enabled() {
+			tr.Emit(Event{Kind: KindSlotClose, Slot: i})
+		}
+	}
+}
+
+// BenchmarkEmitNilUnguarded measures Emit called straight on a nil
+// tracer (call sites that skip the Enabled guard for cheap events).
+func BenchmarkEmitNilUnguarded(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(Event{Kind: KindSlotClose, Slot: i})
+	}
+}
+
+// BenchmarkEmitMemory measures the enabled path into the in-memory
+// aggregator.
+func BenchmarkEmitMemory(b *testing.B) {
+	mem := NewMemorySink()
+	tr := New(mem)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(Event{Kind: KindSlotClose, Slot: i})
+		if mem.Len() > 1<<16 {
+			mem.Drain()
+		}
+	}
+}
+
+// BenchmarkEmitJSONL measures the enabled path through JSON encoding.
+func BenchmarkEmitJSONL(b *testing.B) {
+	tr := New(NewJSONLSink(io.Discard))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(Event{Kind: KindSlotClose, Slot: i, TIDs: []int{1, 2}, Collision: true})
+	}
+}
+
+// BenchmarkMetricsObserve measures one histogram sample.
+func BenchmarkMetricsObserve(b *testing.B) {
+	m := NewMetrics()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Observe("lat", float64(i%1000)/7)
+	}
+}

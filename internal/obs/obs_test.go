@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	tr.Emit(Event{Kind: KindSlotOpen}) // must not panic
+	tr.Mute(KindSimEvent)
+	tr.AttachMetrics(NewMetrics())
+	if tr.Metrics() != nil {
+		t.Fatal("nil tracer returned metrics")
+	}
+}
+
+func TestTracerNoSinksDisabled(t *testing.T) {
+	tr := New()
+	if tr.Enabled() {
+		t.Fatal("sink-less tracer without metrics reports enabled")
+	}
+	tr.AttachMetrics(NewMetrics())
+	if !tr.Enabled() {
+		t.Fatal("metrics-only tracer reports disabled")
+	}
+	tr.Emit(Event{Kind: KindSlotOpen})
+	sn := tr.Metrics().Snapshot()
+	if len(sn.Counters) != 1 || sn.Counters[0].Name != "events_slot_open" || sn.Counters[0].Value != 1 {
+		t.Fatalf("unexpected counters: %+v", sn.Counters)
+	}
+}
+
+func TestMemorySinkOrderAndDrain(t *testing.T) {
+	mem := NewMemorySink()
+	tr := New(mem)
+	for i := 0; i < 5; i++ {
+		tr.Emit(Event{Kind: KindSlotClose, Slot: i})
+	}
+	evs := mem.Events()
+	if len(evs) != 5 {
+		t.Fatalf("got %d events, want 5", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Slot != i {
+			t.Fatalf("event %d has slot %d", i, ev.Slot)
+		}
+	}
+	if got := mem.Drain(); len(got) != 5 {
+		t.Fatalf("drain returned %d", len(got))
+	}
+	if mem.Len() != 0 {
+		t.Fatal("drain did not clear the sink")
+	}
+}
+
+func TestMute(t *testing.T) {
+	mem := NewMemorySink()
+	tr := New(mem)
+	tr.Mute(KindSimEvent)
+	tr.Emit(Event{Kind: KindSimEvent})
+	tr.Emit(Event{Kind: KindSlotOpen})
+	evs := mem.Events()
+	if len(evs) != 1 || evs[0].Kind != KindSlotOpen {
+		t.Fatalf("mute failed: %+v", evs)
+	}
+}
+
+func TestJSONLSinkRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	tr := New(sink)
+	tr.Emit(Event{Kind: KindTagSettle, Slot: 7, TID: 3, Period: 8, Offset: 5})
+	tr.Emit(Event{Kind: KindSlotClose, Slot: 7, TIDs: []int{3}, Decoded: []int{3}, ACK: true})
+	if err := sink.Err(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	var ev Event
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Kind != KindTagSettle || ev.TID != 3 || ev.Period != 8 || ev.Offset != 5 {
+		t.Fatalf("round trip mangled event: %+v", ev)
+	}
+	// Zero fields must be omitted to keep traces compact.
+	if strings.Contains(lines[0], `"ack"`) || strings.Contains(lines[0], `"tids"`) {
+		t.Fatalf("zero fields serialized: %s", lines[0])
+	}
+}
+
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	w.n--
+	return len(p), nil
+}
+
+func TestJSONLSinkStickyError(t *testing.T) {
+	sink := NewJSONLSink(&failWriter{n: 1})
+	sink.Emit(Event{Kind: KindSlotOpen})
+	if err := sink.Err(); err != nil {
+		t.Fatalf("first write failed: %v", err)
+	}
+	sink.Emit(Event{Kind: KindSlotOpen})
+	if sink.Err() == nil {
+		t.Fatal("write error not captured")
+	}
+	sink.Emit(Event{Kind: KindSlotOpen}) // must not clear the error
+	if sink.Err() == nil {
+		t.Fatal("sticky error cleared")
+	}
+}
+
+func TestMetricsSnapshotDeterministic(t *testing.T) {
+	build := func() Snapshot {
+		m := NewMetrics()
+		m.Add("zeta", 3)
+		m.Inc("alpha")
+		m.Observe("lat", 0.5)
+		m.Observe("lat", 2.0)
+		m.Observe("lat", 1.5)
+		m.Observe("volts", 2.31)
+		return m.Snapshot()
+	}
+	a, b := build(), build()
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Fatalf("snapshots differ:\n%s\n%s", ja, jb)
+	}
+	if a.Counters[0].Name != "alpha" || a.Counters[1].Name != "zeta" {
+		t.Fatalf("counters not sorted: %+v", a.Counters)
+	}
+	var lat HistogramSnapshot
+	for _, h := range a.Histograms {
+		if h.Name == "lat" {
+			lat = h
+		}
+	}
+	if lat.Count != 3 || lat.Min != 0.5 || lat.Max != 2.0 {
+		t.Fatalf("lat histogram wrong: %+v", lat)
+	}
+	if want := (0.5 + 2.0 + 1.5) / 3; lat.Mean != want {
+		t.Fatalf("lat mean %v want %v", lat.Mean, want)
+	}
+	// Buckets sorted ascending by upper bound.
+	for i := 1; i < len(lat.Buckets); i++ {
+		if lat.Buckets[i-1].UpperBound >= lat.Buckets[i].UpperBound {
+			t.Fatalf("buckets out of order: %+v", lat.Buckets)
+		}
+	}
+}
+
+func TestMetricsNilSafe(t *testing.T) {
+	var m *Metrics
+	m.Inc("x")
+	m.Add("x", 2)
+	m.Observe("y", 1)
+	if sn := m.Snapshot(); len(sn.Counters) != 0 || len(sn.Histograms) != 0 {
+		t.Fatal("nil metrics produced data")
+	}
+}
+
+func TestMetricsNonPositiveObservations(t *testing.T) {
+	m := NewMetrics()
+	m.Observe("h", 0)
+	m.Observe("h", -3)
+	m.Observe("h", 4)
+	sn := m.Snapshot()
+	h := sn.Histograms[0]
+	if h.Count != 3 || h.Min != -3 || h.Max != 4 {
+		t.Fatalf("histogram wrong: %+v", h)
+	}
+	if h.Buckets[0].UpperBound != 0 || h.Buckets[0].Count != 2 {
+		t.Fatalf("underflow bucket wrong: %+v", h.Buckets)
+	}
+}
+
+func TestTracerConcurrentEmit(t *testing.T) {
+	mem := NewMemorySink()
+	tr := New(mem)
+	tr.AttachMetrics(NewMetrics())
+	var wg sync.WaitGroup
+	const workers, per = 8, 100
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tr.Emit(Event{Kind: KindJobStart, Job: w*per + i})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if mem.Len() != workers*per {
+		t.Fatalf("lost events: %d", mem.Len())
+	}
+	sn := tr.Metrics().Snapshot()
+	if sn.Counters[0].Value != workers*per {
+		t.Fatalf("counter %d want %d", sn.Counters[0].Value, workers*per)
+	}
+}
+
+func TestOfKind(t *testing.T) {
+	evs := []Event{
+		{Kind: KindSlotOpen, Slot: 0},
+		{Kind: KindSlotClose, Slot: 0},
+		{Kind: KindSlotOpen, Slot: 1},
+	}
+	opens := OfKind(evs, KindSlotOpen)
+	if len(opens) != 2 || opens[1].Slot != 1 {
+		t.Fatalf("filter wrong: %+v", opens)
+	}
+}

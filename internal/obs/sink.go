@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// JSONLSink writes one JSON object per event to w. Write errors are
+// sticky: the first failure stops all further output and is reported by
+// Err(), so a full disk yields a diagnosable error instead of a
+// silently truncated trace.
+type JSONLSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLSink traces to w as JSON lines.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w)}
+}
+
+// Emit implements Sink.
+func (s *JSONLSink) Emit(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	s.err = s.enc.Encode(ev)
+}
+
+// Err returns the first write or encode error, or nil.
+func (s *JSONLSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// MemorySink accumulates events in order; useful for tests and for
+// building derived views (the arachnet-trace CSV is one).
+type MemorySink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewMemorySink returns an empty in-memory sink.
+func NewMemorySink() *MemorySink { return &MemorySink{} }
+
+// Emit implements Sink.
+func (s *MemorySink) Emit(ev Event) {
+	s.mu.Lock()
+	s.events = append(s.events, ev)
+	s.mu.Unlock()
+}
+
+// Len returns the number of buffered events.
+func (s *MemorySink) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.events)
+}
+
+// Events returns a copy of the buffered events.
+func (s *MemorySink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Event(nil), s.events...)
+}
+
+// Drain returns the buffered events and clears the buffer, keeping
+// long-running consumers (per-slot CSV rendering) memory-bounded.
+func (s *MemorySink) Drain() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.events
+	s.events = nil
+	return out
+}
+
+// OfKind filters events, returning only those with the given kind.
+func OfKind(events []Event, k Kind) []Event {
+	var out []Event
+	for _, ev := range events {
+		if ev.Kind == k {
+			out = append(out, ev)
+		}
+	}
+	return out
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"repro/internal/mac"
+	"repro/internal/obs"
 	"repro/internal/phy"
 	"repro/internal/sim"
 )
@@ -99,6 +100,10 @@ type Device struct {
 	Cfg   Config
 	Proto *mac.ReaderProtocol
 
+	// Trace, when set, receives slot open/close events; assign it with
+	// SetTracer so the protocol's settle/evict events share the sink.
+	Trace *obs.Tracer
+
 	engine *sim.Engine
 	rng    *sim.Rand
 
@@ -140,6 +145,13 @@ func New(engine *sim.Engine, cfg Config, periods map[int]mac.Period, rng *sim.Ra
 		Convergence: mac.NewConvergenceDetector(),
 		Payloads:    make(map[uint8][]uint16),
 	}, nil
+}
+
+// SetTracer attaches an observability tracer to the device and its
+// protocol state machine. A nil tracer (the default) costs nothing.
+func (d *Device) SetTracer(t *obs.Tracer) {
+	d.Trace = t
+	d.Proto.Trace = t
 }
 
 // Start begins slotted operation with a RESET broadcast.
@@ -188,6 +200,10 @@ func (d *Device) beginSlot(now sim.Time) {
 		d.Convergence = mac.NewConvergenceDetector()
 	}
 	cmd := feedbackToCommand(d.fb)
+	if d.Trace.Enabled() {
+		d.Trace.Emit(obs.Event{Kind: obs.KindSlotOpen, Slot: d.Proto.Slot(),
+			T: now.Seconds(), ACK: d.fb.ACK, Empty: d.fb.Empty})
+	}
 	bx := d.modulateBeacon(cmd, now)
 	d.inbox = d.inbox[:0]
 	if d.Broadcast != nil {
@@ -243,11 +259,11 @@ func (d *Device) endSlot(bx BeaconTx, now sim.Time) {
 	if !d.running {
 		return
 	}
-	var obs mac.Observation
+	var seen mac.Observation
 	var decodedEv *ULEvent
 	if d.DecodeSlot != nil && len(d.inbox) > 0 {
 		res := d.DecodeSlot(d.inbox)
-		obs = res.Obs
+		seen = res.Obs
 		if res.HasPacket {
 			// Bind the decode to the matching event (by TID) for the
 			// latency bookkeeping; fall back to the first event.
@@ -266,11 +282,11 @@ func (d *Device) endSlot(bx BeaconTx, now sim.Time) {
 		case 1:
 			ev := d.inbox[0]
 			if d.rng.Bool(ev.DecodeProb) {
-				obs.Decoded = []int{int(ev.TID)}
+				seen.Decoded = []int{int(ev.TID)}
 				decodedEv = &d.inbox[0]
 			}
 		default:
-			obs.Collision = d.rng.Bool(d.Cfg.CollisionDetectProb)
+			seen.Collision = d.rng.Bool(d.Cfg.CollisionDetectProb)
 			if d.rng.Bool(d.Cfg.CaptureProb) {
 				// Capture effect: the strongest burst survives.
 				best := 0
@@ -280,7 +296,7 @@ func (d *Device) endSlot(bx BeaconTx, now sim.Time) {
 					}
 				}
 				if d.rng.Bool(d.inbox[best].DecodeProb) {
-					obs.Decoded = []int{int(d.inbox[best].TID)}
+					seen.Decoded = []int{int(d.inbox[best].TID)}
 					decodedEv = &d.inbox[best]
 				}
 			}
@@ -303,9 +319,19 @@ func (d *Device) endSlot(bx BeaconTx, now sim.Time) {
 		}
 	}
 
-	d.Window.Observe(obs.NonEmpty(), obs.Collision)
-	d.Convergence.Observe(obs.Collision)
+	d.Window.Observe(seen.NonEmpty(), seen.Collision)
+	d.Convergence.Observe(seen.Collision)
+	slot := d.Proto.Slot()
 	d.SlotsRun++
-	d.fb = d.Proto.EndSlot(obs)
+	d.fb = d.Proto.EndSlot(seen)
+	if d.Trace.Enabled() {
+		tids := make([]int, len(d.inbox))
+		for i, ev := range d.inbox {
+			tids[i] = int(ev.TID)
+		}
+		d.Trace.Emit(obs.Event{Kind: obs.KindSlotClose, Slot: slot, T: now.Seconds(),
+			TIDs: tids, Decoded: seen.Decoded, Collision: seen.Collision,
+			ACK: d.fb.ACK, Empty: d.fb.Empty})
+	}
 	d.beginSlot(now)
 }

@@ -4,6 +4,8 @@ import (
 	"container/heap"
 	"errors"
 	"fmt"
+
+	"repro/internal/obs"
 )
 
 // Event is a scheduled callback. Events fire in timestamp order; events
@@ -58,10 +60,18 @@ type Engine struct {
 	seq     uint64
 	fired   uint64
 	stopped bool
+	trace   *obs.Tracer
 }
 
 // NewEngine returns an engine with the clock at zero and an empty queue.
 func NewEngine() *Engine { return &Engine{} }
+
+// SetTracer attaches an observability tracer; every fired event is then
+// emitted as an obs.KindSimEvent record. A nil tracer (the default)
+// costs nothing. Event-level simulations fire many thousands of events
+// per simulated second — mute obs.KindSimEvent on the tracer when only
+// protocol or energy events are wanted.
+func (e *Engine) SetTracer(t *obs.Tracer) { e.trace = t }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
@@ -122,6 +132,9 @@ func (e *Engine) Step() bool {
 	ev := heap.Pop(&e.queue).(*Event)
 	e.now = ev.At
 	e.fired++
+	if e.trace.Enabled() {
+		e.trace.Emit(obs.Event{Kind: obs.KindSimEvent, T: ev.At.Seconds(), Name: ev.Name})
+	}
 	ev.Fire(e.now)
 	return true
 }

@@ -17,6 +17,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/mac"
 	"repro/internal/mcu"
+	"repro/internal/obs"
 	"repro/internal/phy"
 	"repro/internal/pzt"
 	"repro/internal/sim"
@@ -43,6 +44,10 @@ type Config struct {
 	Stages int
 	// WithSensor attaches the strain module (Sec. 6.5).
 	WithSensor bool
+	// Trace, when set, receives brownout and cutoff transition events
+	// from the energy subsystem, stamped with this tag's TID and the
+	// engine clock. A nil tracer (the default) costs nothing.
+	Trace *obs.Tracer
 }
 
 // DefaultConfig returns the paper's tag operating point.
@@ -144,6 +149,13 @@ func New(engine *sim.Engine, cfg Config, rng *sim.Rand) (*Device, error) {
 	}
 	if cfg.WithSensor {
 		d.Sensor = strain.NewSensor()
+	}
+	if cfg.Trace != nil {
+		clock := func() float64 { return engine.Now().Seconds() }
+		sc := d.Harvester.Cap
+		sc.Trace, sc.TraceTID, sc.Now = cfg.Trace, int(cfg.TID), clock
+		co := d.Harvester.Cutoff
+		co.Trace, co.TraceTID, co.Now = cfg.Trace, int(cfg.TID), clock
 	}
 	d.ticksPerChip = d.MCU.Cfg.ClockHz / cfg.DLRate // firmware uses the nominal clock
 	d.scheduleEnergyTick()
