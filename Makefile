@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench vet race check cover experiments examples clean
+.PHONY: all build test test-short bench vet race check cover experiments examples fuzz-smoke clean
 
 all: vet test
 
@@ -32,6 +32,16 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Coverage-guided fuzzing smoke: 10 s on each native fuzz target in the
+# phy codecs (go fuzzing allows one -fuzz pattern per invocation, hence
+# the loop). CI runs this on every push; longer local sessions just
+# raise FUZZTIME.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	for target in FuzzUnmarshalUL FuzzUnmarshalDL FuzzPIEDecode FuzzFM0Decode; do \
+		$(GO) test ./internal/phy -run '^$$' -fuzz "^$$target$$" -fuzztime $(FUZZTIME) || exit 1; \
+	done
 
 # Regenerate every table and figure of the paper's evaluation.
 experiments:

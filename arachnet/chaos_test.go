@@ -1,0 +1,104 @@
+package arachnet
+
+import (
+	"context"
+	"testing"
+)
+
+// Chaos sweeps: fault-injected fleet runs must stay deterministic and
+// must surface the recovery metrics.
+
+func chaosFleet(workers int) Fleet {
+	plan := RandomFaultPlan(7)
+	return Fleet{
+		Seed:    99,
+		Workers: workers,
+		Faults:  &plan,
+		Vehicles: []VehicleSpec{
+			{Name: "chaos", Pattern: "c7", Slots: 4000, Replicate: 4},
+		},
+	}
+}
+
+// The acceptance bar for the fault layer: a chaos sweep with a pinned
+// seed is bit-identical across runs and across worker counts.
+func TestFleetChaosDeterministicAcrossWorkers(t *testing.T) {
+	ctx := context.Background()
+	var prints []string
+	for _, workers := range []int{1, 4, 1} {
+		rep, err := chaosFleet(workers).Run(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := rep.Completed; got != 4 {
+			t.Fatalf("workers=%d: %d/4 jobs completed", workers, got)
+		}
+		prints = append(prints, rep.Fingerprint())
+	}
+	if prints[0] != prints[1] || prints[0] != prints[2] {
+		t.Fatalf("chaos fingerprints diverge:\n  w1  %s\n  w4  %s\n  w1' %s",
+			prints[0], prints[1], prints[2])
+	}
+}
+
+func TestFleetChaosRecoveryMetrics(t *testing.T) {
+	rep, err := chaosFleet(2).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Counters[FleetCounterFaultsInjected]; got == 0 {
+		t.Fatal("chaos sweep injected no faults")
+	}
+	for _, j := range rep.Jobs {
+		if _, ok := j.Result.Metrics[FleetMetricSettledChurn]; !ok {
+			t.Errorf("job %s missing %s", j.Name, FleetMetricSettledChurn)
+		}
+		if _, ok := j.Result.Metrics[FleetMetricReconvergeSlots]; !ok {
+			t.Errorf("job %s missing %s", j.Name, FleetMetricReconvergeSlots)
+		}
+	}
+	// A vehicle-level plan overrides the fleet default.
+	quiet := FaultPlan{}
+	f := chaosFleet(1)
+	f.Vehicles[0].Faults = &quiet
+	f.Vehicles[0].Replicate = 1
+	rep, err = f.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Counters[FleetCounterFaultsInjected]; got != 0 {
+		t.Fatalf("empty vehicle plan still injected %d faults", got)
+	}
+}
+
+// The event-level engine takes the same plan: fades through the channel
+// gain hook, outages through the carrier, brownouts through forced
+// supercap drains — and reports the same metric names.
+func TestNetworkEngineFaultPlan(t *testing.T) {
+	plan := FaultPlan{
+		Name:      "net-chaos",
+		Fades:     &FaultFadeSpec{Burst: FaultBurst{EnterProb: 0.05, MeanSlots: 4}, DepthDB: 6},
+		Brownouts: &FaultBrownoutSpec{Prob: 0.01, OffSlots: 5, Tags: []int{1, 2}},
+	}
+	f := Fleet{
+		Seed:   5,
+		Faults: &plan,
+		Vehicles: []VehicleSpec{
+			{Name: "net", Engine: "network", Pattern: "c3", Seconds: 60},
+		},
+	}
+	rep, err := f.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != 1 {
+		t.Fatalf("network chaos job failed: %+v", rep.Jobs)
+	}
+	j := rep.Jobs[0]
+	if j.Result.Counters[FleetCounterFaultsInjected] == 0 {
+		t.Fatal("network chaos run injected no faults")
+	}
+	if _, ok := j.Result.Metrics[FleetMetricSettledChurn]; !ok {
+		t.Errorf("network chaos job missing %s", FleetMetricSettledChurn)
+	}
+}

@@ -1,0 +1,135 @@
+package arachnet
+
+import (
+	"fmt"
+
+	"repro/internal/faults"
+	"repro/internal/mac"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// Deterministic fault injection. internal/faults compiles a JSON fault
+// plan (transient fades, feedback corruption, brownouts, reader
+// outages, clock jitter) into a seeded injector; the slot engine hooks
+// it in through mac.SlotSimConfig.Faults, and the event-level network
+// through AttachFaults below. Re-exported here so callers and the CLIs
+// never import internal packages.
+
+// Re-exported fault-injection types.
+type (
+	FaultPlan           = faults.Plan
+	FaultBurst          = faults.Burst
+	FaultFadeSpec       = faults.FadeSpec
+	FaultFeedbackSpec   = faults.FeedbackSpec
+	FaultBrownoutSpec   = faults.BrownoutSpec
+	FaultOutageSpec     = faults.OutageSpec
+	FaultJitterSpec     = faults.JitterSpec
+	FaultInjector       = faults.Injector
+	RecoveryReport      = faults.RecoveryReport
+	FaultInvariantError = faults.InvariantError
+	FaultInvariants     = faults.InvariantConfig
+)
+
+// NewFaultInjector compiles a plan for numTags tags (see
+// faults.NewInjector).
+func NewFaultInjector(plan FaultPlan, seed uint64, numTags int, tr *Tracer) (*FaultInjector, error) {
+	return faults.NewInjector(plan, seed, numTags, tr)
+}
+
+// LoadFaultPlanFile reads and validates a JSON fault plan.
+func LoadFaultPlanFile(path string) (FaultPlan, error) { return faults.LoadPlanFile(path) }
+
+// SaveFaultPlanFile writes a fault plan as indented JSON.
+func SaveFaultPlanFile(path string, p FaultPlan) error { return faults.SavePlanFile(path, p) }
+
+// UnmarshalFaultPlan parses and validates a JSON fault plan.
+func UnmarshalFaultPlan(data []byte) (FaultPlan, error) { return faults.UnmarshalPlan(data) }
+
+// RandomFaultPlan derives a randomized recoverable chaos plan.
+func RandomFaultPlan(seed uint64) FaultPlan { return faults.RandomPlan(seed) }
+
+// AnalyzeRecovery computes the robustness metrics from a trace stream.
+func AnalyzeRecovery(events []TraceEvent) RecoveryReport { return faults.Analyze(events) }
+
+// CheckFaultInvariants verifies the recovery invariants on a trace
+// stream (no duplicate settled slots, evictions terminate, browned-out
+// tags re-settle within bounds).
+func CheckFaultInvariants(events []TraceEvent, cfg FaultInvariants) error {
+	return faults.CheckInvariants(events, cfg)
+}
+
+// AttachFaults drives an injector from the event-level network's clock:
+// once per slot the injector advances its fault processes, fades are
+// applied through the channel's GainOffsetDB hook, reader outages
+// toggle the power carrier, and brownouts force-drain the afflicted
+// tag's supercapacitor (the cutoff then powers the MCU down and the
+// tag rejoins once recharged — the real recovery path, not a scripted
+// one). MAC-level faults with no physical analogue at this layer
+// (per-tag feedback corruption, clock slips) act only in the slots
+// engine; the injector still draws and traces them, so a plan's fault
+// census is engine-independent.
+//
+// Call it once, after NewNetwork and before Run; it must not race the
+// running engine.
+func (n *Network) AttachFaults(inj *FaultInjector) {
+	n.Channel.GainOffsetDB = inj.FadeDepthDB
+	carrierDown := false
+	var step func(now sim.Time)
+	step = func(now sim.Time) {
+		slot := int(now / n.Cfg.SlotDuration)
+		fs := inj.BeginSlot(slot)
+		if fs.ReaderDown != carrierDown {
+			carrierDown = fs.ReaderDown
+			n.SetCarrier(!carrierDown)
+		}
+		if fs.ReaderReset {
+			n.ResetProtocol()
+		}
+		for i, hit := range fs.Brownout {
+			if !hit {
+				continue
+			}
+			if dev, ok := n.Tags[uint8(i+1)]; ok {
+				faults.ForceBrownout(dev.Harvester.Cap)
+			}
+		}
+		n.engine.After(n.Cfg.SlotDuration, "fault-slot", step)
+	}
+	n.engine.After(0, "fault-slot", step)
+}
+
+// FaultCensusString renders an injector's cumulative fault counts
+// deterministically, for reports.
+func FaultCensusString(inj *FaultInjector) string { return inj.CensusString() }
+
+// faultsTracer builds the muted in-memory tracer a chaos job records
+// into: slot open/close (and, for event-level runs, engine events)
+// dominate the stream and the recovery analysis ignores them, so they
+// are muted to keep fleet memory bounded.
+func faultsTracer() (*obs.MemorySink, *obs.Tracer) {
+	sink := obs.NewMemorySink()
+	tr := obs.New(sink)
+	tr.Mute(obs.KindSlotOpen, obs.KindSlotClose, obs.KindSimEvent, obs.KindDecode)
+	return sink, tr
+}
+
+// slotFaultsConfig wires a fault plan into a slot-engine config,
+// returning the tracer's memory sink and injector for post-run
+// recovery analysis. A nil or empty plan is a no-op.
+func slotFaultsConfig(cfg *mac.SlotSimConfig, plan *FaultPlan, numTags int) (*obs.MemorySink, *faults.Injector, error) {
+	if plan == nil || plan.Empty() {
+		return nil, nil, nil
+	}
+	if cfg.Trace != nil {
+		return nil, nil, fmt.Errorf("arachnet: fault plan with an external tracer is unsupported")
+	}
+	sink, tr := faultsTracer()
+	inj, err := faults.NewInjector(*plan, cfg.Seed, numTags, tr)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg.Trace = tr
+	cfg.Faults = inj
+	return sink, inj, nil
+}

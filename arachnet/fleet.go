@@ -42,13 +42,19 @@ const (
 )
 
 // Metric and counter names emitted by the built-in vehicle engines.
+// The fault-plan metrics appear only on chaos jobs (vehicles with a
+// non-empty Faults plan).
 const (
 	FleetMetricConvergenceSlots = "convergence_slots"
 	FleetMetricNonEmptyRatio    = "nonempty_ratio"
 	FleetMetricCollisionRatio   = "collision_ratio"
 	FleetMetricConverged        = "converged"
+	FleetMetricReconvergeSlots  = "reconverge_slots"
+	FleetMetricSettledChurn     = "settled_churn"
 	FleetCounterSlots           = "slots"
 	FleetCounterDecoded         = "decoded"
+	FleetCounterFaultsInjected  = "faults_injected"
+	FleetCounterBrownouts       = "fault_brownouts"
 )
 
 // DeriveFleetSeed exposes the pool's per-job seed derivation.
@@ -90,6 +96,14 @@ type VehicleSpec struct {
 	// supercap instead of starting energized.
 	ChargeFromEmpty bool
 
+	// Faults injects a deterministic fault plan into every replica
+	// (each seeded from its job seed, so chaos sweeps replicate
+	// bit-identically for a pinned fleet seed regardless of worker
+	// count). Nil inherits the fleet-level plan; chaos jobs report the
+	// extra recovery metrics and fault counters. Use the slots horizon
+	// rather than ConvergeWithin — a faulted run may never converge.
+	Faults *FaultPlan
+
 	// Replicate expands the vehicle into this many jobs with distinct
 	// deterministic seeds (default 1).
 	Replicate int
@@ -110,6 +124,9 @@ type Fleet struct {
 	JobTimeout time.Duration
 	// Observer receives job lifecycle events (may be nil).
 	Observer FleetObserver
+	// Faults is the fleet-wide default fault plan, applied to every
+	// vehicle that doesn't pin its own.
+	Faults *FaultPlan
 	// Vehicles is the fleet population.
 	Vehicles []VehicleSpec
 }
@@ -147,12 +164,16 @@ func (f Fleet) Jobs() ([]FleetJobSpec, error) {
 		if name == "" {
 			name = fmt.Sprintf("vehicle-%d", vi)
 		}
+		vv := v
+		if vv.Faults == nil {
+			vv.Faults = f.Faults
+		}
 		for k := 0; k < reps; k++ {
 			jobName := name
 			if reps > 1 {
 				jobName = fmt.Sprintf("%s-%d", name, k)
 			}
-			run, err := v.jobFunc()
+			run, err := vv.jobFunc()
 			if err != nil {
 				return nil, fmt.Errorf("arachnet: vehicle %q: %w", name, err)
 			}
@@ -180,8 +201,9 @@ func (v VehicleSpec) jobFunc() (fleet.JobFunc, error) {
 		if slots <= 0 {
 			slots = 10_000
 		}
+		plan := v.Faults
 		return func(ctx context.Context, job FleetJobInfo) (FleetResult, error) {
-			return runSlotsVehicle(ctx, mac.SlotSimConfig{Pattern: pt, Seed: job.Seed}, slots, converge)
+			return runSlotsVehicle(ctx, mac.SlotSimConfig{Pattern: pt, Seed: job.Seed}, slots, converge, plan)
 		}, nil
 	case "network":
 		base := v.Network
@@ -203,10 +225,11 @@ func (v VehicleSpec) jobFunc() (fleet.JobFunc, error) {
 			seconds = 120
 		}
 		cfg := *base
+		plan := v.Faults
 		return func(ctx context.Context, job FleetJobInfo) (FleetResult, error) {
 			c := cfg
 			c.Seed = job.Seed
-			return runNetworkVehicle(ctx, c, seconds)
+			return runNetworkVehicle(ctx, c, seconds, plan)
 		}, nil
 	}
 	return nil, fmt.Errorf("unknown engine %q (want slots or network)", v.Engine)
@@ -218,8 +241,13 @@ func (v VehicleSpec) jobFunc() (fleet.JobFunc, error) {
 const fleetChunkSlots = 512
 
 // runSlotsVehicle executes one slot-level job with cooperative
-// cancellation.
-func runSlotsVehicle(ctx context.Context, cfg mac.SlotSimConfig, slots, convergeWithin int) (FleetResult, error) {
+// cancellation; a non-empty fault plan turns it into a chaos job that
+// also reports recovery metrics from the recorded trace.
+func runSlotsVehicle(ctx context.Context, cfg mac.SlotSimConfig, slots, convergeWithin int, plan *FaultPlan) (FleetResult, error) {
+	sink, inj, err := slotFaultsConfig(&cfg, plan, cfg.Pattern.NumTags())
+	if err != nil {
+		return FleetResult{}, err
+	}
 	s, err := mac.NewSlotSim(cfg)
 	if err != nil {
 		return FleetResult{}, err
@@ -256,15 +284,49 @@ func runSlotsVehicle(ctx context.Context, cfg mac.SlotSimConfig, slots, converge
 		res.Metrics[FleetMetricConverged] = 1
 		res.Metrics[FleetMetricConvergenceSlots] = float64(s.Convergence.ConvergenceSlot())
 	}
+	if sink != nil {
+		addFaultResults(&res, sink, inj)
+	}
 	return res, nil
 }
 
+// addFaultResults folds a chaos job's recovery analysis into its fleet
+// result.
+func addFaultResults(res *FleetResult, sink *MemorySink, inj *FaultInjector) {
+	rep := AnalyzeRecovery(sink.Events())
+	res.Metrics[FleetMetricReconvergeSlots] = float64(rep.ReconvergeSlots)
+	res.Metrics[FleetMetricSettledChurn] = float64(rep.SettledChurn)
+	res.Counters[FleetCounterFaultsInjected] = uint64(inj.InjectedTotal())
+	res.Counters[FleetCounterBrownouts] = uint64(rep.Brownouts)
+}
+
 // runNetworkVehicle executes one full event-level job with cooperative
-// cancellation (polled every 10 simulated seconds).
-func runNetworkVehicle(ctx context.Context, cfg NetworkConfig, seconds int) (FleetResult, error) {
+// cancellation (polled every 10 simulated seconds). A non-empty fault
+// plan attaches a per-slot injector to the running network (fades,
+// carrier outages and forced brownouts at the physical layer) and
+// reports the recovery metrics from its trace.
+func runNetworkVehicle(ctx context.Context, cfg NetworkConfig, seconds int, plan *FaultPlan) (FleetResult, error) {
+	var sink *MemorySink
+	var inj *FaultInjector
+	if plan != nil && !plan.Empty() {
+		if cfg.Trace != nil {
+			return FleetResult{}, fmt.Errorf("arachnet: fault plan with an external tracer is unsupported")
+		}
+		var tr *Tracer
+		sink, tr = faultsTracer()
+		var err error
+		inj, err = NewFaultInjector(*plan, cfg.Seed, len(cfg.Tags), tr)
+		if err != nil {
+			return FleetResult{}, err
+		}
+		cfg.Trace = tr
+	}
 	net, err := NewNetwork(cfg)
 	if err != nil {
 		return FleetResult{}, err
+	}
+	if inj != nil {
+		net.AttachFaults(inj)
 	}
 	end := Time(seconds) * Second
 	for net.Now() < end {
@@ -292,6 +354,9 @@ func runNetworkVehicle(ctx context.Context, cfg NetworkConfig, seconds int) (Fle
 	if st.Converged {
 		res.Metrics[FleetMetricConverged] = 1
 		res.Metrics[FleetMetricConvergenceSlots] = float64(st.ConvergenceSlot)
+	}
+	if sink != nil {
+		addFaultResults(&res, sink, inj)
 	}
 	return res, nil
 }

@@ -25,6 +25,10 @@ import (
 //	     "network": {"tags": [{"tid": 1, "period": 4, "start_charged": true}]}}
 //	  ]
 //	}
+//
+// A "faults" block (the fault-plan schema from internal/faults) may
+// appear at the fleet level — the default chaos plan for every vehicle
+// — or per vehicle, which overrides the fleet default.
 
 type jsonVehicleSpec struct {
 	Name            string             `json:"name"`
@@ -38,12 +42,14 @@ type jsonVehicleSpec struct {
 	ChargeFromEmpty bool               `json:"charge_from_empty,omitempty"`
 	Replicate       int                `json:"replicate,omitempty"`
 	Seed            *uint64            `json:"seed,omitempty"`
+	Faults          *FaultPlan         `json:"faults,omitempty"`
 }
 
 type jsonFleetSpec struct {
 	Seed         uint64            `json:"seed"`
 	Workers      int               `json:"workers,omitempty"`
 	JobTimeoutMS int64             `json:"job_timeout_ms,omitempty"`
+	Faults       *FaultPlan        `json:"faults,omitempty"`
 	Vehicles     []jsonVehicleSpec `json:"vehicles"`
 }
 
@@ -54,6 +60,7 @@ func MarshalFleetJSON(f Fleet) ([]byte, error) {
 		Seed:         f.Seed,
 		Workers:      f.Workers,
 		JobTimeoutMS: int64(f.JobTimeout / time.Millisecond),
+		Faults:       f.Faults,
 	}
 	for _, v := range f.Vehicles {
 		jv := jsonVehicleSpec{
@@ -77,6 +84,7 @@ func MarshalFleetJSON(f Fleet) ([]byte, error) {
 			seed := v.Seed
 			jv.Seed = &seed
 		}
+		jv.Faults = v.Faults
 		j.Vehicles = append(j.Vehicles, jv)
 	}
 	return json.MarshalIndent(j, "", "  ")
@@ -94,6 +102,12 @@ func UnmarshalFleetJSON(data []byte) (Fleet, error) {
 		Seed:       j.Seed,
 		Workers:    j.Workers,
 		JobTimeout: time.Duration(j.JobTimeoutMS) * time.Millisecond,
+		Faults:     j.Faults,
+	}
+	if j.Faults != nil {
+		if err := j.Faults.Validate(); err != nil {
+			return Fleet{}, fmt.Errorf("arachnet: fleet faults: %w", err)
+		}
 	}
 	for i, jv := range j.Vehicles {
 		v := VehicleSpec{
@@ -119,6 +133,12 @@ func UnmarshalFleetJSON(data []byte) (Fleet, error) {
 		if jv.Seed != nil {
 			v.Seed = *jv.Seed
 			v.HasSeed = true
+		}
+		if jv.Faults != nil {
+			if err := jv.Faults.Validate(); err != nil {
+				return Fleet{}, fmt.Errorf("arachnet: fleet vehicle %d (%q) faults: %w", i, jv.Name, err)
+			}
+			v.Faults = jv.Faults
 		}
 		f.Vehicles = append(f.Vehicles, v)
 	}

@@ -41,6 +41,9 @@ const (
 	TraceDecode      = obs.KindDecode
 	TraceJobStart    = obs.KindJobStart
 	TraceJobFinish   = obs.KindJobFinish
+	TraceFaultInject = obs.KindFaultInject
+	TraceFaultClear  = obs.KindFaultClear
+	TraceTagRejoin   = obs.KindTagRejoin
 )
 
 // NewTracer builds a tracer over the given sinks.

@@ -10,11 +10,20 @@
 //	arachnet-fleet -pattern c3 -vehicles 64 -converge 500000
 //	arachnet-fleet -engine network -pattern c2 -vehicles 16 -seconds 120
 //	arachnet-fleet -pattern c5 -vehicles 32 -write-spec fleet.json
+//	arachnet-fleet -pattern c7 -vehicles 32 -faults plan.json
+//
+// -faults loads a fault plan (see internal/faults) as the fleet-wide
+// default, turning the run into a chaos sweep that also reports
+// recovery metrics; vehicles in a spec file may pin their own plans.
 //
 // Results are deterministic for a given spec and seed: the report's
 // fingerprint is independent of -workers and of scheduling, so two
 // operators running the same spec can diff fingerprints to cross-check
-// their fleets.
+// their fleets. Fault injection preserves this: chaos sweeps replicate
+// bit-identically too.
+//
+// SIGINT/SIGTERM cancel the remaining jobs; the partial report still
+// prints, sinks flush, and the process exits non-zero.
 package main
 
 import (
@@ -25,6 +34,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"syscall"
 	"time"
 
 	"repro/arachnet"
@@ -40,6 +50,7 @@ func main() {
 	traceText := flag.Bool("trace-text", false, "trace job lifecycle events as text to stderr")
 	metrics := flag.Bool("metrics", false, "print aggregated event metrics to stderr at exit")
 	writeSpec := flag.String("write-spec", "", "write the effective fleet spec as JSON to this file and exit")
+	faultsPath := flag.String("faults", "", "JSON fault plan injected into every vehicle (fleet-wide default; spec vehicles may override)")
 
 	// Ad-hoc sweep construction, used when no spec file is given.
 	engine := flag.String("engine", "slots", "ad-hoc sweep: engine (slots or network)")
@@ -85,6 +96,13 @@ func main() {
 			f.Seed = *seed
 		}
 	})
+	if *faultsPath != "" {
+		plan, err := arachnet.LoadFaultPlanFile(*faultsPath)
+		if err != nil {
+			fatal(err)
+		}
+		f.Faults = &plan
+	}
 
 	if *writeSpec != "" {
 		if err := arachnet.SaveFleetFile(*writeSpec, f); err != nil {
@@ -131,8 +149,9 @@ func main() {
 		fmt.Printf("fleet: %d jobs, %d vehicles, seed %d\n", len(jobs), len(f.Vehicles), f.Seed)
 	}
 
-	// Ctrl-C cancels the run but still prints the partial report.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// SIGINT/SIGTERM cancel the run but still print the partial report
+	// and flush the trace sinks; the exit status is non-zero.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	rep, err := arachnet.RunFleet(ctx, f)
@@ -165,7 +184,7 @@ func main() {
 	if *metrics {
 		fmt.Fprintln(os.Stderr, tr.Metrics().Snapshot())
 	}
-	if !rep.Ok() {
+	if !rep.Ok() || ctx.Err() != nil {
 		os.Exit(1)
 	}
 }

@@ -11,12 +11,23 @@
 //	arachnet-sim -engine slots -slots 100000 -pattern c5 -seed 7
 //	arachnet-sim -pattern c2 -charge   # tags charge from empty
 //	arachnet-sim -pattern c3 -trace events.jsonl -metrics
+//	arachnet-sim -engine slots -pattern c7 -faults plan.json
+//
+// -faults injects the deterministic fault plan (see internal/faults)
+// into the run and prints the recovery report when it finishes.
+//
+// SIGINT/SIGTERM stop the simulation at the next report boundary: the
+// trace and metrics sinks are flushed, the partial statistics (and
+// recovery report) are printed, and the process exits non-zero.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/arachnet"
 )
@@ -34,12 +45,23 @@ func main() {
 	tracePath := flag.String("trace", "", `write the JSONL observability event stream to this file ("-" = stderr)`)
 	metrics := flag.Bool("metrics", false, "print aggregated event metrics to stderr at exit")
 	simEvents := flag.Bool("sim-events", false, "include engine-level sim_event records in the trace (very verbose)")
+	faultsPath := flag.String("faults", "", "JSON fault plan to inject (see internal/faults); prints the recovery report at exit")
 	flag.Parse()
 
-	tr, finishTrace, err := setupTrace(*tracePath, *metrics)
+	var plan *arachnet.FaultPlan
+	var recSink *arachnet.MemorySink
+	if *faultsPath != "" {
+		p, err := arachnet.LoadFaultPlanFile(*faultsPath)
+		if err != nil {
+			fatal(err)
+		}
+		plan = &p
+		recSink = arachnet.NewMemorySink()
+	}
+
+	tr, finishTrace, err := setupTrace(*tracePath, *metrics, recSink)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal(err)
 	}
 	if !*simEvents {
 		// Event-level runs fire thousands of engine events per simulated
@@ -47,51 +69,80 @@ func main() {
 		tr.Mute(arachnet.TraceSimEvent)
 	}
 
-	if *configPath != "" {
-		cfg, err := arachnet.LoadConfigFile(*configPath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		cfg.Seed = *seed
-		cfg.WaveformDecode = *waveform
-		cfg.Trace = tr
-		runNetworkConfig(cfg, *duration, *report)
-		finishTrace()
-		return
-	}
+	// A signal stops the run at the next report boundary; sinks still
+	// flush and partial results still print.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
-	var pattern arachnet.Pattern
-	found := false
-	for _, p := range arachnet.Table3Patterns() {
-		if p.Name == *patternName {
-			pattern, found = p, true
-			break
+	run := func() {
+		if *configPath != "" {
+			cfg, err := arachnet.LoadConfigFile(*configPath)
+			if err != nil {
+				fatal(err)
+			}
+			cfg.Seed = *seed
+			cfg.WaveformDecode = *waveform
+			cfg.Trace = tr
+			runNetworkConfig(ctx, cfg, plan, *duration, *report)
+			return
+		}
+
+		var pattern arachnet.Pattern
+		found := false
+		for _, p := range arachnet.Table3Patterns() {
+			if p.Name == *patternName {
+				pattern, found = p, true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "unknown pattern %q (c1..c9)\n", *patternName)
+			os.Exit(2)
+		}
+
+		switch *engine {
+		case "network":
+			runNetwork(ctx, pattern, plan, *seed, *duration, *charge, *waveform, *report, tr)
+		case "slots":
+			runSlots(ctx, pattern, plan, *seed, *slots, *report, tr)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown engine %q\n", *engine)
+			os.Exit(2)
 		}
 	}
-	if !found {
-		fmt.Fprintf(os.Stderr, "unknown pattern %q (c1..c9)\n", *patternName)
-		os.Exit(2)
-	}
+	run()
 
-	switch *engine {
-	case "network":
-		runNetwork(pattern, *seed, *duration, *charge, *waveform, *report, tr)
-	case "slots":
-		runSlots(pattern, *seed, *slots, *report, tr)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown engine %q\n", *engine)
-		os.Exit(2)
+	if recSink != nil {
+		fmt.Println()
+		fmt.Println(arachnet.AnalyzeRecovery(recSink.Events()).String())
 	}
 	finishTrace()
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "interrupted: partial results above")
+		os.Exit(1)
+	}
 }
 
-// setupTrace builds the tracer for the -trace / -metrics flags. The
-// returned finish function checks for trailing write errors, closes the
-// trace file, and prints the metrics snapshot; it exits non-zero on a
-// truncated trace.
-func setupTrace(path string, metrics bool) (*arachnet.Tracer, func(), error) {
-	if path == "" && !metrics {
+// recoverySink filters the trace stream down to the events the recovery
+// analysis consumes, so an interactive -faults run buffers kilobytes
+// instead of the whole slot-by-slot stream.
+type recoverySink struct{ mem *arachnet.MemorySink }
+
+func (s recoverySink) Emit(ev arachnet.TraceEvent) {
+	switch ev.Kind {
+	case arachnet.TraceSlotOpen, arachnet.TraceSlotClose,
+		arachnet.TraceSimEvent, arachnet.TraceDecode:
+		return
+	}
+	s.mem.Emit(ev)
+}
+
+// setupTrace builds the tracer for the -trace / -metrics flags, plus
+// the recovery sink when a fault plan is loaded. The returned finish
+// function checks for trailing write errors, closes the trace file, and
+// prints the metrics snapshot; it exits non-zero on a truncated trace.
+func setupTrace(path string, metrics bool, recSink *arachnet.MemorySink) (*arachnet.Tracer, func(), error) {
+	if path == "" && !metrics && recSink == nil {
 		return nil, func() {}, nil
 	}
 	var sinks []arachnet.TraceSink
@@ -109,6 +160,9 @@ func setupTrace(path string, metrics bool) (*arachnet.Tracer, func(), error) {
 		}
 		jsonl = arachnet.NewJSONLSink(out)
 		sinks = append(sinks, jsonl)
+	}
+	if recSink != nil {
+		sinks = append(sinks, recoverySink{recSink})
 	}
 	tr := arachnet.NewTracer(sinks...)
 	if metrics {
@@ -134,7 +188,7 @@ func setupTrace(path string, metrics bool) (*arachnet.Tracer, func(), error) {
 	return tr, finish, nil
 }
 
-func runNetwork(pattern arachnet.Pattern, seed uint64, duration int, charge, waveform bool, report int, tr *arachnet.Tracer) {
+func runNetwork(ctx context.Context, pattern arachnet.Pattern, plan *arachnet.FaultPlan, seed uint64, duration int, charge, waveform bool, report int, tr *arachnet.Tracer) {
 	cfg := arachnet.NetworkConfig{Seed: seed, WaveformDecode: waveform, Trace: tr}
 	for i, p := range pattern.Periods {
 		cfg.Tags = append(cfg.Tags, arachnet.TagSpec{
@@ -143,16 +197,26 @@ func runNetwork(pattern arachnet.Pattern, seed uint64, duration int, charge, wav
 	}
 	fmt.Printf("event-level network: pattern %s (U=%.3f, %d tags), %d s\n",
 		pattern.Name, pattern.Utilization(), pattern.NumTags(), duration)
-	runNetworkConfig(cfg, duration, report)
+	runNetworkConfig(ctx, cfg, plan, duration, report)
 }
 
-func runNetworkConfig(cfg arachnet.NetworkConfig, duration, report int) {
+func runNetworkConfig(ctx context.Context, cfg arachnet.NetworkConfig, plan *arachnet.FaultPlan, duration, report int) {
 	net, err := arachnet.NewNetwork(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal(err)
+	}
+	if plan != nil && !plan.Empty() {
+		inj, err := arachnet.NewFaultInjector(*plan, cfg.Seed, len(cfg.Tags), cfg.Trace)
+		if err != nil {
+			fatal(err)
+		}
+		net.AttachFaults(inj)
+		defer func() { fmt.Printf("faults injected: %s\n", arachnet.FaultCensusString(inj)) }()
 	}
 	for t := report; t <= duration; t += report {
+		if ctx.Err() != nil {
+			break
+		}
 		net.Run(arachnet.Time(t) * arachnet.Second)
 		st := net.Stats()
 		fmt.Printf("t=%4ds slots=%5d decoded=%5d non-empty=%.3f collisions=%.3f converged=%v\n",
@@ -162,15 +226,27 @@ func runNetworkConfig(cfg arachnet.NetworkConfig, duration, report int) {
 	fmt.Println(net.Stats())
 }
 
-func runSlots(pattern arachnet.Pattern, seed uint64, slots, report int, tr *arachnet.Tracer) {
-	s, err := arachnet.NewSlotSim(arachnet.SlotSimConfig{Pattern: pattern, Seed: seed, Trace: tr})
+func runSlots(ctx context.Context, pattern arachnet.Pattern, plan *arachnet.FaultPlan, seed uint64, slots, report int, tr *arachnet.Tracer) {
+	cfg := arachnet.SlotSimConfig{Pattern: pattern, Seed: seed, Trace: tr}
+	var inj *arachnet.FaultInjector
+	if plan != nil && !plan.Empty() {
+		var err error
+		inj, err = arachnet.NewFaultInjector(*plan, seed, pattern.NumTags(), tr)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Faults = inj
+	}
+	s, err := arachnet.NewSlotSim(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal(err)
 	}
 	fmt.Printf("slot-level simulator: pattern %s (U=%.3f, %d tags), %d slots\n",
 		pattern.Name, pattern.Utilization(), pattern.NumTags(), slots)
 	for done := 0; done < slots; {
+		if ctx.Err() != nil {
+			break
+		}
 		n := report
 		if done+n > slots {
 			n = slots - done
@@ -187,4 +263,12 @@ func runSlots(pattern arachnet.Pattern, seed uint64, slots, report int, tr *arac
 	}
 	fmt.Printf("\nfirst convergence: %s; ground truth: %d non-empty, %d collision slots\n",
 		conv, s.TruthNonEmpty, s.TruthCollisions)
+	if inj != nil {
+		fmt.Printf("faults injected: %s\n", arachnet.FaultCensusString(inj))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
 }

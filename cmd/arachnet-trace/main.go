@@ -11,6 +11,10 @@
 //	arachnet-trace -pattern c3 -slots 500 > trace.csv
 //	arachnet-trace -pattern c5 -seed 9 -loss 0.001 -trace events.jsonl
 //	arachnet-trace -pattern c3 -metrics
+//	arachnet-trace -pattern c7 -slots 20000 -faults plan.json
+//
+// -faults injects a deterministic fault plan (see internal/faults);
+// the recovery report is printed to stderr after the CSV completes.
 package main
 
 import (
@@ -32,6 +36,7 @@ func main() {
 	capture := flag.Float64("capture", 0.5, "capture-effect decode probability")
 	tracePath := flag.String("trace", "", `write the JSONL event stream to this file ("-" = stderr)`)
 	metrics := flag.Bool("metrics", false, "print aggregated event metrics to stderr at exit")
+	faultsPath := flag.String("faults", "", "JSON fault plan to inject; prints the recovery report to stderr at exit")
 	flag.Parse()
 
 	var pattern arachnet.Pattern
@@ -76,13 +81,29 @@ func main() {
 	for i := range lossVec {
 		lossVec[i] = *loss
 	}
-	s, err := arachnet.NewSlotSim(arachnet.SlotSimConfig{
+	cfg := arachnet.SlotSimConfig{
 		Pattern:        pattern,
 		Seed:           *seed,
 		BeaconLossProb: lossVec,
 		CaptureProb:    *capture,
 		Trace:          tr,
-	})
+	}
+	faulted := false
+	if *faultsPath != "" {
+		plan, err := arachnet.LoadFaultPlanFile(*faultsPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		inj, err := arachnet.NewFaultInjector(plan, *seed, pattern.NumTags(), tr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cfg.Faults = inj
+		faulted = true
+	}
+	s, err := arachnet.NewSlotSim(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -94,12 +115,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	// Fault-relevant events are accumulated across the per-step drains
+	// so the recovery report can replay them at the end; everything else
+	// is discarded after rendering to keep memory bounded.
+	var recEvents []arachnet.TraceEvent
 	for i := 0; i < *slots; i++ {
 		s.Step()
 		// Render the row from the slot-close event; draining per step
 		// keeps memory bounded on long runs.
 		var row []string
 		for _, ev := range mem.Drain() {
+			if faulted {
+				switch ev.Kind {
+				case arachnet.TraceSlotOpen, arachnet.TraceSlotClose:
+				default:
+					recEvents = append(recEvents, ev)
+				}
+			}
 			if ev.Kind != arachnet.TraceSlotClose {
 				continue
 			}
@@ -145,6 +177,9 @@ func main() {
 	}
 	if *metrics {
 		fmt.Fprintln(os.Stderr, tr.Metrics().Snapshot())
+	}
+	if faulted {
+		fmt.Fprintln(os.Stderr, arachnet.AnalyzeRecovery(recEvents).String())
 	}
 }
 

@@ -44,6 +44,12 @@ type Channel struct {
 	// NoiseDensity is the reader-side noise power spectral density
 	// (V^2/Hz) in the band around the carrier.
 	NoiseDensity float64
+	// GainOffsetDB, when set, adds a time-varying per-tag path-loss
+	// offset (dB, positive = extra loss) on top of the deployment's
+	// static loss — the fault-injection layer drives transient fades
+	// through this hook. It applies to harvesting, backscatter and
+	// downlink alike (the fade is a property of the acoustic path).
+	GainOffsetDB func(id int) float64
 	// referenceLossDB caches the lowest tag path loss.
 	referenceLossDB float64
 }
@@ -68,12 +74,25 @@ func DefaultChannel(d *Deployment) *Channel {
 	return c
 }
 
+// tagLossDB resolves a tag's effective path loss: static deployment
+// loss plus the dynamic fault offset, if any.
+func (c *Channel) tagLossDB(id int) (float64, error) {
+	loss, err := c.Deployment.TagLossDB(id)
+	if err != nil {
+		return 0, err
+	}
+	if c.GainOffsetDB != nil {
+		loss += c.GainOffsetDB(id)
+	}
+	return loss, nil
+}
+
 // TagPeakVoltage returns the open-circuit peak voltage Vp on the tag's
 // PZT while the reader transmits the carrier. This is the input to the
 // multi-stage voltage multiplier (Sec. 3.2) and uses the full physical
 // path loss.
 func (c *Channel) TagPeakVoltage(id int) (float64, error) {
-	loss, err := c.Deployment.TagLossDB(id)
+	loss, err := c.tagLossDB(id)
 	if err != nil {
 		return 0, err
 	}
@@ -84,7 +103,7 @@ func (c *Channel) TagPeakVoltage(id int) (float64, error) {
 // ADC) of tag id's backscatter signal, using the clutter-compressed
 // calibration described on Channel.
 func (c *Channel) BackscatterAmplitude(id int) (float64, error) {
-	loss, err := c.Deployment.TagLossDB(id)
+	loss, err := c.tagLossDB(id)
 	if err != nil {
 		return 0, err
 	}

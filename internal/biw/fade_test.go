@@ -1,0 +1,58 @@
+package biw
+
+import (
+	"math"
+	"testing"
+)
+
+// The GainOffsetDB hook must attenuate harvesting and (compressed)
+// backscatter while set, per tag, and restore the static budget when
+// cleared — the contract the fault-injection layer's fades rely on.
+func TestGainOffsetDBHook(t *testing.T) {
+	d := NewONVOL60()
+	c := DefaultChannel(d)
+
+	v0, err := c.TagPeakVoltage(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a0, err := c.BackscatterAmplitude(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vOther, _ := c.TagPeakVoltage(2)
+
+	const depth = 6.0
+	c.GainOffsetDB = func(id int) float64 {
+		if id == 1 {
+			return depth
+		}
+		return 0
+	}
+	v1, err := c.TagPeakVoltage(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantV := v0 * math.Pow(10, -depth/20)
+	if math.Abs(v1-wantV) > 1e-12 {
+		t.Errorf("faded harvest voltage %v, want %v", v1, wantV)
+	}
+	a1, err := c.BackscatterAmplitude(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Backscatter sees the clutter-compressed delta.
+	wantA := a0 * math.Pow(10, -depth*c.ClutterCompression/20)
+	if math.Abs(a1-wantA) > 1e-12 {
+		t.Errorf("faded backscatter %v, want %v", a1, wantA)
+	}
+	// Other tags are untouched.
+	if v, _ := c.TagPeakVoltage(2); v != vOther {
+		t.Errorf("tag 2 voltage changed under tag 1 fade: %v vs %v", v, vOther)
+	}
+
+	c.GainOffsetDB = nil
+	if v, _ := c.TagPeakVoltage(1); v != v0 {
+		t.Errorf("voltage after clearing fade %v, want %v", v, v0)
+	}
+}

@@ -1,0 +1,138 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// Mid-slot brownout: a withdrawal that exceeds the stored energy while
+// the tag is actively responding must zero the capacitor, report
+// failure, emit the brownout trace event with the owning tag and
+// demanded energy, and open the cutoff.
+func TestBrownoutDuringInProgressSlot(t *testing.T) {
+	sink := obs.NewMemorySink()
+	tr := obs.New(sink)
+
+	cap_ := NewSupercap()
+	cap_.Trace = tr
+	cap_.TraceTID = 7
+	now := 123.5
+	cap_.Now = func() float64 { return now }
+
+	cut := NewCutoff()
+	cut.Trace = tr
+	cut.TraceTID = 7
+	cut.Now = cap_.Now
+
+	// Charged above HTH, MCU powered, mid-response.
+	cap_.SetVolts(cut.HighThreshold() + 0.1)
+	if !cut.Update(cap_.Volts()) {
+		t.Fatal("cutoff not on above HTH")
+	}
+
+	// The response draws far more than the bank holds (forced drain).
+	demand := cap_.EnergyJoules()*2 + 1e-6
+	if cap_.Withdraw(demand, 1) {
+		t.Fatal("over-budget withdrawal reported success")
+	}
+	if cap_.Volts() != 0 {
+		t.Fatalf("capacitor at %v V after brownout, want 0", cap_.Volts())
+	}
+	if cut.Update(cap_.Volts()) {
+		t.Fatal("cutoff still on at 0 V")
+	}
+
+	events := sink.Events()
+	bo := obs.OfKind(events, obs.KindBrownout)
+	if len(bo) != 1 {
+		t.Fatalf("brownout events = %d, want 1", len(bo))
+	}
+	if bo[0].TID != 7 || bo[0].T != now {
+		t.Errorf("brownout event %+v, want tid=7 t=%v", bo[0], now)
+	}
+	if math.Abs(bo[0].Value-demand) > 1e-15 {
+		t.Errorf("brownout demand %v, want %v", bo[0].Value, demand)
+	}
+	off := obs.OfKind(events, obs.KindCutoffOff)
+	if len(off) != 1 || off[0].TID != 7 {
+		t.Fatalf("cutoff_off events = %+v, want one for tid 7", off)
+	}
+
+	// Partial withdrawal landing between 0 and LTH: succeeds (the energy
+	// was there), no brownout, but the comparator opens.
+	cap_.SetVolts(cut.HighThreshold())
+	cut.Update(cap_.Volts())
+	e := cap_.EnergyJoules()
+	target := 0.5 * cap_.Farads * 1.0 // energy at 1.0 V, below LTH
+	if !cap_.Withdraw(e-target, 1) {
+		t.Fatal("partial withdrawal failed")
+	}
+	if v := cap_.Volts(); math.Abs(v-1.0) > 1e-9 {
+		t.Fatalf("voltage after partial withdrawal %v, want 1.0", v)
+	}
+	if cut.Update(cap_.Volts()) {
+		t.Fatal("cutoff on below LTH")
+	}
+	if got := len(obs.OfKind(sink.Events(), obs.KindBrownout)); got != 1 {
+		t.Errorf("brownout events after partial withdrawal = %d, want still 1", got)
+	}
+}
+
+// Re-activation hysteresis at the exact thresholds: the comparator
+// closes at capVolts >= HTH (the boundary itself powers the MCU), holds
+// state across the dead band, and opens only strictly below LTH —
+// exactly LTH keeps the MCU alive, which is what lets a tag resume from
+// LTH instead of recharging from scratch.
+func TestReactivationHysteresisExactThresholds(t *testing.T) {
+	sink := obs.NewMemorySink()
+	tr := obs.New(sink)
+	cut := NewCutoff()
+	cut.Trace = tr
+	cut.TraceTID = 3
+
+	hth, lth := cut.HighThreshold(), cut.LowThreshold()
+	if hth <= lth {
+		t.Fatalf("HTH %v <= LTH %v", hth, lth)
+	}
+
+	// Climbing: off through the whole dead band, on exactly at HTH.
+	if cut.Update(lth) {
+		t.Fatal("on at LTH while charging from below")
+	}
+	if cut.Update(hth - 1e-12) {
+		t.Fatal("on just below HTH")
+	}
+	if !cut.Update(hth) {
+		t.Fatal("off at exactly HTH")
+	}
+	on := obs.OfKind(sink.Events(), obs.KindCutoffOn)
+	if len(on) != 1 || on[0].TID != 3 || on[0].Value != hth {
+		t.Fatalf("cutoff_on events = %+v, want one at HTH for tid 3", on)
+	}
+
+	// Sagging: exactly LTH holds the switch closed.
+	if !cut.Update(lth) {
+		t.Fatal("off at exactly LTH while discharging")
+	}
+	if got := len(obs.OfKind(sink.Events(), obs.KindCutoffOff)); got != 0 {
+		t.Fatalf("cutoff_off fired at exactly LTH (%d events)", got)
+	}
+	// Just below LTH opens it.
+	if cut.Update(math.Nextafter(lth, 0)) {
+		t.Fatal("on just below LTH")
+	}
+	off := obs.OfKind(sink.Events(), obs.KindCutoffOff)
+	if len(off) != 1 || off[0].TID != 3 {
+		t.Fatalf("cutoff_off events = %+v, want exactly one for tid 3", off)
+	}
+
+	// Second climb re-arms: HTH again closes and emits a second on-event.
+	if !cut.Update(hth) {
+		t.Fatal("off at HTH on second climb")
+	}
+	if got := len(obs.OfKind(sink.Events(), obs.KindCutoffOn)); got != 2 {
+		t.Errorf("cutoff_on events = %d, want 2", got)
+	}
+}

@@ -1,0 +1,146 @@
+package faults
+
+import (
+	"fmt"
+
+	"repro/internal/mac"
+	"repro/internal/obs"
+)
+
+// InvariantConfig bounds the protocol-recovery invariants. The zero
+// value resolves to defaults sized for the paper's deployment (max
+// period 32, NackThreshold 3).
+type InvariantConfig struct {
+	// EvictBoundSlots bounds how long after a tag_evict the victim's
+	// unsettle may arrive (the eviction-terminates invariant). The
+	// default of 16*32 covers NackThreshold expected-slot misses at the
+	// longest period with wide margin.
+	EvictBoundSlots int
+	// ResettleBoundPeriods bounds a rejoined tag's return to SETTLE, in
+	// units of its own period. Default 64: a rejoiner gets one
+	// contention opportunity per period, and under moderate fault
+	// pressure the EMPTY-gated join succeeds within a few tries. The
+	// deadline also absorbs one EvictBoundSlots allowance, because a
+	// short-period rejoiner whose residue class was taken during its
+	// darkness must wait out a full eviction round (the victim shows up
+	// on schedule NackThreshold times at up to the longest period)
+	// before any offset becomes feasible.
+	ResettleBoundPeriods int
+}
+
+func (c InvariantConfig) withDefaults() InvariantConfig {
+	if c.EvictBoundSlots <= 0 {
+		c.EvictBoundSlots = 16 * 32
+	}
+	if c.ResettleBoundPeriods <= 0 {
+		c.ResettleBoundPeriods = 64
+	}
+	return c
+}
+
+// InvariantError pinpoints the first violated invariant.
+type InvariantError struct {
+	Invariant string
+	Slot      int
+	TID       int
+	Msg       string
+}
+
+func (e *InvariantError) Error() string {
+	return fmt.Sprintf("faults: invariant %q violated at slot %d (tid %d): %s",
+		e.Invariant, e.Slot, e.TID, e.Msg)
+}
+
+// CheckInvariants replays an obs event stream and verifies the
+// protocol's recovery invariants under fault injection:
+//
+//  1. no-duplicate-slot: no two settled tags ever hold conflicting
+//     (period, offset) schedules — the ledger plus future-collision
+//     veto keep the settled set collision-free even while faults churn
+//     it.
+//  2. eviction-terminates: every tag_evict is followed by the victim's
+//     unsettle within EvictBoundSlots (unless the trace ends first —
+//     an eviction still in flight at the horizon is not a violation).
+//  3. bounded-resettle: every browned-out tag's rejoin is followed by
+//     a settle within ResettleBoundPeriods of its own period (again,
+//     windows still open at the horizon are skipped; a re-brownout
+//     restarts the window).
+func CheckInvariants(events []obs.Event, cfg InvariantConfig) error {
+	cfg = cfg.withDefaults()
+	settled := make(map[int]mac.Assignment)
+	evictDeadline := make(map[int]int) // tid -> slot bound
+	type window struct {
+		rejoinSlot int
+		deadline   int
+	}
+	resettle := make(map[int]*window)
+	horizon := 0
+
+	for _, ev := range events {
+		if ev.Slot > horizon {
+			horizon = ev.Slot
+		}
+		switch ev.Kind {
+		case obs.KindTagSettle:
+			cand := mac.Assignment{Period: mac.Period(ev.Period), Offset: ev.Offset}
+			delete(settled, ev.TID)
+			for tid, other := range settled {
+				if cand.Conflicts(other) {
+					return &InvariantError{Invariant: "no-duplicate-slot", Slot: ev.Slot, TID: ev.TID,
+						Msg: fmt.Sprintf("schedule (p=%d,o=%d) conflicts with settled tid %d (p=%d,o=%d)",
+							ev.Period, ev.Offset, tid, other.Period, other.Offset)}
+				}
+			}
+			settled[ev.TID] = cand
+			delete(resettle, ev.TID)
+		case obs.KindTagUnsettle:
+			delete(settled, ev.TID)
+			delete(evictDeadline, ev.TID)
+		case obs.KindTagEvict:
+			if _, pending := evictDeadline[ev.TID]; !pending {
+				evictDeadline[ev.TID] = ev.Slot + cfg.EvictBoundSlots
+			}
+		case obs.KindFaultInject:
+			switch ev.Detail {
+			case "brownout":
+				// Darkness voids any open resettle window; a new one
+				// opens at the rejoin.
+				delete(resettle, ev.TID)
+			case "reader_reset":
+				// The restarted reader lost its ledger: settled beliefs,
+				// in-flight evictions and open resettle windows all
+				// restart from scratch (RESET re-randomizes every tag).
+				settled = make(map[int]mac.Assignment)
+				evictDeadline = make(map[int]int)
+				resettle = make(map[int]*window)
+			}
+		case obs.KindTagRejoin:
+			bound := cfg.ResettleBoundPeriods * ev.Period
+			if bound <= 0 {
+				bound = cfg.ResettleBoundPeriods
+			}
+			bound += cfg.EvictBoundSlots
+			resettle[ev.TID] = &window{rejoinSlot: ev.Slot, deadline: ev.Slot + bound}
+		}
+
+		// Deadlines are checked against the advancing slot clock, so a
+		// violation is reported at the first event past the bound.
+		for tid, dl := range evictDeadline {
+			if ev.Slot > dl {
+				return &InvariantError{Invariant: "eviction-terminates", Slot: ev.Slot, TID: tid,
+					Msg: fmt.Sprintf("victim not unsettled within %d slots of eviction", cfg.EvictBoundSlots)}
+			}
+		}
+		for tid, w := range resettle {
+			if ev.Slot > w.deadline {
+				return &InvariantError{Invariant: "bounded-resettle", Slot: ev.Slot, TID: tid,
+					Msg: fmt.Sprintf("not settled within %d periods of rejoin at slot %d",
+						cfg.ResettleBoundPeriods, w.rejoinSlot)}
+			}
+		}
+	}
+	// Deadlines still pending at the horizon are not violations: the
+	// trace simply ended before the window elapsed.
+	_ = horizon
+	return nil
+}

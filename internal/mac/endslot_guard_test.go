@@ -1,0 +1,56 @@
+package mac
+
+import (
+	"errors"
+	"testing"
+)
+
+// EndSlot must reject observations carrying impossible tag ids with a
+// typed error and leave all protocol state untouched — a corrupted
+// decode chain may hand the reader garbage, and garbage must not
+// advance the slot clock or poison the ledger.
+func TestEndSlotRejectsBadTIDs(t *testing.T) {
+	r, err := NewReaderProtocol(map[int]Period{1: 4, 2: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Reset()
+	// Establish some state: tag 1 decodes cleanly and settles.
+	if fb, err := r.EndSlot(Observation{Decoded: []int{1}}); err != nil || !fb.ACK {
+		t.Fatalf("clean decode: fb=%+v err=%v", fb, err)
+	}
+	slotBefore := r.Slot()
+	settledBefore := r.SettledCount()
+
+	for _, bad := range [][]int{{0}, {-1}, {MaxObservationTID + 1}, {2, -7}} {
+		fb, err := r.EndSlot(Observation{Decoded: bad})
+		if err == nil {
+			t.Fatalf("EndSlot(%v) accepted", bad)
+		}
+		var bt *BadTIDError
+		if !errors.As(err, &bt) {
+			t.Fatalf("EndSlot(%v) error %T, want *BadTIDError", bad, err)
+		}
+		if bt.TID != bad[len(bad)-1] && bt.TID != bad[0] {
+			t.Errorf("EndSlot(%v) reported tid %d", bad, bt.TID)
+		}
+		if fb != (Feedback{}) {
+			t.Errorf("EndSlot(%v) returned non-zero feedback %+v", bad, fb)
+		}
+		if r.Slot() != slotBefore {
+			t.Fatalf("EndSlot(%v) advanced the slot clock to %d", bad, r.Slot())
+		}
+		if r.SettledCount() != settledBefore {
+			t.Fatalf("EndSlot(%v) mutated the ledger", bad)
+		}
+	}
+
+	// The boundary id itself is valid.
+	if _, err := r.EndSlot(Observation{Decoded: []int{MaxObservationTID}}); err != nil {
+		t.Fatalf("EndSlot at MaxObservationTID rejected: %v", err)
+	}
+	// And the protocol still works after rejections.
+	if _, err := r.EndSlot(Observation{Decoded: []int{2}}); err != nil {
+		t.Fatalf("valid call after rejections failed: %v", err)
+	}
+}

@@ -22,10 +22,10 @@ func evictFixture(t *testing.T) (*ReaderProtocol, *obs.MemorySink) {
 	r.Reset()
 
 	// Slot 0: tid 1 settles at (4,0). Slot 1: tid 2 settles at (4,1).
-	if fb := r.EndSlot(Observation{Decoded: []int{1}}); !fb.ACK {
+	if fb, _ := r.EndSlot(Observation{Decoded: []int{1}}); !fb.ACK {
 		t.Fatal("tid 1 not ACKed on settle")
 	}
-	if fb := r.EndSlot(Observation{Decoded: []int{2}}); !fb.ACK {
+	if fb, _ := r.EndSlot(Observation{Decoded: []int{2}}); !fb.ACK {
 		t.Fatal("tid 2 not ACKed on settle")
 	}
 	if r.SettledCount() != 2 {
@@ -43,7 +43,7 @@ func TestEvictionLifecycle(t *testing.T) {
 
 	// Slot 2: blocked newcomer. Equal-period candidates tie, so the
 	// lowest-tid settled tag (tid 1) becomes the victim.
-	if fb := r.EndSlot(Observation{Decoded: []int{3}}); fb.ACK {
+	if fb, _ := r.EndSlot(Observation{Decoded: []int{3}}); fb.ACK {
 		t.Fatal("blocked newcomer was ACKed")
 	}
 	if got := r.EvictTarget(); got != 1 {
@@ -56,10 +56,10 @@ func TestEvictionLifecycle(t *testing.T) {
 	// (5, 9, 13) so trackExpected doesn't unsettle it as a bystander.
 	for round := 0; round < DefaultNackThreshold; round++ {
 		r.EndSlot(Observation{}) // slots 3, 7, 11: empty
-		if fb := r.EndSlot(Observation{Decoded: []int{1}}); fb.ACK {
+		if fb, _ := r.EndSlot(Observation{Decoded: []int{1}}); fb.ACK {
 			t.Fatalf("victim ACKed in round %d", round)
 		}
-		if fb := r.EndSlot(Observation{Decoded: []int{2}}); !fb.ACK {
+		if fb, _ := r.EndSlot(Observation{Decoded: []int{2}}); !fb.ACK {
 			t.Fatalf("bystander tid 2 NACKed in round %d", round)
 		}
 		r.EndSlot(Observation{Decoded: []int{3}}) // still blocked until victim drops
@@ -121,7 +121,7 @@ func TestEvictionVictimGoesSilent(t *testing.T) {
 	// ACK. Slot 15 is odd (candidate (2,1) would conflict with tid 2 at
 	// (4,1)), so the newcomer probes in slot 16.
 	r.EndSlot(Observation{}) // slot 15
-	if fb := r.EndSlot(Observation{Decoded: []int{3}}); !fb.ACK {
+	if fb, _ := r.EndSlot(Observation{Decoded: []int{3}}); !fb.ACK {
 		t.Fatal("newcomer still blocked after eviction cleared")
 	}
 

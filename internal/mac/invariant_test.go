@@ -136,7 +136,7 @@ func TestReaderBeliefCanConflictWithoutVeto(t *testing.T) {
 	// 2 — offset 0 mod 2, conflicting with tag 1 at slots 4, 8, ...
 	r.EndSlot(Observation{Decoded: []int{1}})
 	r.EndSlot(Observation{})
-	fb := r.EndSlot(Observation{Decoded: []int{2}})
+	fb, _ := r.EndSlot(Observation{Decoded: []int{2}})
 	if !fb.ACK {
 		t.Fatal("veto disabled but solo decode NACKed")
 	}

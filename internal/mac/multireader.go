@@ -122,7 +122,13 @@ func (m *MultiReaderSim) Step() {
 		if len(own) > 1 {
 			z.collisions++
 		}
-		z.fb = z.reader.EndSlot(obs)
+		fb, err := z.reader.EndSlot(obs)
+		if err != nil {
+			// Zone observations are built from this simulator's own
+			// tags; an invalid tid is a programming error.
+			panic(err)
+		}
+		z.fb = fb
 	}
 	m.slots++
 }

@@ -243,7 +243,7 @@ func TestReaderACKSettlesTag(t *testing.T) {
 		t.Fatal(err)
 	}
 	r.Reset()
-	fb := r.EndSlot(Observation{Decoded: []int{1}})
+	fb, _ := r.EndSlot(Observation{Decoded: []int{1}})
 	if !fb.ACK {
 		t.Error("clean solo decode should be ACKed")
 	}
@@ -256,11 +256,11 @@ func TestReaderNACKOnCollision(t *testing.T) {
 	r, _ := NewReaderProtocol(map[int]Period{1: 4, 2: 4})
 	r.Reset()
 	// Capture effect: packet decoded but collision inferred.
-	fb := r.EndSlot(Observation{Decoded: []int{1}, Collision: true})
+	fb, _ := r.EndSlot(Observation{Decoded: []int{1}, Collision: true})
 	if fb.ACK {
 		t.Error("collision must be NACKed even with a decoded packet (Sec. 5.3)")
 	}
-	fb = r.EndSlot(Observation{Decoded: []int{1, 2}})
+	fb, _ = r.EndSlot(Observation{Decoded: []int{1, 2}})
 	if fb.ACK {
 		t.Error("two decodes must be NACKed")
 	}
@@ -270,18 +270,18 @@ func TestReaderEmptyFlagEq4(t *testing.T) {
 	r, _ := NewReaderProtocol(map[int]Period{1: 2})
 	r.Reset()
 	// Slot 0: tag 1 decoded -> appears. Slot 1 opens.
-	fb := r.EndSlot(Observation{Decoded: []int{1}})
+	fb, _ := r.EndSlot(Observation{Decoded: []int{1}})
 	if !fb.Empty {
 		t.Error("slot 1 should be EMPTY (no packet at slot 1-2)")
 	}
 	// Slot 1: silence. Slot 2 opens: tag 1 was seen at slot 0 = 2-2,
 	// so slot 2 is predicted occupied.
-	fb = r.EndSlot(Observation{})
+	fb, _ = r.EndSlot(Observation{})
 	if fb.Empty {
 		t.Error("slot 2 should be non-EMPTY (packet seen one period ago)")
 	}
 	// Slot 2: silence. Slot 3 opens: slot 1 was silent -> EMPTY.
-	fb = r.EndSlot(Observation{})
+	fb, _ = r.EndSlot(Observation{})
 	if !fb.Empty {
 		t.Error("slot 3 should be EMPTY")
 	}
@@ -293,18 +293,18 @@ func TestReaderFutureCollisionVeto(t *testing.T) {
 	// in future slots 4, 8, ... -> must be NACKed though decoded clean.
 	r, _ := NewReaderProtocol(map[int]Period{1: 4, 2: 2})
 	r.Reset()
-	fb := r.EndSlot(Observation{Decoded: []int{1}}) // slot 0: tag1
+	fb, _ := r.EndSlot(Observation{Decoded: []int{1}}) // slot 0: tag1
 	if !fb.ACK {
 		t.Fatal("tag 1 should settle")
 	}
-	r.EndSlot(Observation{})                       // slot 1
-	fb = r.EndSlot(Observation{Decoded: []int{2}}) // slot 2: tag2, offset 0 mod 2
+	r.EndSlot(Observation{})                          // slot 1
+	fb, _ = r.EndSlot(Observation{Decoded: []int{2}}) // slot 2: tag2, offset 0 mod 2
 	if fb.ACK {
 		t.Error("future-colliding newcomer must be vetoed (Sec. 5.6)")
 	}
 	// At slot 3 (offset 1 mod 2) tag 2 is compatible with tag 1 at
 	// offset 0 mod 4? 3 mod 2 = 1; tag1 offset 0: 0 mod 2 = 0 != 1: OK.
-	fb = r.EndSlot(Observation{Decoded: []int{2}})
+	fb, _ = r.EndSlot(Observation{Decoded: []int{2}})
 	if !fb.ACK {
 		t.Error("compatible offset should be ACKed")
 	}
@@ -319,18 +319,18 @@ func TestReaderEvictionBreaksDeadlock(t *testing.T) {
 	// veto C and start evicting one of A/B with successive NACKs.
 	r, _ := NewReaderProtocol(map[int]Period{1: 4, 2: 4, 3: 2})
 	r.Reset()
-	r.EndSlot(Observation{})                        // slot 0
-	r.EndSlot(Observation{})                        // slot 1
-	fb := r.EndSlot(Observation{Decoded: []int{1}}) // slot 2: A settles
+	r.EndSlot(Observation{})                           // slot 0
+	r.EndSlot(Observation{})                           // slot 1
+	fb, _ := r.EndSlot(Observation{Decoded: []int{1}}) // slot 2: A settles
 	if !fb.ACK {
 		t.Fatal("A should settle")
 	}
-	fb = r.EndSlot(Observation{Decoded: []int{2}}) // slot 3: B settles
+	fb, _ = r.EndSlot(Observation{Decoded: []int{2}}) // slot 3: B settles
 	if !fb.ACK {
 		t.Fatal("B should settle")
 	}
 	// Slot 4: C transmits (4 mod 2 = 0). Blocked: NACK + eviction arms.
-	fb = r.EndSlot(Observation{Decoded: []int{3}})
+	fb, _ = r.EndSlot(Observation{Decoded: []int{3}})
 	if fb.ACK {
 		t.Fatal("blocked C must be NACKed")
 	}
@@ -346,7 +346,7 @@ func TestReaderEvictionBreaksDeadlock(t *testing.T) {
 		case 3:
 			obs = Observation{Decoded: []int{2}}
 		}
-		fb = r.EndSlot(obs)
+		fb, _ = r.EndSlot(obs)
 		if len(obs.Decoded) == 1 && !fb.ACK {
 			evictionsSeen++
 		}
@@ -378,7 +378,7 @@ func TestReaderUnsettlesMissingTag(t *testing.T) {
 func TestReaderUnknownTagTolerated(t *testing.T) {
 	r, _ := NewReaderProtocol(map[int]Period{1: 4})
 	r.Reset()
-	fb := r.EndSlot(Observation{Decoded: []int{99}})
+	fb, _ := r.EndSlot(Observation{Decoded: []int{99}})
 	if !fb.ACK {
 		t.Error("unprovisioned tag should still be ACKed")
 	}

@@ -90,6 +90,17 @@ func (r *ReaderProtocol) Reset() Feedback {
 // Slot returns the index of the currently open slot.
 func (r *ReaderProtocol) Slot() int { return r.slot }
 
+// SyncSlot aligns the reader's slot counter with an external clock. The
+// slot simulator uses it across carrier outages and restarts: the
+// mains-powered reader keeps absolute time while unpowered tags freeze,
+// so trace events from reader and simulator stay in one slot frame and
+// settled beliefs are judged against real elapsed slots.
+func (r *ReaderProtocol) SyncSlot(slot int) {
+	if slot > r.slot {
+		r.slot = slot
+	}
+}
+
 // SettledCount returns how many tags the reader believes are settled.
 func (r *ReaderProtocol) SettledCount() int { return len(r.settled) }
 
@@ -127,8 +138,14 @@ func (r *ReaderProtocol) settledExcept(tid int) ([]Assignment, []int) {
 
 // EndSlot ingests the observation for the slot that just ended and
 // returns the feedback to broadcast in the beacon that opens the next
-// slot.
-func (r *ReaderProtocol) EndSlot(o Observation) Feedback {
+// slot. Observations carrying impossible tag ids (non-positive, or
+// beyond MaxObservationTID — a corrupted decode, not a real tag) are
+// rejected with a *BadTIDError before any state changes: the slot has
+// not ended and the reader's belief is untouched.
+func (r *ReaderProtocol) EndSlot(o Observation) (Feedback, error) {
+	if err := o.validate(); err != nil {
+		return Feedback{}, err
+	}
 	s := r.slot
 
 	ack := false
@@ -144,7 +161,7 @@ func (r *ReaderProtocol) EndSlot(o Observation) Feedback {
 	r.trackExpected(o, s)
 
 	r.slot++
-	return Feedback{ACK: ack, Empty: r.emptyFlag(r.slot)}
+	return Feedback{ACK: ack, Empty: r.emptyFlag(r.slot)}, nil
 }
 
 // judgeSolo decides ACK for a cleanly decoded single packet from tid in

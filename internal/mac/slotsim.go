@@ -33,6 +33,9 @@ type simTag struct {
 	tid      int
 	proto    *TagProtocol
 	joinSlot int
+	// Brownout state: while down, the tag is dark until downUntil.
+	down      bool
+	downUntil int
 	// Per-tag counters.
 	txCount    int
 	ackCount   int
@@ -74,6 +77,12 @@ type SlotSimConfig struct {
 	// simulator and settle/unsettle/evict events from the reader
 	// protocol. A nil tracer (the default) costs nothing.
 	Trace *obs.Tracer
+	// Faults, when set, injects a deterministic fault environment into
+	// every slot: beacon loss, feedback corruption, uplink fades,
+	// mid-slot brownouts, reader outages and clock jitter (see
+	// internal/faults for the plan compiler). Nil means no faults; the
+	// random stream is then bit-identical to a fault-free build.
+	Faults FaultSource
 }
 
 func (c SlotSimConfig) beaconLoss(i int) float64 {
@@ -157,7 +166,22 @@ type SlotResult struct {
 // Step simulates one slot and returns what happened in it.
 func (s *SlotSim) Step() SlotResult {
 	slot := s.SlotsRun
+	var fs SlotFaults
+	if s.cfg.Faults != nil {
+		fs = s.cfg.Faults.BeginSlot(slot)
+	}
+	if fs.ReaderDown {
+		return s.stepReaderDown(slot)
+	}
 	fb := s.fb
+	if fs.ReaderReset {
+		// Carrier restart with reader state loss: the recovering
+		// reader opens this slot with a RESET beacon, forcing a full
+		// network recontention. The slot clock is resynced so the
+		// restarted reader stays in the global frame.
+		fb = s.reader.Reset()
+		s.reader.SyncSlot(slot)
+	}
 	if s.cfg.Trace.Enabled() {
 		s.cfg.Trace.Emit(obs.Event{Kind: obs.KindSlotOpen, Slot: slot, ACK: fb.ACK, Empty: fb.Empty})
 	}
@@ -167,7 +191,23 @@ func (s *SlotSim) Step() SlotResult {
 		if slot < t.joinSlot {
 			continue
 		}
-		if s.rng.Bool(s.cfg.beaconLoss(i)) {
+		if t.down {
+			if slot < t.downUntil {
+				continue
+			}
+			// Recharged past HTH before this slot's beacon: the tag
+			// rejoins as a newcomer with all volatile state lost.
+			t.down = false
+			t.proto.Rejoin()
+			if s.cfg.Trace.Enabled() {
+				s.cfg.Trace.Emit(obs.Event{Kind: obs.KindTagRejoin, Slot: slot, TID: t.tid,
+					Period: int(t.proto.Period)})
+			}
+		}
+		lost := s.rng.Bool(s.cfg.beaconLoss(i)) ||
+			(i < len(fs.BeaconLoss) && fs.BeaconLoss[i]) ||
+			(i < len(fs.SlipSlot) && fs.SlipSlot[i])
+		if lost {
 			if !s.cfg.DisableBeaconLossTimer {
 				t.proto.OnBeaconLoss()
 			}
@@ -176,10 +216,29 @@ func (s *SlotSim) Step() SlotResult {
 			// Sec. 5.4's analysis.
 			continue
 		}
-		if t.proto.OnBeacon(fb) {
+		fbi := fb
+		if i < len(fs.CorruptACK) && fs.CorruptACK[i] {
+			fbi.ACK = !fbi.ACK
+		}
+		if t.proto.OnBeacon(fbi) {
 			transmitters = append(transmitters, t)
 			t.txCount++
 			t.lastTxSlot = slot
+		}
+	}
+
+	// Mid-slot brownouts: the drain hits after the beacon, so the tag
+	// took part in the slot, but its response (if any) dies on air and
+	// its volatile state is gone by the time it recharges.
+	for i, t := range s.tags {
+		if i < len(fs.Brownout) && fs.Brownout[i] && !t.down && slot >= t.joinSlot {
+			t.down = true
+			delay := 1
+			if i < len(fs.RejoinDelay) && fs.RejoinDelay[i] > 1 {
+				delay = fs.RejoinDelay[i]
+			}
+			// Dark for delay whole slots after this one.
+			t.downUntil = slot + 1 + delay
 		}
 	}
 
@@ -188,7 +247,14 @@ func (s *SlotSim) Step() SlotResult {
 	case 0:
 	case 1:
 		t := transmitters[0]
-		if !s.rng.Bool(s.cfg.ulFail(t.tid - 1)) {
+		failP := s.cfg.ulFail(t.tid - 1)
+		if i := t.tid - 1; i < len(fs.ULFailProb) && fs.ULFailProb[i] > 0 {
+			failP = 1 - (1-failP)*(1-fs.ULFailProb[i])
+		}
+		if t.down {
+			failP = 1 // the packet was truncated mid-air
+		}
+		if !s.rng.Bool(failP) {
 			seen.Decoded = []int{t.tid}
 		}
 	default:
@@ -197,11 +263,18 @@ func (s *SlotSim) Step() SlotResult {
 			// Capture: one packet survives; pick uniformly (the
 			// waveform layer would pick the strongest).
 			t := transmitters[s.rng.Intn(len(transmitters))]
-			seen.Decoded = []int{t.tid}
+			if !t.down {
+				seen.Decoded = []int{t.tid}
+			}
 		}
 	}
 
-	next := s.reader.EndSlot(seen)
+	next, err := s.reader.EndSlot(seen)
+	if err != nil {
+		// The simulator reports only its own tags' ids; an invalid
+		// observation here is a programming error, not bad input.
+		panic(err)
+	}
 	// Tags that transmitted learn their fate from the next beacon; ACK
 	// accounting here mirrors what they will see.
 	if next.ACK && len(transmitters) == 1 {
@@ -230,6 +303,38 @@ func (s *SlotSim) Step() SlotResult {
 			Decoded: seen.Decoded, Collision: seen.Collision, ACK: next.ACK, Empty: next.Empty})
 	}
 	return SlotResult{Slot: slot, Transmitters: tids, Obs: seen, Feedback: next}
+}
+
+// stepReaderDown simulates one slot with the reader carrier dark: no
+// beacon is broadcast, so every powered tag experiences a beacon loss
+// (and migrates, per Sec. 5.4), the reader neither observes the channel
+// nor advances its slot counter, and browned-out tags cannot recharge —
+// their rejoin deadline slides by one slot per outage slot.
+func (s *SlotSim) stepReaderDown(slot int) SlotResult {
+	if s.cfg.Trace.Enabled() {
+		s.cfg.Trace.Emit(obs.Event{Kind: obs.KindSlotOpen, Slot: slot, Detail: "reader_down"})
+	}
+	for _, t := range s.tags {
+		if slot < t.joinSlot {
+			continue
+		}
+		if t.down {
+			t.downUntil++ // no carrier, no harvesting
+			continue
+		}
+		if !s.cfg.DisableBeaconLossTimer {
+			t.proto.OnBeaconLoss()
+		}
+	}
+	s.SlotsRun++
+	// The outage slot still elapsed in absolute time: keep the reader's
+	// clock in the global frame, so beliefs from before the outage are
+	// judged against real elapsed slots once the carrier returns.
+	s.reader.SyncSlot(s.SlotsRun)
+	if s.cfg.Trace.Enabled() {
+		s.cfg.Trace.Emit(obs.Event{Kind: obs.KindSlotClose, Slot: slot, Detail: "reader_down"})
+	}
+	return SlotResult{Slot: slot, Feedback: s.fb}
 }
 
 // Run advances n slots.
@@ -262,10 +367,11 @@ func (s *SlotSim) TagStates() []TagState {
 	return out
 }
 
-// AllSettled reports whether every joined tag is in SETTLE.
+// AllSettled reports whether every joined tag is in SETTLE. A
+// browned-out tag is dark, not settled, whatever its stale state says.
 func (s *SlotSim) AllSettled() bool {
 	for _, t := range s.tags {
-		if s.SlotsRun <= t.joinSlot || t.proto.State() != Settle {
+		if s.SlotsRun <= t.joinSlot || t.down || t.proto.State() != Settle {
 			return false
 		}
 	}

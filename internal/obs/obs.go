@@ -56,6 +56,19 @@ const (
 	// KindJobStart / KindJobFinish are the fleet pool's job lifecycle.
 	KindJobStart  Kind = "job_start"
 	KindJobFinish Kind = "job_finish"
+	// KindFaultInject records the fault-injection engine firing: Detail
+	// names the fault ("fade_start", "beacon_loss", "ack_corrupt",
+	// "brownout", "outage_start", "jitter_slip"), TID the afflicted tag
+	// (0 for reader-wide faults) and Value a fault-specific scalar
+	// (fade depth in dB, brownout off-time in slots).
+	KindFaultInject Kind = "fault_inject"
+	// KindFaultClear records a burst fault process ending ("fade_end",
+	// "outage_end"); Value is the burst length in slots.
+	KindFaultClear Kind = "fault_clear"
+	// KindTagRejoin records a browned-out tag recharging past HTH and
+	// re-entering the protocol as a newcomer; Period carries its
+	// transmission period for recovery-bound accounting.
+	KindTagRejoin Kind = "tag_rejoin"
 )
 
 // Event is one structured trace record. It is a flat union: each kind

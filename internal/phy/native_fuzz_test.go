@@ -1,0 +1,111 @@
+package phy
+
+import "testing"
+
+// Native go fuzz targets mirroring the testing/quick properties in
+// fuzz_test.go: coverage-guided exploration of the frame parsers and
+// line codecs. Run one at a time, e.g.
+//
+//	go test ./internal/phy -run '^$' -fuzz '^FuzzUnmarshalUL$' -fuzztime 10s
+//
+// (make fuzz-smoke runs all of them; CI includes the smoke job.)
+
+// bitsFromBytes maps fuzz bytes onto a bit slice of length n (missing
+// bytes are zero bits).
+func bitsFromBytes(raw []byte, n int) Bits {
+	bits := make(Bits, n)
+	for i := range bits {
+		if i < len(raw) {
+			bits[i] = raw[i] & 1
+		}
+	}
+	return bits
+}
+
+func FuzzUnmarshalUL(f *testing.F) {
+	// Seed corpus: a valid frame, an empty input, a corrupted CRC.
+	if valid, err := (ULPacket{TID: 5, Payload: 0xABC}).Marshal(); err == nil {
+		f.Add([]byte(valid))
+		bad := append([]byte(nil), valid...)
+		bad[len(bad)-1] ^= 1
+		f.Add(bad)
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		bits := bitsFromBytes(raw, ULFrameBits)
+		pkt, err := UnmarshalUL(bits)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		again, err := pkt.Marshal()
+		if err != nil {
+			t.Fatalf("accepted packet %+v fails to marshal: %v", pkt, err)
+		}
+		if !again.Equal(bits) {
+			t.Fatalf("round trip mismatch:\n in  %v\n out %v", bits, again)
+		}
+	})
+}
+
+func FuzzUnmarshalDL(f *testing.F) {
+	if valid, err := (Beacon{Cmd: CmdACK | CmdEMPTY}).Marshal(); err == nil {
+		f.Add([]byte(valid))
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		bits := bitsFromBytes(raw, DLFrameBits)
+		beacon, err := UnmarshalDL(bits)
+		if err != nil {
+			return
+		}
+		again, err := beacon.Marshal()
+		if err != nil || !again.Equal(bits) {
+			t.Fatalf("round trip mismatch for %+v: %v", beacon, err)
+		}
+	})
+}
+
+func FuzzPIEDecode(f *testing.F) {
+	f.Add([]byte(PIEEncode(Bits{1, 0, 1, 1})))
+	f.Add([]byte{1, 0})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		chips := make(Bits, len(raw))
+		for i := range chips {
+			chips[i] = raw[i] & 1
+		}
+		bits, err := PIEDecode(chips)
+		if err != nil {
+			return
+		}
+		// Accepted streams re-encode to a stream that decodes to the
+		// same bits (the input's trailing separator may be truncated, so
+		// chips are not compared directly).
+		again, err := PIEDecode(PIEEncode(bits))
+		if err != nil {
+			t.Fatalf("re-encoded stream rejected: %v", err)
+		}
+		if !again.Equal(bits) {
+			t.Fatalf("decode/encode/decode mismatch:\n first  %v\n second %v", bits, again)
+		}
+	})
+}
+
+func FuzzFM0Decode(f *testing.F) {
+	f.Add([]byte(FM0Encode(Bits{1, 0, 0, 1}, 0)), byte(0))
+	f.Add([]byte{}, byte(1))
+	f.Fuzz(func(t *testing.T, raw []byte, init byte) {
+		n := len(raw) / 2 * 2
+		chips := make(Bits, n)
+		for i := range chips {
+			chips[i] = raw[i] & 1
+		}
+		bits, err := FM0Decode(chips, init&1)
+		if err != nil {
+			return
+		}
+		if !FM0Encode(bits, init&1).Equal(chips) {
+			t.Fatalf("FM0 round trip mismatch for init=%d chips=%v", init&1, chips)
+		}
+	})
+}

@@ -323,7 +323,14 @@ func (d *Device) endSlot(bx BeaconTx, now sim.Time) {
 	d.Convergence.Observe(seen.Collision)
 	slot := d.Proto.Slot()
 	d.SlotsRun++
-	d.fb = d.Proto.EndSlot(seen)
+	fb, err := d.Proto.EndSlot(seen)
+	if err != nil {
+		// The decode chain yields 4-bit TIDs, far inside the protocol
+		// bound; reaching this means a corrupted inbox, so drop the
+		// observation and keep beaconing the previous feedback.
+		fb = d.fb
+	}
+	d.fb = fb
 	if d.Trace.Enabled() {
 		tids := make([]int, len(d.inbox))
 		for i, ev := range d.inbox {
