@@ -2,14 +2,20 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench vet race check cover experiments examples fuzz-smoke clean
+.PHONY: all build test test-short bench vet lint race check cover experiments examples fuzz-smoke clean
 
 all: vet test
 
-# Full verification gate: static analysis plus the race detector over
-# every package (the fleet pool and the dsp pipeline are the
-# concurrent code paths this guards).
-check: vet race
+# Full verification gate: go vet + gofmt, the domain analyzers
+# (arachnet-lint), and the race detector over every package (the fleet
+# pool and the dsp pipeline are the concurrent code paths this guards).
+check: vet lint race
+
+# Domain static analysis: determinism, rng-discipline, map-order,
+# units and panic-hygiene over the whole module (see README.md,
+# "Static analysis"). Any finding fails the build.
+lint:
+	$(GO) run ./cmd/arachnet-lint ./...
 
 race:
 	$(GO) test -race ./...

@@ -114,9 +114,19 @@ func NewNetwork(cfg NetworkConfig) (*Network, error) {
 }
 
 // deliverBeacon fans the reader's envelope edges out to every tag with
-// per-tag propagation and comparator delays.
+// per-tag propagation and comparator delays. Tags are visited in id
+// order: the engine breaks equal-timestamp ties in scheduling order, so
+// iterating the tag map directly would let map order pick which of two
+// coincident edges fires first.
 func (n *Network) deliverBeacon(bx reader.BeaconTx) {
-	for id, dev := range n.Tags {
+	ids := make([]int, 0, len(n.Tags))
+	for id := range n.Tags {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	for _, i := range ids {
+		id := uint8(i)
+		dev := n.Tags[id]
 		prop, err := n.Deployment.TagDelay(int(id))
 		if err != nil {
 			continue
@@ -132,7 +142,6 @@ func (n *Network) deliverBeacon(bx reader.BeaconTx) {
 		if rise != rise || fall != fall || rise > 1 || fall > 1 {
 			continue // NaN/Inf: carrier too weak at this tag
 		}
-		dev := dev
 		for _, e := range bx.Edges {
 			delay := prop + rise
 			level := true

@@ -56,13 +56,13 @@ func fleetSerialBaseline(b *testing.B, specs []fleet.JobSpec) time.Duration {
 	b.Helper()
 	fleetSerialOnce.Do(func() {
 		ctx := context.Background()
-		start := time.Now()
+		start := time.Now() //lint:allow determinism wall-clock measurement of the serial baseline, not simulation state
 		for i, s := range specs {
 			if _, err := s.Run(ctx, fleet.JobInfo{Index: i, Name: s.Name, Seed: fleet.DeriveSeed(1, uint64(i))}); err != nil {
 				b.Fatal(err)
 			}
 		}
-		fleetSerialTime = time.Since(start)
+		fleetSerialTime = time.Since(start) //lint:allow determinism wall-clock measurement of the serial baseline, not simulation state
 	})
 	return fleetSerialTime
 }
@@ -87,7 +87,7 @@ func BenchmarkFleetThroughput(b *testing.B) {
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			serial := fleetSerialBaseline(b, specs)
-			start := time.Now()
+			start := time.Now() //lint:allow determinism benchmark timing for the speedup-vs-serial metric
 			for i := 0; i < b.N; i++ {
 				rep, err := fleet.Run(context.Background(), fleet.Config{Workers: workers, Seed: 1}, specs)
 				if err != nil {
@@ -97,7 +97,7 @@ func BenchmarkFleetThroughput(b *testing.B) {
 					b.Fatal(rep.FirstError())
 				}
 			}
-			perFleet := time.Since(start) / time.Duration(b.N)
+			perFleet := time.Since(start) / time.Duration(b.N) //lint:allow determinism benchmark timing for the speedup-vs-serial metric
 			if perFleet > 0 {
 				b.ReportMetric(float64(serial)/float64(perFleet), "speedup-vs-serial")
 				b.ReportMetric(64/perFleet.Seconds(), "jobs/s")

@@ -1,0 +1,84 @@
+// Command arachnet-lint runs the repository's domain analyzers
+// (determinism, rng-discipline, map-order, units, panic-hygiene) over
+// the module and prints one "file:line:col: [check] message" line per
+// finding. It exits 0 on a clean tree, 1 when there are findings, and
+// 2 on a loading failure.
+//
+// Usage:
+//
+//	go run ./cmd/arachnet-lint ./...
+//
+// The package pattern is accepted for familiarity but the whole module
+// is always analyzed: the invariants are module-wide (a stale
+// //lint:allow in one package is a finding even when "only" another
+// package changed). Findings are suppressed in line with
+//
+//	//lint:allow <check> <reason>
+//
+// on the offending line or the line above it; see README.md
+// ("Static analysis").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	root := flag.String("root", "", "module root (default: walk up from cwd to go.mod)")
+	list := flag.Bool("list", false, "list the registered analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	dir := *root
+	if dir == "" {
+		var err error
+		dir, err = findModuleRoot()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "arachnet-lint:", err)
+			os.Exit(2)
+		}
+	}
+
+	diags, err := lint.Run(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "arachnet-lint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "arachnet-lint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

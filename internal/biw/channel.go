@@ -35,15 +35,15 @@ type Channel struct {
 	// ReflectionEfficiency is the fraction of incident wave amplitude a
 	// short-circuited tag PZT re-radiates (0..1).
 	ReflectionEfficiency float64
-	// RXReferenceAmplitude is the backscatter amplitude (V) observed at
+	// RXReferenceVolts is the backscatter amplitude (V) observed at
 	// the reader ADC for the reference (lowest-loss) tag.
-	RXReferenceAmplitude float64
+	RXReferenceVolts float64
 	// ClutterCompression maps one-way path-loss deltas (dB) to measured
 	// SNR penalty (dB/dB); 0.35 calibrated against Fig. 12(a).
 	ClutterCompression float64
-	// NoiseDensity is the reader-side noise power spectral density
+	// NoiseDensityV2PerHz is the reader-side noise power spectral density
 	// (V^2/Hz) in the band around the carrier.
-	NoiseDensity float64
+	NoiseDensityV2PerHz float64
 	// GainOffsetDB, when set, adds a time-varying per-tag path-loss
 	// offset (dB, positive = extra loss) on top of the deployment's
 	// static loss — the fault-injection layer drives transient fades
@@ -60,9 +60,9 @@ func DefaultChannel(d *Deployment) *Channel {
 		Deployment:           d,
 		DrivePeakVolts:       36.0,
 		ReflectionEfficiency: 0.55,
-		RXReferenceAmplitude: 0.050,
+		RXReferenceVolts:     0.050,
 		ClutterCompression:   0.35,
-		NoiseDensity:         3.52e-9,
+		NoiseDensityV2PerHz:  3.52e-9,
 	}
 	best := math.Inf(1)
 	for id := 1; id <= d.NumTags(); id++ {
@@ -108,7 +108,7 @@ func (c *Channel) BackscatterAmplitude(id int) (float64, error) {
 		return 0, err
 	}
 	deltaDB := (loss - c.referenceLossDB) * c.ClutterCompression
-	return c.RXReferenceAmplitude * math.Pow(10, -deltaDB/20), nil
+	return c.RXReferenceVolts * math.Pow(10, -deltaDB/20), nil
 }
 
 // UplinkSNRdB returns the reader-side PSD-measured SNR (dB) of tag id's
@@ -116,23 +116,23 @@ func (c *Channel) BackscatterAmplitude(id int) (float64, error) {
 // the OOK sideband power; noise is the density integrated over the FM0
 // occupied bandwidth (about twice the raw bit rate), which is why SNR
 // falls as the bit rate rises — the trend of Fig. 12(a).
-func (c *Channel) UplinkSNRdB(id int, bitRate float64) (float64, error) {
-	if bitRate <= 0 {
-		return 0, fmt.Errorf("biw: non-positive bit rate %v", bitRate)
+func (c *Channel) UplinkSNRdB(id int, bitRateBPS float64) (float64, error) {
+	if bitRateBPS <= 0 {
+		return 0, fmt.Errorf("biw: non-positive bit rate %v", bitRateBPS)
 	}
 	v, err := c.BackscatterAmplitude(id)
 	if err != nil {
 		return 0, err
 	}
 	sigPower := (v / 2) * (v / 2) / 2 // OOK sideband, sine power
-	noisePower := c.NoiseDensity * 2 * bitRate
+	noisePower := c.NoiseDensityV2PerHz * 2 * bitRateBPS
 	return 10 * math.Log10(sigPower/noisePower), nil
 }
 
 // NoiseRMS returns the reader-side RMS noise voltage for a simulation
-// sampled at sampleRate Hz (noise density integrated to Nyquist).
-func (c *Channel) NoiseRMS(sampleRate float64) float64 {
-	return math.Sqrt(c.NoiseDensity * sampleRate / 2)
+// sampled at sampleRateHz (noise density integrated to Nyquist).
+func (c *Channel) NoiseRMS(sampleRateHz float64) float64 {
+	return math.Sqrt(c.NoiseDensityV2PerHz * sampleRateHz / 2)
 }
 
 // DownlinkCarrierSwing returns the peak voltage swing the tag's

@@ -108,6 +108,7 @@ func NewONVOL60() *Deployment {
 
 	connect := func(a, b string, loss float64) {
 		if err := s.Connect(a, b, loss); err != nil {
+			//lint:allow panic-hygiene static hand-built topology; a bad edge is a programming bug, not input
 			panic(err) // static topology; any error is a programming bug
 		}
 	}
@@ -166,13 +167,13 @@ const ResonantFrequencyHz = 90_000.0
 // response is 1; a few kHz away it collapses, which is what lets the
 // reader emit "low" symbols as off-resonant tones that the tag's
 // envelope detector cannot see.
-func ResonanceResponse(f float64) float64 {
+func ResonanceResponse(fHz float64) float64 {
 	const q = 45.0
 	f0 := ResonantFrequencyHz
-	if f <= 0 {
+	if fHz <= 0 {
 		return 0
 	}
-	r := f / f0
+	r := fHz / f0
 	denom := math.Sqrt(math.Pow(1-r*r, 2) + math.Pow(r/q, 2))
 	if denom == 0 {
 		return 1

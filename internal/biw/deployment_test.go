@@ -213,7 +213,7 @@ func TestBackscatterWeakerThanCarrier(t *testing.T) {
 		if bs <= 0 {
 			t.Errorf("tag %d: non-positive backscatter amplitude", id)
 		}
-		if bs > c.RXReferenceAmplitude {
+		if bs > c.RXReferenceVolts {
 			t.Errorf("tag %d: backscatter %.4f above reference amplitude", id, bs)
 		}
 	}

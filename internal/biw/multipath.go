@@ -19,8 +19,8 @@ import (
 
 // Echo is one discrete arrival.
 type Echo struct {
-	DelaySeconds float64
-	Amplitude    float64 // relative to the direct path (1.0)
+	DelaySeconds   float64
+	AmplitudeRatio float64 // relative to the direct path (1.0)
 }
 
 // Multipath is a BiW reverberation profile.
@@ -43,7 +43,7 @@ func NewMultipath(count int, spreadSeconds, decaySeconds float64, rng *sim.Rand)
 		if rng.Bool(0.5) {
 			a = -a
 		}
-		m.Echoes = append(m.Echoes, Echo{DelaySeconds: d, Amplitude: a})
+		m.Echoes = append(m.Echoes, Echo{DelaySeconds: d, AmplitudeRatio: a})
 	}
 	return m
 }
@@ -55,18 +55,18 @@ func DefaultMultipath(rng *sim.Rand) *Multipath {
 	return NewMultipath(20, 2e-3, 0.8e-3, rng)
 }
 
-// Apply convolves a baseband signal (sample rate fs) with the direct
+// Apply convolves a baseband signal (sample rate fsHz) with the direct
 // path plus the echo train.
-func (m *Multipath) Apply(signal []float64, fs float64) []float64 {
+func (m *Multipath) Apply(signal []float64, fsHz float64) []float64 {
 	out := make([]float64, len(signal))
 	copy(out, signal)
 	for _, e := range m.Echoes {
-		lag := int(e.DelaySeconds * fs)
+		lag := int(e.DelaySeconds * fsHz)
 		if lag <= 0 || lag >= len(signal) {
 			continue
 		}
 		for i := lag; i < len(signal); i++ {
-			out[i] += e.Amplitude * signal[i-lag]
+			out[i] += e.AmplitudeRatio * signal[i-lag]
 		}
 	}
 	return out
@@ -78,11 +78,11 @@ func (m *Multipath) Apply(signal []float64, fs float64) []float64 {
 // signal-proportional spectral shelf around the backscatter tone: a
 // static channel preserves the tone's periodicity, a fluttering one
 // smears sidebands into the surrounding band.
-func (m *Multipath) ApplyTimeVarying(signal []float64, fs, flutterHz, depth float64, rng *sim.Rand) []float64 {
+func (m *Multipath) ApplyTimeVarying(signal []float64, fsHz, flutterHz, depth float64, rng *sim.Rand) []float64 {
 	out := make([]float64, len(signal))
 	copy(out, signal)
 	for _, e := range m.Echoes {
-		lag := int(e.DelaySeconds * fs)
+		lag := int(e.DelaySeconds * fsHz)
 		if lag <= 0 || lag >= len(signal) {
 			continue
 		}
@@ -92,8 +92,8 @@ func (m *Multipath) ApplyTimeVarying(signal []float64, fs, flutterHz, depth floa
 		phase := rng.Float64() * 2 * math.Pi
 		f := flutterHz * (0.5 + rng.Float64())
 		for i := lag; i < len(signal); i++ {
-			wobble := 1 + depth*math.Sin(2*math.Pi*f*float64(i)/fs+phase)
-			out[i] += e.Amplitude * wobble * signal[i-lag]
+			wobble := 1 + depth*math.Sin(2*math.Pi*f*float64(i)/fsHz+phase)
+			out[i] += e.AmplitudeRatio * wobble * signal[i-lag]
 		}
 	}
 	return out
@@ -104,7 +104,7 @@ func (m *Multipath) ApplyTimeVarying(signal []float64, fs, flutterHz, depth floa
 func (m *Multipath) EnergyRatio() float64 {
 	var e float64
 	for _, echo := range m.Echoes {
-		e += echo.Amplitude * echo.Amplitude
+		e += echo.AmplitudeRatio * echo.AmplitudeRatio
 	}
 	return e
 }

@@ -20,7 +20,7 @@ func TestMultipathApplyIdentityWithoutEchoes(t *testing.T) {
 }
 
 func TestMultipathAddsDelayedEnergy(t *testing.T) {
-	m := &Multipath{Echoes: []Echo{{DelaySeconds: 0.001, Amplitude: 0.5}}}
+	m := &Multipath{Echoes: []Echo{{DelaySeconds: 0.001, AmplitudeRatio: 0.5}}}
 	const fs = 10_000.0
 	sig := make([]float64, 100)
 	sig[0] = 1 // impulse
@@ -36,8 +36,8 @@ func TestMultipathAddsDelayedEnergy(t *testing.T) {
 
 func TestMultipathEchoOutOfRangeIgnored(t *testing.T) {
 	m := &Multipath{Echoes: []Echo{
-		{DelaySeconds: 10, Amplitude: 0.5}, // beyond the signal
-		{DelaySeconds: 0, Amplitude: 0.5},  // zero lag
+		{DelaySeconds: 10, AmplitudeRatio: 0.5}, // beyond the signal
+		{DelaySeconds: 0, AmplitudeRatio: 0.5},  // zero lag
 	}}
 	sig := []float64{1, 0, 0}
 	out := m.Apply(sig, 100)
@@ -58,8 +58,8 @@ func TestDefaultMultipathShape(t *testing.T) {
 		if e.DelaySeconds < 0 || e.DelaySeconds > 2e-3 {
 			t.Errorf("delay %v outside spread", e.DelaySeconds)
 		}
-		if math.Abs(e.Amplitude) >= 1 {
-			t.Errorf("echo stronger than direct path: %v", e.Amplitude)
+		if math.Abs(e.AmplitudeRatio) >= 1 {
+			t.Errorf("echo stronger than direct path: %v", e.AmplitudeRatio)
 		}
 	}
 	r := m.EnergyRatio()

@@ -72,12 +72,12 @@ type Element struct {
 	Pos  Position // representative mount point on the element
 }
 
-// Junction is a welded or cast transition between two elements. Loss is
+// Junction is a welded or cast transition between two elements. LossDB is
 // the extra attenuation (dB) a wave suffers crossing the junction, on
 // top of the distance attenuation along the connecting metal.
 type Junction struct {
-	A, B string  // element names
-	Loss float64 // dB, >= 0
+	A, B   string  // element names
+	LossDB float64 // dB, >= 0
 }
 
 // Structure is the acoustic graph of the BiW.

@@ -126,12 +126,42 @@ func (m *Model) enumerate() {
 		id := queue[0]
 		queue = queue[1:]
 		dist := m.step(m.list[id])
+		// Assign successor ids in sorted state order, not map iteration
+		// order: ids fix the float summation order in the absorption
+		// solver, so map-ordered numbering made expected times differ
+		// in the last ulp between two identically-built models.
+		succ := make([]State, 0, len(dist))
+		for s := range dist {
+			succ = append(succ, s)
+		}
+		sort.Slice(succ, func(i, j int) bool { return stateLess(succ[i], succ[j]) })
 		out := make(map[int]float64, len(dist))
-		for s, p := range dist {
-			out[add(s)] += p
+		for _, s := range succ {
+			out[add(s)] += dist[s]
 		}
 		m.trans[id] = out
 	}
+}
+
+// stateLess is a total order on states (phase, then per-tag fields),
+// used only to make enumeration order deterministic.
+func stateLess(a, b State) bool {
+	if a.Phase != b.Phase {
+		return a.Phase < b.Phase
+	}
+	for i := range a.Tags {
+		at, bt := a.Tags[i], b.Tags[i]
+		if at.Settled != bt.Settled {
+			return !at.Settled
+		}
+		if at.Offset != bt.Offset {
+			return at.Offset < bt.Offset
+		}
+		if at.Nacks != bt.Nacks {
+			return at.Nacks < bt.Nacks
+		}
+	}
+	return false
 }
 
 // transmitters returns the indices of tags firing at the state's phase.
@@ -273,8 +303,15 @@ func (m *Model) VerifyLemma1() error {
 // links).
 func (m *Model) VerifyLemma2() error {
 	for _, id := range m.AbsorbingStates() {
-		for next, p := range m.trans[id] {
-			if p > 0 && !m.IsAbsorbing(m.list[next]) {
+		// Sorted successors: the reported leak must not depend on map
+		// iteration order when several transitions violate the lemma.
+		nexts := make([]int, 0, len(m.trans[id]))
+		for next := range m.trans[id] {
+			nexts = append(nexts, next)
+		}
+		sort.Ints(nexts)
+		for _, next := range nexts {
+			if m.trans[id][next] > 0 && !m.IsAbsorbing(m.list[next]) {
 				return fmt.Errorf("core: absorbing state %d leaks to transient %d", id, next)
 			}
 		}
@@ -325,6 +362,23 @@ func (m *Model) ExpectedAbsorptionSlots() (mean, worst float64, err error) {
 	if err := m.VerifyReachability(); err != nil {
 		return 0, 0, err
 	}
+	// Flatten each sparse row into a to-sorted edge list once: float
+	// addition is order-sensitive, so summing in map iteration order
+	// would perturb the result in the last ulp from run to run (and the
+	// slice walk is far cheaper inside the million-iteration loop).
+	type edge struct {
+		to int
+		p  float64
+	}
+	rows := make([][]edge, len(m.list))
+	for id := range m.trans {
+		row := make([]edge, 0, len(m.trans[id]))
+		for to, p := range m.trans[id] {
+			row = append(row, edge{to, p})
+		}
+		sort.Slice(row, func(i, j int) bool { return row[i].to < row[j].to })
+		rows[id] = row
+	}
 	t := make([]float64, len(m.list))
 	next := make([]float64, len(m.list))
 	for iter := 0; iter < 1_000_000; iter++ {
@@ -335,8 +389,8 @@ func (m *Model) ExpectedAbsorptionSlots() (mean, worst float64, err error) {
 				continue
 			}
 			v := 1.0
-			for to, p := range m.trans[id] {
-				v += p * t[to]
+			for _, e := range rows[id] {
+				v += e.p * t[e.to]
 			}
 			if d := v - t[id]; d > delta {
 				delta = d

@@ -11,15 +11,15 @@ import "repro/internal/obs"
 //
 // The thresholds derive from the resistor network of Fig. 18:
 //
-//	VHTH = VREF * (R1+R2+R3) / R3
-//	VLTH = VREF * (R1+R2+R3) / (R2+R3)
+//	VHTH = VREF * (R1Ohms+R2Ohms+R3Ohms) / R3Ohms
+//	VLTH = VREF * (R1Ohms+R2Ohms+R3Ohms) / (R2Ohms+R3Ohms)
 //
-// with VREF = 1.24 V, R1 = 680k, R2 = 180k, R3 = 1M, giving
+// with VREF = 1.24 V, R1Ohms = 680k, R2Ohms = 180k, R3Ohms = 1M, giving
 // HTH = 2.31 V and LTH = 1.95 V, while keeping the circuit's own
 // leakage below 1 uA.
 type Cutoff struct {
-	VRef       float64
-	R1, R2, R3 float64
+	VRefVolts              float64
+	R1Ohms, R2Ohms, R3Ohms float64
 	// QuiescentAmps is the circuit's own standby draw.
 	QuiescentAmps float64
 
@@ -37,22 +37,22 @@ type Cutoff struct {
 // NewCutoff returns the paper's cutoff circuit.
 func NewCutoff() *Cutoff {
 	return &Cutoff{
-		VRef:          1.24,
-		R1:            680e3,
-		R2:            180e3,
-		R3:            1e6,
+		VRefVolts:     1.24,
+		R1Ohms:        680e3,
+		R2Ohms:        180e3,
+		R3Ohms:        1e6,
 		QuiescentAmps: 0.9e-6,
 	}
 }
 
 // HighThreshold returns VHTH.
 func (c *Cutoff) HighThreshold() float64 {
-	return c.VRef * (c.R1 + c.R2 + c.R3) / c.R3
+	return c.VRefVolts * (c.R1Ohms + c.R2Ohms + c.R3Ohms) / c.R3Ohms
 }
 
 // LowThreshold returns VLTH.
 func (c *Cutoff) LowThreshold() float64 {
-	return c.VRef * (c.R1 + c.R2 + c.R3) / (c.R2 + c.R3)
+	return c.VRefVolts * (c.R1Ohms + c.R2Ohms + c.R3Ohms) / (c.R2Ohms + c.R3Ohms)
 }
 
 // PoweringMCU reports whether the switch currently passes power.

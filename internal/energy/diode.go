@@ -12,37 +12,37 @@ import "math"
 
 // Diode models a rectifier diode's forward voltage drop as a function
 // of forward current, using the logarithmic Shockley form
-// Vf(I) = A * ln(1 + I/Is). The drop is what each multiplier stage
+// Vf(I) = SlopeVolts * ln(1 + I/SatAmps). The drop is what each multiplier stage
 // loses, so low-drop Schottky diodes are essential at the sub-volt
 // input levels harvested from the BiW.
 type Diode struct {
 	Name string
-	// A is the slope factor n*VT (volts).
-	A float64
-	// Is is the saturation current (amperes).
-	Is float64
+	// SlopeVolts is the slope factor n*VT (volts).
+	SlopeVolts float64
+	// SatAmps is the saturation current (amperes).
+	SatAmps float64
 }
 
 // Schottky returns the CDBU0130L low-drop Schottky diode used by the
 // paper: forward drop below 0.15 V at the pump's operating current and
 // under 0.2 V up to 1 mA.
 func Schottky() Diode {
-	return Diode{Name: "CDBU0130L", A: 0.0375, Is: 7.5e-6}
+	return Diode{Name: "CDBU0130L", SlopeVolts: 0.0375, SatAmps: 7.5e-6}
 }
 
 // Silicon returns a conventional silicon diode (~0.7 V drop), used by
 // the ablation benchmarks to show why a Schottky pump is mandatory.
 func Silicon() Diode {
-	return Diode{Name: "1N4148", A: 0.052, Is: 1.0e-9}
+	return Diode{Name: "1N4148", SlopeVolts: 0.052, SatAmps: 1.0e-9}
 }
 
-// ForwardDrop returns the forward voltage (V) at forward current i (A).
+// ForwardDrop returns the forward voltage (V) at forward current amps (A).
 // Non-positive currents return zero drop.
-func (d Diode) ForwardDrop(i float64) float64 {
-	if i <= 0 {
+func (d Diode) ForwardDrop(amps float64) float64 {
+	if amps <= 0 {
 		return 0
 	}
-	return d.A * math.Log(1+i/d.Is)
+	return d.SlopeVolts * math.Log(1+amps/d.SatAmps)
 }
 
 // PumpOperatingCurrent is the internal peak pulse current of the charge

@@ -48,15 +48,15 @@ func NewHarvester(stages int) *Harvester {
 	}
 }
 
-// Integrate advances the energy state by dt seconds with PZT peak
-// input vp and an MCU load drawing loadWatts (0 when the cutoff switch
+// Integrate advances the energy state by dtSeconds seconds with PZT peak
+// input vpVolts and an MCU load drawing loadWatts (0 when the cutoff switch
 // is open). It returns the new capacitor voltage and whether the MCU is
 // powered after the step.
-func (h *Harvester) Integrate(vp, loadWatts, dt float64) (volts float64, mcuOn bool) {
-	if dt <= 0 {
+func (h *Harvester) Integrate(vpVolts, loadWatts, dtSeconds float64) (volts float64, mcuOn bool) {
+	if dtSeconds <= 0 {
 		return h.Cap.Volts(), h.Cutoff.PoweringMCU()
 	}
-	vdd := h.Multiplier.OpenCircuitVoltage(vp)
+	vdd := h.Multiplier.OpenCircuitVoltage(vpVolts)
 	rout := h.Multiplier.OutputImpedance()
 	v := h.Cap.Volts()
 
@@ -70,7 +70,7 @@ func (h *Harvester) Integrate(vp, loadWatts, dt float64) (volts float64, mcuOn b
 	if h.Cutoff.PoweringMCU() && v > 0 {
 		load = loadWatts / v
 	}
-	dv := (charge - leak - load) * dt / h.Cap.Farads
+	dv := (charge - leak - load) * dtSeconds / h.Cap.Farads
 	nv := v + dv
 	if h.ShuntVolts > 0 && nv > h.ShuntVolts {
 		nv = h.ShuntVolts // shunt regulator burns the excess harvest
@@ -99,17 +99,17 @@ func (h *Harvester) ambientCurrent(v float64) float64 {
 var ErrNeverCharges = errors.New("energy: input too weak to reach target voltage")
 
 // ChargingTime integrates the charge curve from the capacitor voltage
-// `from` to `to` under constant PZT input vp with no MCU load, and
-// returns the elapsed seconds. It mirrors the Fig. 11(b) measurement
+// fromVolts to toVolts under constant PZT input vpVolts with no MCU load,
+// and returns the elapsed seconds. It mirrors the Fig. 11(b) measurement
 // (charging time from 0 V to the 2.3 V activation threshold with the
 // cutoff and demodulation circuits connected).
-func (h *Harvester) ChargingTime(vp, from, to float64) (float64, error) {
-	if to <= from {
+func (h *Harvester) ChargingTime(vpVolts, fromVolts, toVolts float64) (float64, error) {
+	if toVolts <= fromVolts {
 		return 0, nil
 	}
-	vdd := h.Multiplier.OpenCircuitVoltage(vp)
+	vdd := h.Multiplier.OpenCircuitVoltage(vpVolts)
 	rout := h.Multiplier.OutputImpedance()
-	if vdd <= to && h.AmbientWatts <= 0 {
+	if vdd <= toVolts && h.AmbientWatts <= 0 {
 		// Without auxiliary harvesting the pump's open-circuit voltage
 		// is the hard asymptote; with ambient power the loop below
 		// detects infeasibility through the net-current sign.
@@ -119,25 +119,25 @@ func (h *Harvester) ChargingTime(vp, from, to float64) (float64, error) {
 	// Closed-form integration of C dV/((Vdd-V)/R - Ileak(V)) is messy
 	// with the voltage-dependent capacitor leakage, so integrate
 	// numerically with an adaptive step that keeps per-step dV small.
-	v := from
+	v := fromVolts
 	t := 0.0
 	const maxTime = 1e5
-	for v < to {
+	for v < toVolts {
 		var charge float64
 		if rout > 0 && vdd > v {
 			// The pump's diodes block reverse flow: it only sources.
 			charge = (vdd - v) / rout
 		}
 		charge += h.ambientCurrent(v)
-		leak := leakBase + h.Cap.LeakAmpsAtRated*v/h.Cap.RatedVolts
+		leak := leakBase + h.Cap.RatedLeakAmps*v/h.Cap.RatedVolts
 		net := charge - leak
 		if net <= 0 {
 			return 0, ErrNeverCharges
 		}
-		dv := math.Min(0.002, to-v)
-		dt := dv * h.Cap.Farads / net
+		dv := math.Min(0.002, toVolts-v)
+		dtSeconds := dv * h.Cap.Farads / net
 		v += dv
-		t += dt
+		t += dtSeconds
 		if t > maxTime {
 			return 0, ErrNeverCharges
 		}
@@ -146,11 +146,11 @@ func (h *Harvester) ChargingTime(vp, from, to float64) (float64, error) {
 }
 
 // NetChargingPower reports the paper's figure of merit for Fig. 11(b):
-// the average net power that charging from `from` to `to` in elapsed
-// seconds represents, (1/2 C (to^2 - from^2)) / elapsed.
-func (h *Harvester) NetChargingPower(from, to, elapsed float64) float64 {
-	if elapsed <= 0 {
+// the average net power that charging fromVolts to toVolts over
+// elapsedSeconds represents, (1/2 C (to^2 - from^2)) / elapsed.
+func (h *Harvester) NetChargingPower(fromVolts, toVolts, elapsedSeconds float64) float64 {
+	if elapsedSeconds <= 0 {
 		return 0
 	}
-	return 0.5 * h.Cap.Farads * (to*to - from*from) / elapsed
+	return 0.5 * h.Cap.Farads * (toVolts*toVolts - fromVolts*fromVolts) / elapsedSeconds
 }

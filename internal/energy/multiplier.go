@@ -32,14 +32,14 @@ func NewMultiplier(stages int) *Multiplier {
 }
 
 // OpenCircuitVoltage returns the no-load output voltage for PZT peak
-// input vp. Inputs at or below the diode drop produce nothing: the pump
+// input vpVolts. Inputs at or below the diode drop produce nothing: the pump
 // cannot start.
-func (m *Multiplier) OpenCircuitVoltage(vp float64) float64 {
+func (m *Multiplier) OpenCircuitVoltage(vpVolts float64) float64 {
 	von := m.Diode.EffectiveDrop()
-	if vp <= von {
+	if vpVolts <= von {
 		return 0
 	}
-	return 2 * float64(m.Stages) * (vp - von)
+	return 2 * float64(m.Stages) * (vpVolts - von)
 }
 
 // AmplificationRatio is the ideal voltage gain 2N.

@@ -15,9 +15,9 @@ type Supercap struct {
 	Farads float64
 	// RatedVolts is the maximum working voltage.
 	RatedVolts float64
-	// LeakAmpsAtRated is the DC leakage current at rated voltage; the
+	// RatedLeakAmps is the DC leakage current at rated voltage; the
 	// model scales it linearly with voltage.
-	LeakAmpsAtRated float64
+	RatedLeakAmps float64
 
 	// Trace, when set, receives an obs.KindBrownout event whenever a
 	// withdrawal exhausts the capacitor. TraceTID identifies the owning
@@ -32,9 +32,9 @@ type Supercap struct {
 // NewSupercap returns the paper's 1 mF / 6 V tantalum capacitor.
 func NewSupercap() *Supercap {
 	return &Supercap{
-		Farads:          1e-3,
-		RatedVolts:      6.0,
-		LeakAmpsAtRated: 0.25e-6,
+		Farads:        1e-3,
+		RatedVolts:    6.0,
+		RatedLeakAmps: 0.25e-6,
 	}
 }
 
@@ -42,14 +42,14 @@ func NewSupercap() *Supercap {
 func (s *Supercap) Volts() float64 { return s.volts }
 
 // SetVolts forces the capacitor voltage (clamped to [0, rated]).
-func (s *Supercap) SetVolts(v float64) {
-	if v < 0 {
-		v = 0
+func (s *Supercap) SetVolts(volts float64) {
+	if volts < 0 {
+		volts = 0
 	}
-	if v > s.RatedVolts {
-		v = s.RatedVolts
+	if volts > s.RatedVolts {
+		volts = s.RatedVolts
 	}
-	s.volts = v
+	s.volts = volts
 }
 
 // EnergyJoules returns the stored energy 1/2 C V^2.
@@ -57,28 +57,28 @@ func (s *Supercap) EnergyJoules() float64 {
 	return 0.5 * s.Farads * s.volts * s.volts
 }
 
-// Deposit adds charge from a current i (A) flowing for dt (s).
-func (s *Supercap) Deposit(i, dt float64) {
-	if i <= 0 || dt <= 0 {
+// Deposit adds charge from a current amps (A) flowing for dtSeconds (s).
+func (s *Supercap) Deposit(amps, dtSeconds float64) {
+	if amps <= 0 || dtSeconds <= 0 {
 		return
 	}
-	s.SetVolts(s.volts + i*dt/s.Farads)
+	s.SetVolts(s.volts + amps*dtSeconds/s.Farads)
 }
 
 // Withdraw removes the energy consumed by a load drawing power p (W)
-// for dt (s). It reports whether the capacitor could supply it; on
+// for dtSeconds (s). It reports whether the capacitor could supply it; on
 // failure (the demand exceeds the stored energy) the voltage is left at
 // zero. A withdrawal of exactly the stored energy succeeds and leaves
 // the capacitor at 0 V — the boundary is not a brownout.
-func (s *Supercap) Withdraw(p, dt float64) bool {
-	if p <= 0 || dt <= 0 {
+func (s *Supercap) Withdraw(watts, dtSeconds float64) bool {
+	if watts <= 0 || dtSeconds <= 0 {
 		return true
 	}
-	e := s.EnergyJoules() - p*dt
+	e := s.EnergyJoules() - watts*dtSeconds
 	if e < 0 {
 		s.volts = 0
 		if s.Trace.Enabled() {
-			s.Trace.Emit(obs.Event{Kind: obs.KindBrownout, T: s.now(), TID: s.TraceTID, Value: p * dt})
+			s.Trace.Emit(obs.Event{Kind: obs.KindBrownout, T: s.now(), TID: s.TraceTID, Value: watts * dtSeconds})
 		}
 		return false
 	}
@@ -99,13 +99,13 @@ func (s *Supercap) LeakCurrent() float64 {
 	if s.RatedVolts <= 0 {
 		return 0
 	}
-	return s.LeakAmpsAtRated * s.volts / s.RatedVolts
+	return s.RatedLeakAmps * s.volts / s.RatedVolts
 }
 
-// Leak applies self-discharge over dt seconds.
-func (s *Supercap) Leak(dt float64) {
-	if dt <= 0 {
+// Leak applies self-discharge over dtSeconds.
+func (s *Supercap) Leak(dtSeconds float64) {
+	if dtSeconds <= 0 {
 		return
 	}
-	s.SetVolts(s.volts - s.LeakCurrent()*dt/s.Farads)
+	s.SetVolts(s.volts - s.LeakCurrent()*dtSeconds/s.Farads)
 }

@@ -94,6 +94,7 @@ func (inj *Injector) emit(ev obs.Event) {
 // simulator guarantees this); a gap or repeat indicates a harness bug.
 func (inj *Injector) BeginSlot(slot int) mac.SlotFaults {
 	if slot != inj.nextSlot {
+		//lint:allow panic-hygiene slot-ordering invariant: callers drive BeginSlot monotonically by construction
 		panic(fmt.Sprintf("faults: BeginSlot(%d) out of order, want %d", slot, inj.nextSlot))
 	}
 	inj.nextSlot++

@@ -2,6 +2,7 @@ package faults
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/mac"
 	"repro/internal/obs"
@@ -84,8 +85,8 @@ func CheckInvariants(events []obs.Event, cfg InvariantConfig) error {
 		case obs.KindTagSettle:
 			cand := mac.Assignment{Period: mac.Period(ev.Period), Offset: ev.Offset}
 			delete(settled, ev.TID)
-			for tid, other := range settled {
-				if cand.Conflicts(other) {
+			for _, tid := range sortedTIDs(settled) {
+				if other := settled[tid]; cand.Conflicts(other) {
 					return &InvariantError{Invariant: "no-duplicate-slot", Slot: ev.Slot, TID: ev.TID,
 						Msg: fmt.Sprintf("schedule (p=%d,o=%d) conflicts with settled tid %d (p=%d,o=%d)",
 							ev.Period, ev.Offset, tid, other.Period, other.Offset)}
@@ -124,15 +125,17 @@ func CheckInvariants(events []obs.Event, cfg InvariantConfig) error {
 		}
 
 		// Deadlines are checked against the advancing slot clock, so a
-		// violation is reported at the first event past the bound.
-		for tid, dl := range evictDeadline {
-			if ev.Slot > dl {
+		// violation is reported at the first event past the bound; tids
+		// are visited sorted so the reported victim is deterministic
+		// when several deadlines expire on the same event.
+		for _, tid := range sortedTIDs(evictDeadline) {
+			if ev.Slot > evictDeadline[tid] {
 				return &InvariantError{Invariant: "eviction-terminates", Slot: ev.Slot, TID: tid,
 					Msg: fmt.Sprintf("victim not unsettled within %d slots of eviction", cfg.EvictBoundSlots)}
 			}
 		}
-		for tid, w := range resettle {
-			if ev.Slot > w.deadline {
+		for _, tid := range sortedTIDs(resettle) {
+			if w := resettle[tid]; ev.Slot > w.deadline {
 				return &InvariantError{Invariant: "bounded-resettle", Slot: ev.Slot, TID: tid,
 					Msg: fmt.Sprintf("not settled within %d periods of rejoin at slot %d",
 						cfg.ResettleBoundPeriods, w.rejoinSlot)}
@@ -143,4 +146,16 @@ func CheckInvariants(events []obs.Event, cfg InvariantConfig) error {
 	// trace simply ended before the window elapsed.
 	_ = horizon
 	return nil
+}
+
+// sortedTIDs returns the keys of a tid-keyed map in ascending order, so
+// invariant violations are attributed deterministically regardless of
+// map iteration order.
+func sortedTIDs[V any](m map[int]V) []int {
+	tids := make([]int, 0, len(m))
+	for tid := range m {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	return tids
 }

@@ -204,7 +204,7 @@ func (p *Pool) Run(ctx context.Context) (*Report, error) {
 	if workers > len(p.specs) {
 		workers = len(p.specs)
 	}
-	start := time.Now()
+	start := time.Now() //lint:allow determinism wall-clock fleet timing; excluded from the deterministic fingerprint
 
 	queue := make(chan int)
 	go func() {
@@ -249,7 +249,7 @@ func (p *Pool) Run(ctx context.Context) (*Report, error) {
 		}
 	}
 
-	rep := p.buildReport(workers, time.Since(start))
+	rep := p.buildReport(workers, time.Since(start)) //lint:allow determinism wall-clock fleet timing; excluded from the deterministic fingerprint
 	return rep, ctx.Err()
 }
 
@@ -290,7 +290,7 @@ func (p *Pool) runJob(ctx context.Context, idx int) JobOutcome {
 		panicked bool
 	}
 	done := make(chan jobReturn, 1)
-	start := time.Now()
+	start := time.Now() //lint:allow determinism per-job wall latency for operator reporting only
 	go func() {
 		defer func() {
 			if r := recover(); r != nil {
@@ -303,7 +303,7 @@ func (p *Pool) runJob(ctx context.Context, idx int) JobOutcome {
 
 	select {
 	case ret := <-done:
-		out.Elapsed = time.Since(start)
+		out.Elapsed = time.Since(start) //lint:allow determinism per-job wall latency for operator reporting only
 		switch {
 		case ret.panicked:
 			out.Status = StatusPanicked
@@ -325,7 +325,7 @@ func (p *Pool) runJob(ctx context.Context, idx int) JobOutcome {
 		// The job ignored its context; abandon its goroutine (the
 		// buffered channel lets it finish and be collected) and
 		// classify by which context fired.
-		out.Elapsed = time.Since(start)
+		out.Elapsed = time.Since(start) //lint:allow determinism per-job wall latency for operator reporting only
 		if ctx.Err() != nil {
 			out.Status = StatusCancelled
 			out.Err = ctx.Err().Error()

@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// wallClockFuncs are ambient-state entry points, keyed by package path
+// then function name, with the reason they break reproducibility.
+var wallClockFuncs = map[string]map[string]string{
+	"time": {
+		"Now":   "wall clock",
+		"Since": "wall clock",
+		"Until": "wall clock",
+	},
+	"os": {
+		"Getenv":    "process environment",
+		"LookupEnv": "process environment",
+		"Environ":   "process environment",
+	},
+}
+
+// globalRandFuncs are the math/rand (and v2) package-level functions
+// backed by the shared global source.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Int32": true, "Int32N": true,
+	"Int64": true, "Int64N": true, "IntN": true, "N": true,
+	"Uint32": true, "Uint64": true, "Uint32N": true, "Uint64N": true,
+	"Uint": true, "UintN": true,
+	"Float32": true, "Float64": true, "NormFloat64": true,
+	"ExpFloat64": true, "Perm": true, "Shuffle": true, "Seed": true,
+	"Read": true,
+}
+
+// randPackages are the ambient-PRNG standard-library packages.
+var randPackages = map[string]bool{"math/rand": true, "math/rand/v2": true}
+
+// AnalyzerDeterminism forbids wall-clock reads, environment access and
+// global math/rand use everywhere outside the driver layers
+// (cmd/, examples/, experiments/). Simulation output must be a pure
+// function of (spec, seed): PR 1 pins fleet fingerprints to it and
+// PR 3 pins fault sequences to it. Measurement code (internal/fleet
+// wall timing, benchmarks in _test.go files) states its exemption in
+// line with a //lint:allow determinism directive, so every escape is
+// explicit and reviewed.
+var AnalyzerDeterminism = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid time.Now/time.Since, os.Getenv and global math/rand in simulation code",
+	Run:  runDeterminism,
+}
+
+func runDeterminism(p *Pass) {
+	if isDriverPath(p.Pkg.Path) {
+		return
+	}
+	for _, f := range p.Pkg.AllFiles() {
+		imports := importTable(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				id, name, ok := qualified(n.Fun, imports)
+				if ok && randPackages[imports[id]] && name == "New" && len(n.Args) == 0 {
+					p.Reportf(n.Pos(), "%s.New without an explicit seeded source; pass a source derived from the experiment seed", id)
+				}
+			case *ast.SelectorExpr:
+				id, name, ok := qualified(n, imports)
+				if !ok {
+					return true
+				}
+				path := imports[id]
+				if why, bad := wallClockFuncs[path][name]; bad {
+					p.Reportf(n.Pos(), "%s.%s reads the ambient %s; simulation output must be a pure function of (spec, seed) — thread time through the sim clock or annotate measurement code with //lint:allow",
+						id, name, why)
+				}
+				if randPackages[path] && globalRandFuncs[name] {
+					p.Reportf(n.Pos(), "%s.%s draws from the global PRNG; derive a seeded stream with sim.NewRand(seed) or rng.Fork(id) instead",
+						id, name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// qualified decomposes expr as a pkg.Name selector where pkg is an
+// imported package in the file's import table.
+func qualified(expr ast.Expr, imports map[string]string) (pkgLocal, name string, ok bool) {
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", "", false
+	}
+	if _, imported := imports[id.Name]; !imported {
+		return "", "", false
+	}
+	return id.Name, sel.Sel.Name, true
+}

@@ -1,0 +1,181 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerMapOrder flags `for … range` over a map whose body lets the
+// (randomized) iteration order escape into an observable artifact:
+//
+//   - appending to a slice that is not bucketed by the range key,
+//     unless a sort call follows later in the same function;
+//   - returning a value derived from the iteration variables (the
+//     "first match wins" pattern picks a random winner);
+//   - emitting output or scheduling simulator events inside the body
+//     (fmt printing, Write*, obs sink emission, engine After/Schedule —
+//     the discrete-event engine breaks timestamp ties in scheduling
+//     order, so map order would leak into event order).
+//
+// Aggregations that are order-independent (summing, writing into
+// another map, per-key buckets like samples[k] = append(samples[k], v))
+// are not flagged.
+var AnalyzerMapOrder = &Analyzer{
+	Name: "map-order",
+	Doc:  "flag map iteration whose order leaks into slices, returns, output or event schedules",
+	Run:  runMapOrder,
+}
+
+// emitMethodNames are callee names that move data toward an observable
+// output or the event queue.
+var emitMethodNames = map[string]bool{
+	"Emit": true, "Event": true, "Record": true,
+	"After": true, "Schedule": true, "At": true,
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+}
+
+func runMapOrder(p *Pass) {
+	if isDriverPath(p.Pkg.Path) || p.Pkg.Info == nil {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkMapRanges(p, fd)
+		}
+	}
+}
+
+func checkMapRanges(p *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := p.Pkg.Info.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		keyName := identName(rs.Key)
+		valName := identName(rs.Value)
+		sortedAfter := hasSortAfter(fd, rs)
+		ast.Inspect(rs.Body, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.RangeStmt:
+				// Nested map ranges get their own visit from the outer
+				// pass; skip their bodies to avoid double reports.
+				// Nested slice ranges stay in scope: they still run
+				// once per (randomized) outer key.
+				if t := p.Pkg.Info.TypeOf(m.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						return false
+					}
+				}
+			case *ast.AssignStmt:
+				reportUnsortedAppends(p, m, keyName, sortedAfter)
+			case *ast.ReturnStmt:
+				if returnUsesIterationVars(m, keyName, valName) {
+					p.Reportf(m.Pos(), "return inside map iteration selects a winner in randomized map order; iterate sorted keys so the result is deterministic")
+				}
+			case *ast.CallExpr:
+				if name, ok := calleeName(m); ok && emitMethodNames[name] {
+					p.Reportf(m.Pos(), "%s call inside map iteration emits in randomized map order; iterate sorted keys (or collect and sort first)", name)
+				}
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// reportUnsortedAppends flags x = append(x, …) growing a slice in map
+// order, unless the target is a per-key bucket (indexed by the range
+// key) or a sort call follows the loop.
+func reportUnsortedAppends(p *Pass, as *ast.AssignStmt, keyName string, sortedAfter bool) {
+	for i, rhs := range as.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
+			continue
+		}
+		if sortedAfter {
+			continue
+		}
+		if i < len(as.Lhs) {
+			if idx, ok := as.Lhs[i].(*ast.IndexExpr); ok && keyName != "" && identName(idx.Index) == keyName {
+				continue // samples[key] = append(samples[key], v): per-key bucket
+			}
+		}
+		p.Reportf(call.Pos(), "append inside map iteration builds a slice in randomized map order; sort it afterwards or iterate sorted keys")
+	}
+}
+
+// hasSortAfter reports whether the enclosing function contains a
+// sort-like call lexically after the range statement.
+func hasSortAfter(fd *ast.FuncDecl, rs *ast.RangeStmt) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= rs.End() {
+			return true
+		}
+		if name, ok := calleeName(call); ok && strings.Contains(name, "Sort") {
+			found = true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if pkg, ok := sel.X.(*ast.Ident); ok && (pkg.Name == "sort" || pkg.Name == "slices") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// returnUsesIterationVars reports whether any returned expression
+// references the range key or value by name.
+func returnUsesIterationVars(ret *ast.ReturnStmt, keyName, valName string) bool {
+	uses := false
+	for _, res := range ret.Results {
+		ast.Inspect(res, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if (keyName != "" && id.Name == keyName) || (valName != "" && id.Name == valName) {
+					uses = true
+				}
+			}
+			return !uses
+		})
+	}
+	return uses
+}
+
+// identName returns the name of expr if it is a plain identifier
+// (excluding the blank identifier).
+func identName(expr ast.Expr) string {
+	if id, ok := expr.(*ast.Ident); ok && id.Name != "_" {
+		return id.Name
+	}
+	return ""
+}
+
+// calleeName extracts the bare function or method name of a call.
+func calleeName(call *ast.CallExpr) (string, bool) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name, true
+	case *ast.SelectorExpr:
+		return fun.Sel.Name, true
+	}
+	return "", false
+}

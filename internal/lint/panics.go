@@ -1,0 +1,44 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// AnalyzerPanicHygiene forbids panic in non-test library code outside
+// designated must*/Must* helpers. Library panics take down a whole
+// fleet worker (PR 1 isolates them, but at the cost of losing the job);
+// invariant guards that genuinely cannot fire in correct code state
+// their justification in line with //lint:allow panic-hygiene <reason>.
+var AnalyzerPanicHygiene = &Analyzer{
+	Name: "panic-hygiene",
+	Doc:  "no panic outside must*/Must* helpers in non-test library code",
+	Run:  runPanicHygiene,
+}
+
+func runPanicHygiene(p *Pass) {
+	if isDriverPath(p.Pkg.Path) {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if strings.HasPrefix(fd.Name.Name, "must") || strings.HasPrefix(fd.Name.Name, "Must") {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+					p.Reportf(call.Pos(), "panic in library code; return an error, move it into a must* helper, or justify the invariant with //lint:allow panic-hygiene")
+				}
+				return true
+			})
+		}
+	}
+}

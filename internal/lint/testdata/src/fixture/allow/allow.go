@@ -1,0 +1,21 @@
+// Package allow exercises the //lint:allow directive layer: one valid
+// suppression, one stale directive, one unknown check name and one
+// missing reason.
+package allow
+
+// Guarded panics behind a directive; the panic-hygiene finding is
+// suppressed and the directive counts as used.
+func Guarded(x int) {
+	if x < 0 {
+		panic("impossible") //lint:allow panic-hygiene fixture invariant cannot fire
+	}
+}
+
+//lint:allow map-order this directive matches nothing and is reported stale
+func Stale() {}
+
+//lint:allow nosuch bogus check name
+func Unknown() {}
+
+//lint:allow determinism
+func NoReason() {}

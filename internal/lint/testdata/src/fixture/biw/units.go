@@ -1,0 +1,38 @@
+// Package biw is a fixture physics package exercising the units
+// analyzer: unsuffixed exported float64s, a dB-with-linear sum, and a
+// set of compliant declarations that must stay quiet.
+package biw
+
+// Panel mixes compliant and non-compliant fields.
+type Panel struct {
+	// Threshold has no unit suffix: finding.
+	Threshold float64
+	// PeakVolts, DampingRatio, OffsetM, and the coordinates are all
+	// compliant spellings.
+	PeakVolts    float64
+	DampingRatio float64
+	OffsetM      float64
+	X, Y, Z      float64
+
+	raw float64 // unexported: not checked
+}
+
+// Attenuate has an unsuffixed parameter: finding.
+func Attenuate(loss float64) float64 {
+	return loss * 0.5
+}
+
+// Peak has an unsuffixed named result: finding.
+func Peak() (amp float64) {
+	return 0.05
+}
+
+// Combine adds a dB quantity to a linear one: finding on the +.
+func Combine(lossDB, gainRatio float64) float64 {
+	return lossDB + gainRatio
+}
+
+// CombineDB adds two dB quantities and must not be flagged.
+func CombineDB(pathDB, couplingDB float64) float64 {
+	return pathDB + couplingDB
+}

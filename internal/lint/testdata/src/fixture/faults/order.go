@@ -1,0 +1,62 @@
+// Package faults is a fixture core package exercising the map-order
+// analyzer: three leaks and two order-independent aggregations.
+package faults
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Values builds a slice in map order and never sorts it.
+func Values(m map[int]string) []string {
+	var out []string
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}
+
+// SortedKeys appends in map order but sorts before returning; the
+// analyzer must stay quiet.
+func SortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AnyKey returns the first key the runtime happens to yield.
+func AnyKey(m map[int]int) int {
+	for k := range m {
+		return k
+	}
+	return -1
+}
+
+// Dump prints in map order.
+func Dump(m map[int]int) {
+	for k, v := range m {
+		fmt.Printf("%d=%d\n", k, v)
+	}
+}
+
+// Bucket groups values per key; the per-key append is order-independent
+// and must not be flagged.
+func Bucket(m map[int]int) map[int][]int {
+	out := make(map[int][]int)
+	for k, v := range m {
+		out[k] = append(out[k], v)
+	}
+	return out
+}
+
+// Sum is an order-independent reduction and must not be flagged.
+func Sum(m map[int]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

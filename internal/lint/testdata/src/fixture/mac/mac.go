@@ -1,0 +1,57 @@
+// Package mac is a fixture core package carrying determinism,
+// rng-discipline and panic-hygiene violations for the golden tests.
+package mac
+
+import (
+	"math/rand"
+	"os"
+	"time"
+
+	"fixture/sim"
+)
+
+// Jitter reads three kinds of ambient state.
+func Jitter() float64 {
+	_ = time.Now()
+	_ = os.Getenv("SEED")
+	return rand.Float64()
+}
+
+// Age uses the wall clock through time.Since.
+func Age(t0 time.Time) time.Duration {
+	return time.Since(t0)
+}
+
+// Source builds a generator without an explicit seeded source.
+func Source() any {
+	return rand.New()
+}
+
+// Zero constructs sim.Rand three degenerate ways.
+func Zero() *sim.Rand {
+	r := sim.Rand{}
+	_ = new(sim.Rand)
+	var s sim.Rand
+	_ = s
+	return &r
+}
+
+// Seeded is the sanctioned pattern and must not be flagged.
+func Seeded(seed uint64) float64 {
+	rng := sim.NewRand(seed)
+	return rng.Fork(7).Float64()
+}
+
+// Validate panics in plain library code.
+func Validate(x int) {
+	if x < 0 {
+		panic("negative")
+	}
+}
+
+// mustPositive is a designated panic helper and must not be flagged.
+func mustPositive(x int) {
+	if x <= 0 {
+		panic("not positive")
+	}
+}

@@ -1,0 +1,21 @@
+// Package sim is the fixture's stand-in for the repository's seeded
+// PRNG package: the rng-discipline analyzer recognizes the named type
+// Rand in any package whose import path ends in /sim.
+package sim
+
+// Rand is a tiny deterministic PRNG used by the fixture packages.
+type Rand struct{ state uint64 }
+
+// NewRand returns a seeded generator.
+func NewRand(seed uint64) *Rand { return &Rand{state: seed | 1} }
+
+// Fork derives an independent stream for the given id.
+func (r *Rand) Fork(id uint64) *Rand {
+	return &Rand{state: r.state ^ (id*0x9e3779b97f4a7c15 | 1)}
+}
+
+// Float64 returns the next sample in [0, 1).
+func (r *Rand) Float64() float64 {
+	r.state = r.state*6364136223846793005 + 1442695040888963407
+	return float64(r.state>>11) / (1 << 53)
+}

@@ -1,0 +1,207 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerUnits enforces the unit-suffix convention in the physics
+// packages (biw, pzt, energy, strain), where the paper mixes dB,
+// linear-gain, volt, hertz and second quantities (Fig. 11, Table 2,
+// Appendix A). Two rules:
+//
+//  1. Exported float64 struct fields, and the float64 parameters and
+//     named results of exported functions/methods, must end in a
+//     registered unit suffix (DB, Hz, Volts, Amps, Watts, Ohms,
+//     Farads, Joules, Seconds, Meters, M, BPS, PerMeter, PerSecond,
+//     PerHz) or a registered dimensionless suffix (Ratio, Fraction,
+//     Efficiency, Factor, Coefficient, Compression, Gain, Reflectance,
+//     Depth, Exponent, Index, Epsilon, Prob, Probability). Bare
+//     coordinates (X, Y, Z) are exempt by exact name.
+//
+//  2. Binary + / - must not mix a *DB identifier with an identifier
+//     carrying a linear suffix (Volts, Amps, Watts, Ratio, Gain):
+//     logarithmic and linear quantities add on different axes.
+//
+// The suffix tables live in this file; extend them here (with a DESIGN.md
+// note) when a new physical dimension enters the model.
+var AnalyzerUnits = &Analyzer{
+	Name: "units",
+	Doc:  "require unit suffixes on float64 physics APIs; forbid dB + linear arithmetic",
+	Run:  runUnits,
+}
+
+// unitSuffixes (length >= 2 matched case-insensitively at the end of
+// the name; ordering is irrelevant).
+var unitSuffixes = []string{
+	"DB", "Hz", "KHz", "Volts", "Amps", "Watts", "Ohms", "Farads",
+	"Joules", "Seconds", "Meters", "BPS", "PerMeter", "PerSecond", "PerHz",
+}
+
+// dimensionlessSuffixes mark explicitly unitless quantities.
+var dimensionlessSuffixes = []string{
+	"Ratio", "Fraction", "Efficiency", "Factor", "Coefficient",
+	"Compression", "Gain", "Reflectance", "Depth", "Exponent", "Index",
+	"Epsilon", "Prob", "Probability",
+}
+
+// linearSuffixes participate in the dB-mixing check as linear-axis
+// quantities.
+var linearSuffixes = []string{"Volts", "Amps", "Watts", "Ratio", "Gain"}
+
+// unitExemptNames are allowed verbatim (coordinates are meters by
+// deployment convention, documented on biw.Position).
+var unitExemptNames = map[string]bool{"X": true, "Y": true, "Z": true, "x": true, "y": true, "z": true}
+
+func hasAnySuffix(name string, suffixes []string) bool {
+	lower := strings.ToLower(name)
+	for _, s := range suffixes {
+		if strings.HasSuffix(lower, strings.ToLower(s)) {
+			return true
+		}
+	}
+	return false
+}
+
+// hasUnitSuffix accepts registered unit suffixes plus the single-letter
+// meters shorthand "M" (trailing capital M after a lowercase letter, as
+// in OffsetM / displacementM, or the bare name "m").
+func hasUnitSuffix(name string) bool {
+	if hasAnySuffix(name, unitSuffixes) {
+		return true
+	}
+	if name == "m" {
+		return true
+	}
+	if len(name) >= 2 && name[len(name)-1] == 'M' {
+		prev := name[len(name)-2]
+		return prev >= 'a' && prev <= 'z'
+	}
+	return false
+}
+
+func unitNameOK(name string) bool {
+	return unitExemptNames[name] || hasUnitSuffix(name) || hasAnySuffix(name, dimensionlessSuffixes)
+}
+
+func runUnits(p *Pass) {
+	if !isPhysicsPackage(p.Pkg.Path) {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			switch decl := decl.(type) {
+			case *ast.GenDecl:
+				for _, spec := range decl.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok || !ts.Name.IsExported() {
+						continue
+					}
+					if st, ok := ts.Type.(*ast.StructType); ok {
+						checkStructFields(p, st)
+					}
+				}
+			case *ast.FuncDecl:
+				if decl.Name.IsExported() {
+					checkSignature(p, decl.Type)
+				}
+			}
+		}
+		// dB-mixing applies to every expression in the file, exported
+		// or not: the arithmetic bug does not care about visibility.
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			checkDBMixing(p, be)
+			return true
+		})
+	}
+}
+
+func checkStructFields(p *Pass, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		if !isFloat64Expr(p, field.Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.IsExported() && !unitNameOK(name.Name) {
+				p.Reportf(name.Pos(), "exported float64 field %s needs a unit suffix (DB, Hz, Volts, Seconds, ...) or a dimensionless suffix (Ratio, Factor, ...)", name.Name)
+			}
+		}
+	}
+}
+
+func checkSignature(p *Pass, ft *ast.FuncType) {
+	check := func(fl *ast.FieldList, kind string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			if !isFloat64Expr(p, field.Type) {
+				continue
+			}
+			for _, name := range field.Names {
+				if name.Name == "_" {
+					continue
+				}
+				if !unitNameOK(name.Name) {
+					p.Reportf(name.Pos(), "float64 %s %s of exported function needs a unit suffix (DB, Hz, Volts, Seconds, ...) or a dimensionless suffix (Ratio, Factor, ...)", kind, name.Name)
+				}
+			}
+		}
+	}
+	check(ft.Params, "parameter")
+	check(ft.Results, "result")
+}
+
+// isFloat64Expr reports whether the type expression denotes float64,
+// preferring type information and falling back to the literal
+// identifier.
+func isFloat64Expr(p *Pass, expr ast.Expr) bool {
+	if p.Pkg.Info != nil {
+		if t := p.Pkg.Info.TypeOf(expr); t != nil {
+			if b, ok := t.(*types.Basic); ok {
+				return b.Kind() == types.Float64
+			}
+			return false
+		}
+	}
+	id, ok := expr.(*ast.Ident)
+	return ok && id.Name == "float64"
+}
+
+// checkDBMixing flags lossDB + gainRatio style arithmetic.
+func checkDBMixing(p *Pass, be *ast.BinaryExpr) {
+	if be.Op.String() != "+" && be.Op.String() != "-" {
+		return
+	}
+	xName, yName := trailingName(be.X), trailingName(be.Y)
+	xDB, yDB := hasAnySuffix(xName, []string{"DB"}), hasAnySuffix(yName, []string{"DB"})
+	xLin, yLin := isLinearName(xName), isLinearName(yName)
+	if (xDB && yLin) || (yDB && xLin) {
+		p.Reportf(be.OpPos, "%s %s %s mixes a dB quantity with a linear quantity; convert with 10*log10/10^(x/10) first", xName, be.Op, yName)
+	}
+}
+
+// isLinearName: a linear suffix, where a trailing DB does not override
+// (GainDB is a dB quantity even though it contains "Gain").
+func isLinearName(name string) bool {
+	return hasAnySuffix(name, linearSuffixes) && !hasAnySuffix(name, []string{"DB"})
+}
+
+// trailingName extracts the rightmost identifier of an expression
+// (x, c.x, f(…) -> "").
+func trailingName(expr ast.Expr) string {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	case *ast.ParenExpr:
+		return trailingName(e.X)
+	}
+	return ""
+}

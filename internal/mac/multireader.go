@@ -126,6 +126,7 @@ func (m *MultiReaderSim) Step() {
 		if err != nil {
 			// Zone observations are built from this simulator's own
 			// tags; an invalid tid is a programming error.
+			//lint:allow panic-hygiene observations are built from this simulator's own tag ids; invalid tid is a programming bug
 			panic(err)
 		}
 		z.fb = fb

@@ -54,7 +54,15 @@ func (o Observation) NonEmpty() bool { return len(o.Decoded) > 0 || o.Collision 
 // provisioned tag population.
 func NewReaderProtocol(periods map[int]Period) (*ReaderProtocol, error) {
 	maxP := 1
-	for tid, p := range periods {
+	// Validate in sorted tid order so the reported offender does not
+	// depend on map iteration order.
+	tids := make([]int, 0, len(periods))
+	for tid := range periods {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	for _, tid := range tids {
+		p := periods[tid]
 		if !ValidPeriod(p) {
 			return nil, fmt.Errorf("mac: tag %d has invalid period %d", tid, p)
 		}
@@ -108,13 +116,25 @@ func (r *ReaderProtocol) SettledCount() int { return len(r.settled) }
 // blocked newcomer, or -1 when no eviction is in progress.
 func (r *ReaderProtocol) EvictTarget() int { return r.evictTID }
 
-// SettledAssignments returns a copy of the reader's current belief.
+// SettledAssignments returns a copy of the reader's current belief in
+// ascending tid order, so the slice is identical across runs (map
+// iteration order must not leak into outputs).
 func (r *ReaderProtocol) SettledAssignments() []Assignment {
 	out := make([]Assignment, 0, len(r.settled))
-	for _, a := range r.settled {
-		out = append(out, a)
+	for _, tid := range r.settledTIDs() {
+		out = append(out, r.settled[tid])
 	}
 	return out
+}
+
+// settledTIDs returns the settled tag ids in ascending order.
+func (r *ReaderProtocol) settledTIDs() []int {
+	tids := make([]int, 0, len(r.settled))
+	for tid := range r.settled {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	return tids
 }
 
 // settledExcept returns the settled assignments of all tags other than
@@ -246,7 +266,12 @@ func (r *ReaderProtocol) trackExpected(o Observation, s int) {
 	for _, tid := range o.Decoded {
 		decoded[tid] = true
 	}
-	for tid, a := range r.settled {
+	// Snapshot the settled set in tid order: unsettle mutates r.settled
+	// mid-scan, and the tag_unsettle trace events emitted below must
+	// appear in the same order on every run for JSONL traces (and the
+	// fault-recovery fingerprints built on them) to be reproducible.
+	for _, tid := range r.settledTIDs() {
+		a := r.settled[tid]
 		if !a.TransmitsAt(s) {
 			continue
 		}

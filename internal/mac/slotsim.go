@@ -273,6 +273,7 @@ func (s *SlotSim) Step() SlotResult {
 	if err != nil {
 		// The simulator reports only its own tags' ids; an invalid
 		// observation here is a programming error, not bad input.
+		//lint:allow panic-hygiene observations are built from this simulator's own tag ids; invalid tid is a programming bug
 		panic(err)
 	}
 	// Tags that transmitted learn their fate from the next beacon; ACK

@@ -28,6 +28,7 @@ func NewBitsFromUint(v uint64, n int) Bits {
 // slice is longer than 64 bits.
 func (b Bits) Uint() uint64 {
 	if len(b) > 64 {
+		//lint:allow panic-hygiene documented API contract mirroring strconv-style width panics
 		panic("phy: Bits.Uint on more than 64 bits")
 	}
 	var v uint64

@@ -48,12 +48,12 @@ type Transducer struct {
 	// QualityFactor shapes the resonance bandwidth and the ring-down
 	// tail after drive cutoff.
 	QualityFactor float64
-	// ReflectanceShort is the amplitude reflection coefficient in the
+	// ShortReflectance is the amplitude reflection coefficient in the
 	// Reflective (short-circuit) state.
-	ReflectanceShort float64
-	// ReflectanceOpen is the residual reflection in the Absorptive
+	ShortReflectance float64
+	// OpenReflectance is the residual reflection in the Absorptive
 	// state; the OOK depth is the gap between the two reflectances.
-	ReflectanceOpen float64
+	OpenReflectance float64
 	// CouplingCoefficient k (0..1) is the electro-mechanical conversion
 	// efficiency: the fraction of incident mechanical amplitude that
 	// appears as open-circuit voltage (per volt of wave amplitude).
@@ -68,8 +68,8 @@ func New() *Transducer {
 	return &Transducer{
 		ResonantHz:          90_000,
 		QualityFactor:       45,
-		ReflectanceShort:    0.85,
-		ReflectanceOpen:     0.30,
+		ShortReflectance:    0.85,
+		OpenReflectance:     0.30,
 		CouplingCoefficient: 0.72,
 		state:               Absorptive,
 	}
@@ -86,23 +86,23 @@ func (t *Transducer) SetState(s State) { t.state = s }
 // current state.
 func (t *Transducer) Reflectance() float64 {
 	if t.state == Reflective {
-		return t.ReflectanceShort
+		return t.ShortReflectance
 	}
-	return t.ReflectanceOpen
+	return t.OpenReflectance
 }
 
 // ModulationDepth is the amplitude difference between the two states —
 // the OOK "eye" the reader must detect.
 func (t *Transducer) ModulationDepth() float64 {
-	return t.ReflectanceShort - t.ReflectanceOpen
+	return t.ShortReflectance - t.OpenReflectance
 }
 
 // OpenCircuitVoltage returns the electrical peak voltage produced by an
 // incident vibration of the given peak amplitude (expressed in the
-// equivalent drive volts of the source wave) at frequency f. Off
+// equivalent drive volts of the source wave) at frequency fHz. Off
 // resonance the response collapses with a second-order rolloff.
-func (t *Transducer) OpenCircuitVoltage(waveAmplitude, f float64) float64 {
-	return waveAmplitude * t.CouplingCoefficient * t.frequencyResponse(f)
+func (t *Transducer) OpenCircuitVoltage(waveVolts, fHz float64) float64 {
+	return waveVolts * t.CouplingCoefficient * t.frequencyResponse(fHz)
 }
 
 // HarvestablePower returns the electrical power (W) available to a
@@ -118,11 +118,11 @@ func (t *Transducer) HarvestablePower(openCircuitVolts, sourceOhms float64) floa
 }
 
 // frequencyResponse is the normalized second-order resonance response.
-func (t *Transducer) frequencyResponse(f float64) float64 {
-	if f <= 0 {
+func (t *Transducer) frequencyResponse(fHz float64) float64 {
+	if fHz <= 0 {
 		return 0
 	}
-	r := f / t.ResonantHz
+	r := fHz / t.ResonantHz
 	denom := math.Sqrt(math.Pow(1-r*r, 2) + math.Pow(r/t.QualityFactor, 2))
 	if denom == 0 {
 		return 1
@@ -143,13 +143,13 @@ func (t *Transducer) RingTimeConstant() float64 {
 	return t.QualityFactor / (math.Pi * t.ResonantHz)
 }
 
-// RingResidual returns the relative vibration amplitude remaining dt
+// RingResidual returns the relative vibration amplitude remaining dtSeconds
 // seconds after drive cutoff.
-func (t *Transducer) RingResidual(dt float64) float64 {
-	if dt <= 0 {
+func (t *Transducer) RingResidual(dtSeconds float64) float64 {
+	if dtSeconds <= 0 {
 		return 1
 	}
-	return math.Exp(-dt / t.RingTimeConstant())
+	return math.Exp(-dtSeconds / t.RingTimeConstant())
 }
 
 // FSKLowLeakage returns the effective residual "low"-symbol amplitude

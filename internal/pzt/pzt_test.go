@@ -23,11 +23,11 @@ func TestStateToggle(t *testing.T) {
 	if tr.State() != Reflective {
 		t.Fatal("SetState failed")
 	}
-	if tr.Reflectance() != tr.ReflectanceShort {
+	if tr.Reflectance() != tr.ShortReflectance {
 		t.Error("reflective state should use short-circuit reflectance")
 	}
 	tr.SetState(Absorptive)
-	if tr.Reflectance() != tr.ReflectanceOpen {
+	if tr.Reflectance() != tr.OpenReflectance {
 		t.Error("absorptive state should use open-circuit reflectance")
 	}
 }
@@ -38,7 +38,7 @@ func TestModulationDepth(t *testing.T) {
 	if depth <= 0 {
 		t.Fatal("modulation depth must be positive for OOK to work")
 	}
-	if depth != tr.ReflectanceShort-tr.ReflectanceOpen {
+	if depth != tr.ShortReflectance-tr.OpenReflectance {
 		t.Error("depth must be the reflectance contrast")
 	}
 	// The two states must be distinguishable: at least 0.3 contrast.

@@ -220,6 +220,7 @@ func (d *Device) modulateBeacon(cmd phy.Command, start sim.Time) BeaconTx {
 	if err != nil {
 		// The command nibble is 4 bits by construction; this cannot
 		// happen unless Config is corrupted.
+		//lint:allow panic-hygiene command nibble is 4 bits by construction; marshal cannot fail on valid Config
 		panic(fmt.Sprintf("reader: beacon marshal: %v", err))
 	}
 	chipDur := sim.FromSeconds(1 / d.Cfg.DLRate)

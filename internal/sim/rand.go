@@ -55,6 +55,7 @@ func (r *Rand) Uint64() uint64 {
 // Intn returns a uniform integer in [0, n). It panics if n <= 0.
 func (r *Rand) Intn(n int) int {
 	if n <= 0 {
+		//lint:allow panic-hygiene documented API contract mirroring math/rand.Intn
 		panic("sim: Intn with non-positive n")
 	}
 	// Lemire's multiply-shift rejection method for unbiased bounded ints.
