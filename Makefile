@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench vet lint race check cover experiments examples fuzz-smoke clean
+.PHONY: all build test test-short bench bench-json vet lint race check cover experiments examples fuzz-smoke clean
 
 all: vet test
 
@@ -38,6 +38,17 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Perf trajectory: run the DSP, fleet and waveform figure benchmarks
+# and record (or merge) their results into BENCH_5.json. Use
+# BENCH_LABEL=before on the pre-change tree and BENCH_LABEL=after on
+# the optimized one; both labels live in the same committed file.
+BENCH_LABEL ?= after
+BENCH_JSON ?= BENCH_5.json
+BENCH_PATTERN ?= 'Fig12aUplinkSNR|Fig12bUplinkLoss|CrossValidation|FleetThroughput|QuadOsc|FIR|DownConvert|ReaderChain|SynthesizeUL|PipelineBlocks'
+bench-json:
+	$(GO) run ./cmd/arachnet-benchjson -out $(BENCH_JSON) -label $(BENCH_LABEL) \
+		-bench $(BENCH_PATTERN) -benchtime 3x . ./internal/dsp ./internal/fleet
 
 # Coverage-guided fuzzing smoke: 10 s on each native fuzz target in the
 # phy codecs (go fuzzing allows one -fuzz pattern per invocation, hence

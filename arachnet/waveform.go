@@ -49,7 +49,10 @@ func (n *Network) decodeSlotWaveform(events []reader.ULEvent) reader.SlotDecodeR
 	nSamples := int((end-start+2*guard).Seconds()*fs) + 1
 
 	noise := n.Channel.NoiseRMS(fs)
-	samples := make([]float64, nSamples)
+	if cap(n.wfSamples) < nSamples {
+		n.wfSamples = make([]float64, nSamples)
+	}
+	samples := n.wfSamples[:nSamples]
 	for i := range samples {
 		t := t0 + sim.FromSeconds(float64(i)/fs)
 		amp := carrierLeakage
@@ -68,7 +71,10 @@ func (n *Network) decodeSlotWaveform(events []reader.ULEvent) reader.SlotDecodeR
 	var res reader.SlotDecodeResult
 	// Collision inference: amplitude clusters, exactly as the paper's
 	// IQ-domain rule (Sec. 5.3).
-	iq := make([]dsp.IQ, len(samples))
+	if cap(n.wfIQ) < len(samples) {
+		n.wfIQ = make([]dsp.IQ, len(samples))
+	}
+	iq := n.wfIQ[:len(samples)]
 	lo, hi := samples[0], samples[0]
 	for i, v := range samples {
 		iq[i] = dsp.IQ{I: v}

@@ -1,0 +1,166 @@
+// Command arachnet-benchjson runs the repo's benchmarks and records
+// their results as JSON, building the perf trajectory file (BENCH_N.json)
+// that each perf PR commits alongside its code. Entries are keyed by a
+// label ("before" / "after") so one file holds both sides of a PR's
+// measurement:
+//
+//	arachnet-benchjson -out BENCH_5.json -label before \
+//	    -bench 'Fig12a|Fig12b' -benchtime 3x . ./internal/dsp
+//
+// Runs merge: an existing output file is loaded first and entries under
+// the same label are replaced, so "before" survives the "after" run.
+// The schema is a flat map from "<label>/<benchmark>" to ns/op, B/op,
+// allocs/op and every b.ReportMetric custom metric the benchmark
+// emitted.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark result.
+type Entry struct {
+	Iterations int     `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	BytesPerOp float64 `json:"bytes_per_op,omitempty"`
+	AllocsOp   float64 `json:"allocs_per_op"`
+	// Metrics holds the benchmark's b.ReportMetric values, e.g.
+	// "speedup-vs-serial" or "tag8-3000bps-dB".
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the on-disk trajectory document.
+type File struct {
+	// Benchtime records the -benchtime used for the most recent run so
+	// two labels are comparable.
+	Benchtime string           `json:"benchtime"`
+	Entries   map[string]Entry `json:"entries"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH.json", "output JSON file (merged if it exists)")
+	label := flag.String("label", "after", "entry label prefix (e.g. before, after)")
+	bench := flag.String("bench", ".", "benchmark name pattern (go test -bench)")
+	benchtime := flag.String("benchtime", "1x", "go test -benchtime value")
+	flag.Parse()
+	pkgs := flag.Args()
+	if len(pkgs) == 0 {
+		pkgs = []string{"./..."}
+	}
+
+	doc := File{Benchtime: *benchtime, Entries: map[string]Entry{}}
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, &doc); err != nil {
+			fatal(fmt.Errorf("%s: %w", *out, err))
+		}
+		doc.Benchtime = *benchtime
+	}
+	// Replace any previous entries under this label.
+	for k := range doc.Entries {
+		if strings.HasPrefix(k, *label+"/") {
+			delete(doc.Entries, k)
+		}
+	}
+
+	args := append([]string{"test", "-run", "^$", "-bench", *bench,
+		"-benchtime", *benchtime, "-benchmem"}, pkgs...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	pipe, err := cmd.StdoutPipe()
+	if err != nil {
+		fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		fatal(err)
+	}
+	sc := bufio.NewScanner(pipe)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	n := 0
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		name, e, ok := parseBenchLine(line)
+		if !ok {
+			continue
+		}
+		doc.Entries[*label+"/"+name] = e
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		fatal(fmt.Errorf("go test: %w", err))
+	}
+	if n == 0 {
+		fatal(fmt.Errorf("no benchmark results matched -bench %q", *bench))
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "recorded %d benchmarks under %q in %s\n", n, *label, *out)
+}
+
+// parseBenchLine decodes one `go test -bench` result line, e.g.
+//
+//	BenchmarkFoo/bar-8  3  1234 ns/op  5 B/op  2 allocs/op  11.7 tag8-dB
+//
+// Lines that are not benchmark results return ok=false.
+func parseBenchLine(line string) (string, Entry, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", Entry{}, false
+	}
+	name := fields[0]
+	// Strip the -GOMAXPROCS suffix for stable keys across machines.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return "", Entry{}, false
+	}
+	e := Entry{Iterations: iters}
+	// Remaining fields come in (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", Entry{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			e.NsPerOp = v
+		case "B/op":
+			e.BytesPerOp = v
+		case "allocs/op":
+			e.AllocsOp = v
+		case "MB/s":
+			// throughput; keep under metrics for completeness
+			fallthrough
+		default:
+			if e.Metrics == nil {
+				e.Metrics = map[string]float64{}
+			}
+			e.Metrics[unit] = v
+		}
+	}
+	return name, e, true
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -16,14 +16,34 @@ import (
 	"strings"
 
 	"repro/experiments"
+	"repro/internal/prof"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	seed := flag.Uint64("seed", 1, "random seed for all experiments")
 	quick := flag.Bool("quick", false, "smaller sample counts (faster, noisier)")
 	list := flag.Bool("list", false, "list experiment names and exit")
 	format := flag.String("format", "table", "output format: table or csv")
+	workers := flag.Int("workers", 0, "Monte Carlo trial fan-out (0 = GOMAXPROCS; results are identical for any width)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	experiments.SetWorkers(*workers)
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
 
 	seeds := 21
 	packets := 1000
@@ -145,7 +165,7 @@ func main() {
 		for _, e := range exps {
 			fmt.Printf("  %-20s %s\n", e.name, e.desc)
 		}
-		return
+		return 0
 	}
 
 	want := map[string]bool{}
@@ -166,7 +186,7 @@ func main() {
 		if len(unknown) > 0 {
 			sort.Strings(unknown)
 			fmt.Fprintf(os.Stderr, "unknown experiments: %s (use -list)\n", strings.Join(unknown, ", "))
-			os.Exit(2)
+			return 2
 		}
 	}
 
@@ -193,6 +213,7 @@ func main() {
 		fmt.Println(tb.String())
 	}
 	if failed {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -38,7 +38,12 @@ import (
 	"time"
 
 	"repro/arachnet"
+	"repro/internal/prof"
 )
+
+// stopProf finishes profiling; every exit path runs it so the profiles
+// are valid even on fatal errors.
+var stopProf = func() error { return nil }
 
 func main() {
 	specPath := flag.String("spec", "", "JSON fleet specification (or pass as the first argument)")
@@ -59,7 +64,15 @@ func main() {
 	slots := flag.Int("slots", 10_000, "ad-hoc sweep: slots per vehicle (slots engine)")
 	converge := flag.Int("converge", 0, "ad-hoc sweep: run to convergence with this slot cap (slots engine)")
 	seconds := flag.Int("seconds", 120, "ad-hoc sweep: simulated seconds per vehicle (network engine)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	profStop, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	stopProf = profStop
 
 	if *specPath == "" && flag.NArg() > 0 {
 		*specPath = flag.Arg(0)
@@ -184,6 +197,9 @@ func main() {
 	if *metrics {
 		fmt.Fprintln(os.Stderr, tr.Metrics().Snapshot())
 	}
+	if err := stopProf(); err != nil {
+		fatal(err)
+	}
 	if !rep.Ok() || ctx.Err() != nil {
 		os.Exit(1)
 	}
@@ -219,6 +235,10 @@ func printReport(rep *arachnet.FleetReport) {
 }
 
 func fatal(err error) {
+	if ferr := stopProf(); ferr != nil {
+		fmt.Fprintln(os.Stderr, ferr)
+	}
+	stopProf = func() error { return nil }
 	fmt.Fprintln(os.Stderr, err)
 	os.Exit(1)
 }

@@ -27,14 +27,17 @@ func RunModeCrossValidation(seed uint64, seconds int) (Table, error) {
 		net.Run(arachnet.Time(seconds) * arachnet.Second)
 		return net.Stats(), nil
 	}
-	prob, err := run(false)
-	if err != nil {
+	// The two modes are independent networks with the same seed; run
+	// them concurrently (the waveform mode dominates the wall clock).
+	var stats [2]arachnet.NetworkStats
+	if err := runJobs(2, func(i int) error {
+		st, err := run(i == 1)
+		stats[i] = st
+		return err
+	}); err != nil {
 		return Table{}, err
 	}
-	wave, err := run(true)
-	if err != nil {
-		return Table{}, err
-	}
+	prob, wave := stats[0], stats[1]
 	tb := Table{
 		Title:  fmt.Sprintf("Link-Model Cross-Validation (c3, %d slots)", seconds),
 		Header: []string{"Mode", "non-empty", "collision", "decoded", "converged at"},

@@ -28,29 +28,55 @@ type Fig12aCell struct {
 }
 
 // RunFig12a computes the uplink SNR matrix, both from the link budget
-// and from PSD measurement over a synthesized baseband capture.
+// and from PSD measurement over a synthesized baseband capture. The
+// shared RNG is consumed sequentially in (rate, tag) order while the
+// captures are synthesized; only the RNG-free PSD measurements (the FFT
+// is the dominant cost) then fan out across workers, so the table is
+// bit-identical to the serial run for any worker count.
 func RunFig12a(seed uint64) ([]Fig12aCell, Table, error) {
 	dep := biw.NewONVOL60()
 	ch := biw.DefaultChannel(dep)
 	rng := sim.NewRand(seed)
-	var cells []Fig12aCell
-	tb := Table{
-		Title:  "Fig. 12(a): Uplink SNR vs Bit Rate (link budget / PSD-measured, dB)",
-		Header: []string{"Rate (bps)", "tag 8", "tag 4", "tag 11"},
+	type job struct {
+		tag      int
+		rate     float64
+		snr      float64
+		baseband []float64
+		fs       float64
+		meas     float64
 	}
+	var jobs []job
 	for _, rate := range fig12Rates {
-		row := []string{fmt.Sprintf("%g", rate)}
 		for _, id := range fig12Tags {
 			snr, err := ch.UplinkSNRdB(id, rate)
 			if err != nil {
 				return nil, Table{}, err
 			}
-			meas, err := measureSNR(ch, id, rate, rng)
+			baseband, fs, err := synthSNRCapture(ch, id, rate, rng)
 			if err != nil {
 				return nil, Table{}, err
 			}
-			cells = append(cells, Fig12aCell{Tag: id, Rate: rate, SNRdB: snr, MeasuredSNRdB: meas})
-			row = append(row, fmt.Sprintf("%s / %s", f1(snr), f1(meas)))
+			jobs = append(jobs, job{tag: id, rate: rate, snr: snr, baseband: baseband, fs: fs})
+		}
+	}
+	if err := runJobs(len(jobs), func(i int) error {
+		meas, err := measureSNRFromBaseband(jobs[i].baseband, jobs[i].fs, jobs[i].rate)
+		jobs[i].meas = meas
+		return err
+	}); err != nil {
+		return nil, Table{}, err
+	}
+	var cells []Fig12aCell
+	tb := Table{
+		Title:  "Fig. 12(a): Uplink SNR vs Bit Rate (link budget / PSD-measured, dB)",
+		Header: []string{"Rate (bps)", "tag 8", "tag 4", "tag 11"},
+	}
+	for i, rate := range fig12Rates {
+		row := []string{fmt.Sprintf("%g", rate)}
+		for j := range fig12Tags {
+			jb := jobs[i*len(fig12Tags)+j]
+			cells = append(cells, Fig12aCell{Tag: jb.tag, Rate: jb.rate, SNRdB: jb.snr, MeasuredSNRdB: jb.meas})
+			row = append(row, fmt.Sprintf("%s / %s", f1(jb.snr), f1(jb.meas)))
 		}
 		tb.Rows = append(tb.Rows, row)
 	}
@@ -59,12 +85,14 @@ func RunFig12a(seed uint64) ([]Fig12aCell, Table, error) {
 	return cells, tb, nil
 }
 
-// measureSNR synthesizes a random FM0 backscatter capture for the tag
-// and measures SNR from its PSD, the way the reader does (Sec. 6.3).
-func measureSNR(ch *biw.Channel, id int, rate float64, rng *sim.Rand) (float64, error) {
+// synthSNRCapture synthesizes the random FM0 backscatter capture used
+// for the PSD SNR measurement; this is the RNG-consuming half of the
+// old measureSNR, kept sequential so the draw order matches the serial
+// code.
+func synthSNRCapture(ch *biw.Channel, id int, rate float64, rng *sim.Rand) ([]float64, float64, error) {
 	amp, err := ch.BackscatterAmplitude(id)
 	if err != nil {
-		return 0, err
+		return nil, 0, err
 	}
 	const spc = 16 // samples per chip
 	fs := rate * spc
@@ -78,7 +106,12 @@ func measureSNR(ch *biw.Channel, id int, rate float64, rng *sim.Rand) (float64, 
 		Leakage: 0.2, Backscatter: amp,
 		NoiseRMS: ch.NoiseRMS(fs),
 	}
-	baseband := dsp.SynthesizeULBaseband(chips, spc, p, rng)
+	return dsp.SynthesizeULBaseband(chips, spc, p, rng), fs, nil
+}
+
+// measureSNRFromBaseband is the RNG-free half: PSD-based SNR the way
+// the reader measures it (Sec. 6.3).
+func measureSNRFromBaseband(baseband []float64, fs, rate float64) (float64, error) {
 	// Remove the leakage DC so the PSD sees modulation + noise only.
 	blocker := dsp.NewDCBlocker(0.999)
 	return dsp.MeasureSNRdB(blocker.Process(baseband), fs, rate)
@@ -103,23 +136,42 @@ func RunFig12b(seed uint64, packets int) ([]Fig12bCell, Table, error) {
 	dep := biw.NewONVOL60()
 	ch := biw.DefaultChannel(dep)
 	rng := sim.NewRand(seed)
+	// Fork every trial stream sequentially in the serial (rate, tag)
+	// order, then fan the independent decode loops out across workers.
+	type job struct {
+		tag  int
+		rate float64
+		rng  *sim.Rand
+		lost int
+	}
+	var jobs []job
+	for _, rate := range fig12Rates {
+		for _, id := range fig12Tags {
+			jobs = append(jobs, job{tag: id, rate: rate,
+				rng: rng.Fork(uint64(id)*1000 + uint64(rate))})
+		}
+	}
+	if err := runJobs(len(jobs), func(i int) error {
+		lost, err := countULLosses(ch, jobs[i].tag, jobs[i].rate, packets, jobs[i].rng)
+		jobs[i].lost = lost
+		return err
+	}); err != nil {
+		return nil, Table{}, err
+	}
 	var cells []Fig12bCell
 	tb := Table{
 		Title:  fmt.Sprintf("Fig. 12(b): Uplink Packet Loss (%d sent per setting)", packets),
 		Header: []string{"Rate (bps)", "tag 8", "tag 4", "tag 11"},
 	}
-	for _, rate := range fig12Rates {
+	for i, rate := range fig12Rates {
 		row := []string{fmt.Sprintf("%g", rate)}
-		for _, id := range fig12Tags {
-			lost, err := countULLosses(ch, id, rate, packets, rng.Fork(uint64(id)*1000+uint64(rate)))
-			if err != nil {
-				return nil, Table{}, err
-			}
+		for j := range fig12Tags {
+			jb := jobs[i*len(fig12Tags)+j]
 			cells = append(cells, Fig12bCell{
-				Tag: id, Rate: rate, Sent: packets, Lost: lost,
-				LossPct: 100 * float64(lost) / float64(packets),
+				Tag: jb.tag, Rate: jb.rate, Sent: packets, Lost: jb.lost,
+				LossPct: 100 * float64(jb.lost) / float64(packets),
 			})
-			row = append(row, fmt.Sprintf("%d", lost))
+			row = append(row, fmt.Sprintf("%d", jb.lost))
 		}
 		tb.Rows = append(tb.Rows, row)
 	}

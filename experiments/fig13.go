@@ -26,12 +26,13 @@ func RunFig13a(seed uint64, slots int) ([]Fig13aCell, Table, error) {
 	}
 	rates := []float64{125, 250, 500, 1000, 2000}
 	tags := []uint8{8, 4, 11}
-	var cells []Fig13aCell
-	tb := Table{
-		Title:  fmt.Sprintf("Fig. 13(a): Downlink Beacon Loss (%d sent per setting)", slots),
-		Header: []string{"Rate (bps)", "tag 8", "tag 4", "tag 11"},
-	}
-	for _, rate := range rates {
+	// Each rate is an independent network with its own derived seed, so
+	// the rate sweeps run concurrently; per-rate results are merged back
+	// in rate order.
+	rateCells := make([][]Fig13aCell, len(rates))
+	rateRows := make([][]string, len(rates))
+	if err := runJobs(len(rates), func(ri int) error {
+		rate := rates[ri]
 		row := []string{fmt.Sprintf("%g", rate)}
 		cfg := arachnet.NetworkConfig{Seed: seed + uint64(rate)}
 		for _, id := range tags {
@@ -45,7 +46,7 @@ func RunFig13a(seed uint64, slots int) ([]Fig13aCell, Table, error) {
 		cfg.SlotDuration = 500 * arachnet.Millisecond
 		net, err := arachnet.NewNetwork(cfg)
 		if err != nil {
-			return nil, Table{}, err
+			return err
 		}
 		net.Run(arachnet.Time(slots) * cfg.SlotDuration)
 		st := net.Stats()
@@ -57,13 +58,25 @@ func RunFig13a(seed uint64, slots int) ([]Fig13aCell, Table, error) {
 				lost = 0
 			}
 			_ = total
-			cells = append(cells, Fig13aCell{
+			rateCells[ri] = append(rateCells[ri], Fig13aCell{
 				Tag: int(tp.TID), Rate: rate, Sent: sent, Lost: lost,
 				LossPct: 100 * float64(lost) / float64(sent),
 			})
 			row = append(row, fmt.Sprintf("%d", lost))
 		}
-		tb.Rows = append(tb.Rows, row)
+		rateRows[ri] = row
+		return nil
+	}); err != nil {
+		return nil, Table{}, err
+	}
+	var cells []Fig13aCell
+	tb := Table{
+		Title:  fmt.Sprintf("Fig. 13(a): Downlink Beacon Loss (%d sent per setting)", slots),
+		Header: []string{"Rate (bps)", "tag 8", "tag 4", "tag 11"},
+	}
+	for ri := range rates {
+		cells = append(cells, rateCells[ri]...)
+		tb.Rows = append(tb.Rows, rateRows[ri])
 	}
 	tb.Notes = append(tb.Notes,
 		"paper: loss surges at 1000/2000 bps from 12 kHz timer imprecision and reader software jitter")

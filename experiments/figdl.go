@@ -49,24 +49,45 @@ func RunDLSchemeStudy(seed uint64, beacons int) ([]DLSchemeCell, Table, error) {
 		{"FSK-in-OOK-out", tr.FSKLowLeakage(8000), tr.RingTimeConstant() / 20},
 	}
 	rng := sim.NewRand(seed)
+	// Fork the per-trial streams in the serial (rate, scheme) order, then
+	// decode the independent beacon batches concurrently.
+	type job struct {
+		rate    float64
+		lowLeak float64
+		ringTau float64
+		name    string
+		rng     *sim.Rand
+		lost    int
+	}
+	var jobs []job
+	for _, rate := range rates {
+		for _, sch := range schemes {
+			jobs = append(jobs, job{rate: rate, lowLeak: sch.lowLeak,
+				ringTau: sch.ringTau, name: sch.name,
+				rng: rng.Fork(uint64(rate) + uint64(len(sch.name)))})
+		}
+	}
+	if err := runJobs(len(jobs), func(i int) error {
+		lost, err := countDLLosses(jobs[i].rate, jobs[i].lowLeak, jobs[i].ringTau, beacons, jobs[i].rng)
+		jobs[i].lost = lost
+		return err
+	}); err != nil {
+		return nil, Table{}, err
+	}
 	var cells []DLSchemeCell
 	tb := Table{
 		Title:  fmt.Sprintf("DL Scheme Study: beacon loss, %d sent per setting", beacons),
 		Header: []string{"Rate (bps)", schemes[0].name, schemes[1].name},
 	}
-	for _, rate := range rates {
+	for i, rate := range rates {
 		row := []string{fmt.Sprintf("%g", rate)}
-		for _, sch := range schemes {
-			lost, err := countDLLosses(rate, sch.lowLeak, sch.ringTau, beacons,
-				rng.Fork(uint64(rate)+uint64(len(sch.name))))
-			if err != nil {
-				return nil, Table{}, err
-			}
+		for j := range schemes {
+			jb := jobs[i*len(schemes)+j]
 			cells = append(cells, DLSchemeCell{
-				Scheme: sch.name, Rate: rate, Sent: beacons, Lost: lost,
-				LossPct: 100 * float64(lost) / float64(beacons),
+				Scheme: jb.name, Rate: jb.rate, Sent: beacons, Lost: jb.lost,
+				LossPct: 100 * float64(jb.lost) / float64(beacons),
 			})
-			row = append(row, fmt.Sprintf("%d", lost))
+			row = append(row, fmt.Sprintf("%d", jb.lost))
 		}
 		tb.Rows = append(tb.Rows, row)
 	}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Parallel Monte Carlo fan-out. Experiments keep their RNG discipline —
+// every stream is forked from the parent in the exact sequential order
+// the serial code used — and only the forked, independent trial bodies
+// run concurrently. Results land at their job index and are aggregated
+// in index order, so the output is bit-identical for any worker count,
+// including 1.
+
+// experimentWorkers is the fan-out width for independent trials; the
+// default uses every available core. Override with SetWorkers (the
+// CLI's -workers flag and the determinism tests do).
+var experimentWorkers = runtime.GOMAXPROCS(0)
+
+// SetWorkers sets the trial fan-out width and returns the previous
+// value; n < 1 restores the GOMAXPROCS default. Results never depend on
+// the width — only wall-clock time does.
+func SetWorkers(n int) int {
+	prev := experimentWorkers
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	experimentWorkers = n
+	return prev
+}
+
+// runJobs executes fn(0..n-1) on up to experimentWorkers goroutines
+// pulling from a shared counter. fn must write its result into
+// caller-owned, index-addressed storage. The returned error is the one
+// from the lowest-numbered failing job, so error reporting is as
+// deterministic as the results.
+func runJobs(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := experimentWorkers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

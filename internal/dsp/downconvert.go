@@ -15,6 +15,14 @@ type DownConverter struct {
 	iFIR   *FIR
 	qFIR   *FIR
 	sample int
+	// Block fast-path state (ProcessBlockDecim): a recurrence
+	// oscillator replacing the per-sample Sin/Cos, contiguous mixed-
+	// sample delay lines for the two FIR branches, and the decimation
+	// phase carried across blocks.
+	osc        *QuadOsc
+	workI      []float64
+	workQ      []float64
+	decimPhase int
 }
 
 // NewDownConverter builds a converter with a low-pass corner suitable
@@ -45,6 +53,26 @@ func (s IQ) Magnitude() float64 { return math.Hypot(s.I, s.Q) }
 // Phase returns the angle in radians.
 func (s IQ) Phase() float64 { return math.Atan2(s.Q, s.I) }
 
+// Reset rewinds the converter to sample zero and clears all filter and
+// oscillator state, so one instance can process independent captures
+// (e.g. successive slots) without reallocation.
+func (d *DownConverter) Reset() {
+	d.sample = 0
+	d.iFIR.Reset()
+	d.qFIR.Reset()
+	if d.osc != nil {
+		d.osc.n = 0
+		d.osc.anchor()
+	}
+	d.decimPhase = 0
+	for i := range d.workI {
+		d.workI[i] = 0
+	}
+	for i := range d.workQ {
+		d.workQ[i] = 0
+	}
+}
+
 // Process mixes and filters a block of passband samples.
 func (d *DownConverter) Process(block []float64) []IQ {
 	out := make([]IQ, len(block))
@@ -59,6 +87,69 @@ func (d *DownConverter) Process(block []float64) []IQ {
 		d.sample++
 	}
 	return out
+}
+
+// ProcessBlockDecim is the fused block fast path: it mixes a block of
+// passband samples with the quadrature LO (recurrence oscillator, no
+// per-sample Sin/Cos), low-pass filters, and decimates by factor in a
+// single pass, appending the surviving baseband samples to dst. Because
+// the baseband is consumed at chip rate rather than the ADC rate, the
+// FIR dot products are evaluated only at the decimated output instants,
+// cutting the filter work by ~factor. Streaming state (oscillator
+// phase, delay lines, decimation phase) carries across blocks; factor
+// must stay constant within a capture and the scalar Process path must
+// not be interleaved with this one on the same instance (Reset starts a
+// fresh capture). With sufficient dst capacity the steady state
+// performs no allocations.
+func (d *DownConverter) ProcessBlockDecim(dst []IQ, block []float64, factor int) ([]IQ, error) {
+	if factor < 1 {
+		return nil, fmt.Errorf("dsp: decimation factor %d < 1", factor)
+	}
+	taps := len(d.iFIR.taps)
+	m := taps - 1
+	if d.osc == nil {
+		d.osc = NewQuadOsc(d.LOHz, d.Fs, 0)
+		d.osc.Skip(d.sample)
+		if d.workI == nil {
+			d.workI = make([]float64, m)
+			d.workQ = make([]float64, m)
+		}
+	}
+	need := m + len(block)
+	if cap(d.workI) < need {
+		wi := make([]float64, m, need)
+		wq := make([]float64, m, need)
+		copy(wi, d.workI[:m])
+		copy(wq, d.workQ[:m])
+		d.workI, d.workQ = wi, wq
+	}
+	workI := d.workI[:need]
+	workQ := d.workQ[:need]
+	for i, x := range block {
+		c, s := d.osc.Next()
+		// Factor 2 restores the baseband amplitude lost in mixing.
+		workI[m+i] = 2 * x * c
+		workQ[m+i] = -2 * x * s
+	}
+	rtI, rtQ := d.iFIR.rtaps, d.qFIR.rtaps
+	for i := range block {
+		if d.decimPhase == 0 {
+			dst = append(dst, IQ{
+				I: dot(rtI, workI[i:i+taps]),
+				Q: dot(rtQ, workQ[i:i+taps]),
+			})
+		}
+		d.decimPhase++
+		if d.decimPhase == factor {
+			d.decimPhase = 0
+		}
+	}
+	copy(workI[:m], workI[len(block):])
+	copy(workQ[:m], workQ[len(block):])
+	d.workI = workI[:m]
+	d.workQ = workQ[:m]
+	d.sample += len(block)
+	return dst, nil
 }
 
 // Magnitudes extracts |IQ| from a block.

@@ -1,0 +1,130 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// refDownConvertDecim is the pre-fusion pipeline: scalar per-sample
+// Sin/Cos mixing + full-rate FIR (DownConverter.Process) followed by a
+// separate Decimator. ProcessBlockDecim must match it within 1e-9.
+func refDownConvertDecim(dc *DownConverter, capture []float64, factor int) []IQ {
+	full := dc.Process(capture)
+	out := make([]IQ, 0, len(full)/factor+1)
+	phase := 0
+	for _, s := range full {
+		if phase == 0 {
+			out = append(out, s)
+		}
+		phase++
+		if phase == factor {
+			phase = 0
+		}
+	}
+	return out
+}
+
+func TestProcessBlockDecimMatchesScalar(t *testing.T) {
+	rng := sim.NewRand(33)
+	for trial := 0; trial < 8; trial++ {
+		fs := 200_000 + rng.Float64()*400_000
+		lo := fs * (0.1 + 0.2*rng.Float64())
+		cutoff := fs * 0.02
+		taps := 31 + 2*int(rng.Uint64()%40)
+		factor := 1 + int(rng.Uint64()%25)
+		n := 3000 + int(rng.Uint64()%2000)
+		capture := make([]float64, n)
+		for i := range capture {
+			capture[i] = math.Sin(2*math.Pi*lo*float64(i)/fs) * (1 + 0.3*rng.NormFloat64())
+		}
+
+		ref, err := NewDownConverter(lo, fs, cutoff, taps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := NewDownConverter(lo, fs, cutoff, taps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := refDownConvertDecim(ref, capture, factor)
+
+		// Feed the fused path in random chunk sizes to exercise the
+		// carried oscillator/delay-line/decimation-phase state.
+		var got []IQ
+		for off := 0; off < n; {
+			c := 1 + int(rng.Uint64()%700)
+			if off+c > n {
+				c = n - off
+			}
+			got, err = fast.ProcessBlockDecim(got, capture[off:off+c], factor)
+			if err != nil {
+				t.Fatal(err)
+			}
+			off += c
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d fused samples vs %d reference", trial, len(got), len(want))
+		}
+		for i := range want {
+			if math.Abs(got[i].I-want[i].I) > 1e-9 || math.Abs(got[i].Q-want[i].Q) > 1e-9 {
+				t.Fatalf("trial %d (taps=%d factor=%d) sample %d: fused (%v,%v) vs scalar (%v,%v)",
+					trial, taps, factor, i, got[i].I, got[i].Q, want[i].I, want[i].Q)
+			}
+		}
+	}
+}
+
+func TestProcessBlockDecimReset(t *testing.T) {
+	dc, err := NewDownConverter(90_000, 500_000, 12_000, 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capture := make([]float64, 4000)
+	for i := range capture {
+		capture[i] = math.Sin(2 * math.Pi * 90_000 * float64(i) / 500_000)
+	}
+	first, err := dc.ProcessBlockDecim(nil, capture, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc.Reset()
+	second, err := dc.ProcessBlockDecim(nil, capture, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != len(second) {
+		t.Fatalf("lengths differ after Reset: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("sample %d differs after Reset: %+v vs %+v", i, first[i], second[i])
+		}
+	}
+}
+
+func TestProcessBlockDecimErrors(t *testing.T) {
+	dc, _ := NewDownConverter(90_000, 500_000, 12_000, 31)
+	if _, err := dc.ProcessBlockDecim(nil, []float64{1, 2, 3}, 0); err == nil {
+		t.Error("factor 0 accepted")
+	}
+}
+
+func TestProcessBlockDecimZeroAlloc(t *testing.T) {
+	dc, _ := NewDownConverter(90_000, 500_000, 12_000, 101)
+	capture := make([]float64, 8192)
+	for i := range capture {
+		capture[i] = math.Sin(2 * math.Pi * 90_000 * float64(i) / 500_000)
+	}
+	dst := make([]IQ, 0, len(capture))
+	if _, err := dc.ProcessBlockDecim(dst, capture, 6); err != nil { // warm scratch
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(10, func() {
+		out, _ := dc.ProcessBlockDecim(dst[:0], capture, 6)
+		dst = out[:0]
+	}); n != 0 {
+		t.Errorf("steady-state ProcessBlockDecim allocates %v per block", n)
+	}
+}

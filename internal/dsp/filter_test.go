@@ -3,6 +3,8 @@ package dsp
 import (
 	"math"
 	"testing"
+
+	"repro/internal/sim"
 )
 
 func TestLowPassFIRDCGain(t *testing.T) {
@@ -201,5 +203,72 @@ func TestSchmittBlockProcess(t *testing.T) {
 		if out[i] != want[i] {
 			t.Fatalf("block = %v, want %v", out, want)
 		}
+	}
+}
+
+func TestFIRProcessBlockMatchesScalar(t *testing.T) {
+	rng := sim.NewRand(21)
+	for trial := 0; trial < 12; trial++ {
+		taps := 3 + int(rng.Uint64()%64)
+		h := make([]float64, taps)
+		for i := range h {
+			h[i] = rng.NormFloat64()
+		}
+		ref := newFIR(h)
+		fast := newFIR(h)
+		in := make([]float64, 700+int(rng.Uint64()%300))
+		for i := range in {
+			in[i] = rng.NormFloat64()
+		}
+		want := ref.Process(in)
+		var got []float64
+		// Random chunking, including 1-sample and larger-than-taps blocks.
+		for off := 0; off < len(in); {
+			n := 1 + int(rng.Uint64()%97)
+			if off+n > len(in) {
+				n = len(in) - off
+			}
+			got = fast.ProcessBlock(got, in[off:off+n])
+			off += n
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				t.Fatalf("trial %d (taps=%d) sample %d: block %v vs scalar %v",
+					trial, taps, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestFIRProcessBlockAliasing(t *testing.T) {
+	f1, _ := NewLowPassFIR(800, 8000, 21)
+	f2, _ := NewLowPassFIR(800, 8000, 21)
+	in := make([]float64, 128)
+	for i := range in {
+		in[i] = math.Sin(float64(i) * 0.17)
+	}
+	want := f1.ProcessBlock(nil, in)
+	buf := make([]float64, 128)
+	copy(buf, in)
+	got := f2.ProcessBlock(buf[:0], buf) // dst aliases src
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("aliased sample %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFIRProcessBlockZeroAlloc(t *testing.T) {
+	f, _ := NewLowPassFIR(4000, 500_000, 101)
+	in := make([]float64, 4096)
+	for i := range in {
+		in[i] = math.Sin(float64(i) * 0.01)
+	}
+	out := make([]float64, 0, len(in))
+	f.ProcessBlock(out, in) // warm the work buffer
+	if n := testing.AllocsPerRun(10, func() {
+		out = f.ProcessBlock(out[:0], in)
+	}); n != 0 {
+		t.Errorf("steady-state ProcessBlock allocates %v per block", n)
 	}
 }

@@ -29,13 +29,17 @@ func EstimateFrequencyOffset(signal []float64, fs, nominalHz float64) (float64, 
 		return 0, fmt.Errorf("dsp: capture too short for offset estimation (%d < %d)",
 			len(signal), gap+wlen)
 	}
+	// Correlate each window against the recurrence quadrature
+	// oscillator; the periodic exact re-anchor keeps it within 1e-9 of
+	// the per-sample Cos/Sin reference over any window length.
 	phase := func(start int) float64 {
+		osc := NewQuadOsc(nominalHz, fs, 0)
+		osc.Skip(start)
 		var i, q float64
-		for n := 0; n < wlen; n++ {
-			t := float64(start+n) / fs
-			s := signal[start+n]
-			i += s * math.Cos(2*math.Pi*nominalHz*t)
-			q += s * -math.Sin(2*math.Pi*nominalHz*t)
+		for _, s := range signal[start : start+wlen] {
+			c, sn := osc.Next()
+			i += s * c
+			q += s * -sn
 		}
 		return math.Atan2(q, i)
 	}

@@ -1,0 +1,83 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestQuadOscMatchesSincos pins the recurrence oscillator to the
+// closed-form math.Sin/Cos the scalar reference path evaluates, across
+// randomized frequencies, sample rates and initial phases, over streams
+// long enough to cross many renormalization anchors.
+func TestQuadOscMatchesSincos(t *testing.T) {
+	rng := sim.NewRand(11)
+	for trial := 0; trial < 20; trial++ {
+		fs := 100_000 + rng.Float64()*900_000
+		freq := fs * (0.01 + 0.45*rng.Float64()) // well inside Nyquist
+		phase := (rng.Float64()*2 - 1) * math.Pi
+		o := NewQuadOsc(freq, fs, phase)
+		n := 3 * oscReseedEvery
+		if trial == 0 {
+			n = 50 * oscReseedEvery // one long-stream trial
+		}
+		var worst float64
+		for i := 0; i < n; i++ {
+			c, s := o.Next()
+			ph := 2*math.Pi*freq*(float64(i)/fs) + phase
+			if d := math.Abs(c - math.Cos(ph)); d > worst {
+				worst = d
+			}
+			if d := math.Abs(s - math.Sin(ph)); d > worst {
+				worst = d
+			}
+		}
+		if worst > 1e-9 {
+			t.Fatalf("trial %d (f=%.0f fs=%.0f): worst divergence %.3g > 1e-9",
+				trial, freq, fs, worst)
+		}
+	}
+}
+
+// TestQuadOscBlockAndSkip checks the block fill and Skip agree with the
+// per-sample path.
+func TestQuadOscBlockAndSkip(t *testing.T) {
+	const fs, freq = 500_000.0, 90_000.0
+	a := NewQuadOsc(freq, fs, 0.3)
+	b := NewQuadOsc(freq, fs, 0.3)
+	cos := make([]float64, 1500)
+	sin := make([]float64, 1500)
+	a.Block(cos, sin)
+	for i := range cos {
+		c, s := b.Next()
+		if cos[i] != c || sin[i] != s {
+			t.Fatalf("sample %d: block (%v,%v) vs next (%v,%v)", i, cos[i], sin[i], c, s)
+		}
+	}
+	a.Skip(777)
+	if a.SampleIndex() != 1500+777 {
+		t.Fatalf("index after skip = %d", a.SampleIndex())
+	}
+	c, s := a.Next()
+	ph := 2 * math.Pi * freq * (float64(2277) / fs)
+	if math.Abs(c-math.Cos(ph+0.3)) > 1e-9 || math.Abs(s-math.Sin(ph+0.3)) > 1e-9 {
+		t.Fatalf("post-skip sample diverges: (%v,%v)", c, s)
+	}
+	// A sin-only / cos-only block fill also advances correctly.
+	a.Block(nil, sin[:7])
+	if a.SampleIndex() != 2278+7 {
+		t.Fatalf("index after nil-cos block = %d", a.SampleIndex())
+	}
+}
+
+// TestQuadOscBlockZeroAlloc asserts the steady-state oscillator block
+// fill allocates nothing.
+func TestQuadOscBlockZeroAlloc(t *testing.T) {
+	o := NewQuadOsc(90_000, 500_000, 0)
+	cos := make([]float64, 4096)
+	sin := make([]float64, 4096)
+	if n := testing.AllocsPerRun(10, func() { o.Block(cos, sin) }); n != 0 {
+		t.Errorf("QuadOsc.Block allocates %v per block", n)
+	}
+}

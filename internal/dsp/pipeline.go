@@ -23,6 +23,46 @@ type Stage func(Block) Block
 type Pipeline struct {
 	stages  []Stage
 	bufSize int
+	pool    blockPool
+}
+
+// blockPool is a deterministic free list of chunk buffers: a
+// mutex-guarded stack rather than a sync.Pool, so recycling does not
+// depend on GC timing and steady-state allocation counts are stable
+// enough to assert in benchmarks. The sink returns every block it has
+// consumed; the source reuses the largest-capacity free block that
+// fits. With in-place stages the whole stream converges to a handful of
+// buffers regardless of signal length.
+type blockPool struct {
+	mu   sync.Mutex
+	free []Block
+}
+
+// get returns a zero-length block with capacity >= n, reusing a free one
+// when possible.
+func (p *blockPool) get(n int) Block {
+	p.mu.Lock()
+	for i := len(p.free) - 1; i >= 0; i-- {
+		if cap(p.free[i]) >= n {
+			b := p.free[i]
+			p.free[i] = p.free[len(p.free)-1]
+			p.free = p.free[:len(p.free)-1]
+			p.mu.Unlock()
+			return b[:0]
+		}
+	}
+	p.mu.Unlock()
+	return make(Block, 0, n)
+}
+
+// put returns a consumed block to the free list.
+func (p *blockPool) put(b Block) {
+	if cap(b) == 0 {
+		return
+	}
+	p.mu.Lock()
+	p.free = append(p.free, b[:0])
+	p.mu.Unlock()
 }
 
 // NewPipeline builds a pipeline; bufSize is the per-link buffer depth
@@ -77,32 +117,43 @@ func Collect(ch <-chan Block) []float64 {
 // ProcessAll pushes a whole signal through the pipeline in chunks of
 // chunkSize and returns the concatenated output.
 func (p *Pipeline) ProcessAll(signal []float64, chunkSize int) []float64 {
+	return p.ProcessAllInto(nil, signal, chunkSize)
+}
+
+// ProcessAllInto is ProcessAll appending into dst. Chunk buffers come
+// from the pipeline's free list and every block arriving at the sink is
+// recycled, so with in-place stages, a dst of sufficient capacity, and a
+// warm pool, a steady-state call allocates only the fixed Run plumbing
+// (channels and goroutines), independent of signal length.
+func (p *Pipeline) ProcessAllInto(dst, signal []float64, chunkSize int) []float64 {
 	if chunkSize < 1 {
 		chunkSize = len(signal)
 		if chunkSize == 0 {
-			return nil
+			return dst
 		}
 	}
 	in := make(chan Block, p.bufSize)
 	ctx := context.Background()
 	out := p.Run(ctx, in)
 	var wg sync.WaitGroup
-	var result []float64
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		result = Collect(out)
+		for b := range out {
+			dst = append(dst, b...)
+			p.pool.put(b)
+		}
 	}()
 	for off := 0; off < len(signal); off += chunkSize {
 		end := off + chunkSize
 		if end > len(signal) {
 			end = len(signal)
 		}
-		chunk := make(Block, end-off)
-		copy(chunk, signal[off:end])
+		chunk := p.pool.get(end - off)
+		chunk = append(chunk, signal[off:end]...)
 		in <- chunk
 	}
 	close(in)
 	wg.Wait()
-	return result
+	return dst
 }

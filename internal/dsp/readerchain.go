@@ -25,9 +25,26 @@ type ReaderChain struct {
 	// detection; zero values select defaults scaled to the signal.
 	ClusterRadius      float64
 	ClusterMinFraction float64
+	// Decim is the down-converter decimation factor. The baseband is
+	// consumed at chip rate, not the ADC rate, so the default (0 =
+	// auto) keeps ≥16 baseband samples per chip — enough that the
+	// amplitude-cluster statistics stay sample-count-stable — and lets
+	// the fused mix+filter+decimate kernel skip ~Decim-1 of every
+	// Decim FIR dot products. Set 1 to disable decimation.
+	Decim int
 	// Trace, when set, receives a decode-outcome event per processed
 	// slot capture. A nil tracer (the default) costs nothing.
 	Trace *obs.Tracer
+
+	// Steady-state scratch, reused across Process calls so a chain
+	// instance decoding thousands of slot captures performs no
+	// per-slot allocations beyond decode bookkeeping: the cached
+	// down-converter (rebuilt only when the operating point changes)
+	// and the baseband IQ/magnitude buffers.
+	dc       *DownConverter
+	dcCutoff float64
+	iqBuf    []IQ
+	magBuf   []float64
 }
 
 // NewReaderChain returns a chain at the paper's operating point.
@@ -52,7 +69,23 @@ type SlotVerdict struct {
 	Collision bool
 }
 
-// Process runs the full chain over one slot's passband capture.
+// decimFactor resolves the configured decimation, keeping at least 16
+// baseband samples per chip so symbol-timing search and the cluster
+// statistics retain their resolution.
+func (c *ReaderChain) decimFactor() int {
+	if c.Decim > 0 {
+		return c.Decim
+	}
+	d := int(c.Fs / c.ChipRate / 16)
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// Process runs the full chain over one slot's passband capture through
+// the fused block kernels: recurrence-oscillator mixing, decimated FIR
+// evaluation, and scratch buffers reused across calls.
 func (c *ReaderChain) Process(capture []float64) (SlotVerdict, error) {
 	if len(capture) == 0 {
 		return SlotVerdict{}, fmt.Errorf("dsp: empty capture")
@@ -64,13 +97,23 @@ func (c *ReaderChain) Process(capture []float64) (SlotVerdict, error) {
 	if max := c.Fs / 2 * 0.8; cutoff > max {
 		cutoff = max
 	}
-	dc, err := NewDownConverter(c.CarrierHz, c.Fs, cutoff, c.FilterTaps)
+	if c.dc == nil || c.dcCutoff != cutoff || c.dc.LOHz != c.CarrierHz || c.dc.Fs != c.Fs {
+		dc, err := NewDownConverter(c.CarrierHz, c.Fs, cutoff, c.FilterTaps)
+		if err != nil {
+			return SlotVerdict{}, err
+		}
+		c.dc, c.dcCutoff = dc, cutoff
+	} else {
+		c.dc.Reset()
+	}
+	decim := c.decimFactor()
+	iq, err := c.dc.ProcessBlockDecim(c.iqBuf[:0], capture, decim)
 	if err != nil {
 		return SlotVerdict{}, err
 	}
-	iq := dc.Process(capture)
-	// Skip the filter transient.
-	skip := c.FilterTaps
+	c.iqBuf = iq[:0]
+	// Skip the filter transient (FilterTaps passband samples).
+	skip := (c.FilterTaps + decim - 1) / decim
 	if skip >= len(iq) {
 		skip = 0
 	}
@@ -86,8 +129,14 @@ func (c *ReaderChain) Process(capture []float64) (SlotVerdict, error) {
 	verdict.Collision = verdict.Clusters > 2
 
 	// Frame decode with symbol-timing search.
-	mags := Magnitudes(iq)
-	pkt, err := DecodeULFromBaseband(mags, c.Fs/c.ChipRate)
+	if cap(c.magBuf) < len(iq) {
+		c.magBuf = make([]float64, len(iq))
+	}
+	mags := c.magBuf[:len(iq)]
+	for i, s := range iq {
+		mags[i] = s.Magnitude()
+	}
+	pkt, err := DecodeULFromBaseband(mags, c.Fs/c.ChipRate/float64(decim))
 	if err == nil {
 		verdict.Packet = pkt
 		verdict.Decoded = true

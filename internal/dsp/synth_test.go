@@ -1,0 +1,99 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/phy"
+	"repro/internal/sim"
+)
+
+func randomChips(rng *sim.Rand, n int) phy.Bits {
+	chips := make(phy.Bits, n)
+	for i := range chips {
+		chips[i] = byte(rng.Uint64() & 1)
+	}
+	return chips
+}
+
+// TestSynthesizeULCursorMatchesRef pins the monotone-cursor fast path to
+// the scalar reference (per-sample Sin carrier + binary-search chip
+// lookup) on jittered chip streams: identical RNG consumption, waveforms
+// within 1e-9.
+func TestSynthesizeULCursorMatchesRef(t *testing.T) {
+	for trial := 0; trial < 6; trial++ {
+		seed := uint64(100 + trial)
+		chipRng := sim.NewRand(seed)
+		chips := randomChips(chipRng, 200+int(chipRng.Uint64()%200))
+		p := ULSynthParams{
+			CarrierHz:      90_000,
+			Fs:             500_000,
+			ChipRate:       3000,
+			Leakage:        1.0,
+			Backscatter:    0.25,
+			NoiseRMS:       0.05,
+			PhaseRad:       0.4,
+			TimingJitterPC: 0.08, // heavy per-chip boundary jitter
+		}
+		got := SynthesizeUL(chips, p, sim.NewRand(seed*7+1))
+		want := synthesizeULRef(chips, p, sim.NewRand(seed*7+1))
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: lengths %d vs %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				t.Fatalf("trial %d sample %d: cursor %v vs ref %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestChipCursorMatchesBinarySearch checks the cursor's chip selection
+// directly against the reference binary search on jittered boundaries —
+// sample indices only ever increase, so the monotone cursor must land on
+// exactly the same chip at every sample.
+func TestChipCursorMatchesBinarySearch(t *testing.T) {
+	rng := sim.NewRand(55)
+	chips := randomChips(rng, 500)
+	const spc = 500_000.0 / 3000.0
+	bounds := ulChipBounds(chips, spc, 0.1, sim.NewRand(56))
+	binSearch := func(s float64) int {
+		lo, hi := 0, len(chips)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if bounds[mid+1] <= s {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	}
+	n := int(float64(len(chips))*spc) + 1
+	cur := 0
+	for i := 0; i < n; i++ {
+		s := float64(i)
+		for cur < len(chips)-1 && bounds[cur+1] <= s {
+			cur++
+		}
+		if want := binSearch(s); cur != want {
+			t.Fatalf("sample %d: cursor chip %d vs binary search %d", i, cur, want)
+		}
+	}
+}
+
+// TestULChipBoundsRNGOrder verifies the shared boundary helper draws the
+// jitter values in chip order, one per chip — the contract that keeps the
+// fast path and the reference consuming seeded streams draw-for-draw.
+func TestULChipBoundsRNGOrder(t *testing.T) {
+	chips := make(phy.Bits, 64)
+	rng := sim.NewRand(9)
+	ulChipBounds(chips, 100, 0.05, rng)
+	ref := sim.NewRand(9)
+	for i := 0; i < len(chips); i++ {
+		ref.NormFloat64()
+	}
+	if rng.Uint64() != ref.Uint64() {
+		t.Fatal("ulChipBounds consumed the RNG differently than one NormFloat64 per chip")
+	}
+}
