@@ -2,14 +2,22 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench bench-json vet lint race check cover experiments examples fuzz-smoke clean
+.PHONY: all build test test-short bench bench-json vet lint race check cover experiments examples fuzz-smoke smoke-fleetd clean
 
 all: vet test
 
 # Full verification gate: go vet + gofmt, the domain analyzers
-# (arachnet-lint), and the race detector over every package (the fleet
-# pool and the dsp pipeline are the concurrent code paths this guards).
-check: vet lint race
+# (arachnet-lint), the race detector over every package (the fleet
+# pool and the dsp pipeline are the concurrent code paths this guards),
+# and the daemon kill/restart determinism smoke.
+check: vet lint race smoke-fleetd
+
+# Fleet-as-a-service smoke: SIGTERM arachnet-fleetd mid-sweep, restart
+# it over the same checkpoint directory, and require the resumed report
+# fingerprint to equal an uninterrupted batch run's (plus a response
+# cache hit on resubmission). Real processes, real signals.
+smoke-fleetd:
+	./scripts/fleetd-smoke.sh
 
 # Domain static analysis: determinism, rng-discipline, map-order,
 # units and panic-hygiene over the whole module (see README.md,
@@ -72,6 +80,7 @@ examples:
 	$(GO) run ./examples/aloha-comparison
 	$(GO) run ./examples/outage-recovery
 	$(GO) run ./examples/fleet-sweep
+	$(GO) run ./examples/fleetd-client
 
 clean:
 	$(GO) clean ./...

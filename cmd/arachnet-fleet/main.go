@@ -16,6 +16,19 @@
 // default, turning the run into a chaos sweep that also reports
 // recovery metrics; vehicles in a spec file may pin their own plans.
 //
+// With -server URL the same spec is submitted to a running
+// arachnet-fleetd daemon instead of running locally: progress streams
+// back as it runs, then the report prints exactly as in batch mode.
+// Because a run is a pure function of (spec, seed), -verify follows up
+// with a local run and cross-checks that both fingerprints agree. -job
+// ID attaches to an already-submitted job (stream + report) without
+// submitting anything. The -trace/-metrics flags apply to local runs
+// only.
+//
+//	arachnet-fleet -server http://127.0.0.1:8040 fleet.json
+//	arachnet-fleet -server http://127.0.0.1:8040 -pattern c3 -vehicles 64 -verify
+//	arachnet-fleet -server http://127.0.0.1:8040 -job job-000002 -json
+//
 // Results are deterministic for a given spec and seed: the report's
 // fingerprint is independent of -workers and of scheduling, so two
 // operators running the same spec can diff fingerprints to cross-check
@@ -38,6 +51,7 @@ import (
 	"time"
 
 	"repro/arachnet"
+	"repro/internal/fleetd/api"
 	"repro/internal/prof"
 )
 
@@ -56,6 +70,10 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print aggregated event metrics to stderr at exit")
 	writeSpec := flag.String("write-spec", "", "write the effective fleet spec as JSON to this file and exit")
 	faultsPath := flag.String("faults", "", "JSON fault plan injected into every vehicle (fleet-wide default; spec vehicles may override)")
+	serverURL := flag.String("server", "", "submit to a running arachnet-fleetd at this base URL instead of running locally")
+	jobID := flag.String("job", "", "with -server: attach to this existing job instead of submitting")
+	verify := flag.Bool("verify", false, "with -server: also run the fleet locally and cross-check the fingerprints")
+	quiet := flag.Bool("quiet", false, "with -server: suppress the streamed per-job progress lines")
 
 	// Ad-hoc sweep construction, used when no spec file is given.
 	engine := flag.String("engine", "slots", "ad-hoc sweep: engine (slots or network)")
@@ -124,6 +142,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wrote fleet spec to %s\n", *writeSpec)
 		return
 	}
+	if *serverURL != "" {
+		// Client mode: the daemon runs the fleet; this process submits,
+		// streams, and prints — and optionally re-runs locally to
+		// cross-check determinism across the two front ends.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		code := runClient(ctx, *serverURL, *jobID, f, *jsonOut, *verify, *quiet)
+		if err := stopProf(); err != nil {
+			fatal(err)
+		}
+		os.Exit(code)
+	}
+
 	// Lifecycle observability: JSONL and/or metrics ride the obs event
 	// types; -trace-text keeps the human-readable stderr stream.
 	var jsonl *arachnet.JSONLSink
@@ -232,6 +263,105 @@ func printReport(rep *arachnet.FleetReport) {
 		}
 	}
 	fmt.Printf("  fingerprint       %s\n", rep.Fingerprint())
+}
+
+// runClient drives a remote fleetd run: submit (or attach with -job),
+// stream progress, fetch and print the report, and optionally verify
+// the fingerprint against a local run. Returns the process exit code.
+func runClient(ctx context.Context, base, jobID string, f arachnet.Fleet, jsonOut, verify, quiet bool) int {
+	c := api.NewClient(base)
+	cached := false
+	if jobID == "" {
+		spec, err := arachnet.MarshalFleetJSON(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		sub, err := c.Submit(ctx, spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		jobID = sub.ID
+		cached = sub.Cached
+		if !jsonOut {
+			if cached {
+				fmt.Printf("job %s: response cache hit (fingerprint %s)\n", sub.ID, sub.Fingerprint)
+			} else {
+				fmt.Printf("job %s: queued (%d vehicle jobs) on %s\n", sub.ID, sub.Jobs, base)
+			}
+		}
+	}
+
+	// Follow the JSONL stream until the daemon reports the job done; a
+	// cached job streams just the terminal line.
+	done, err := c.Stream(ctx, jobID, func(line api.StreamLine) error {
+		if quiet || jsonOut || line.Type != api.StreamEvent || line.Event == nil {
+			return nil
+		}
+		ev := line.Event
+		switch ev.Kind {
+		case arachnet.TraceJobStart:
+			fmt.Fprintf(os.Stderr, "start  job %4d %-24s seed=%d\n", ev.Job, ev.Name, ev.Seed)
+		case arachnet.TraceJobFinish:
+			fmt.Fprintf(os.Stderr, "finish job %4d %-24s %s\n", ev.Job, ev.Name, ev.Detail)
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if done.State != api.StateDone {
+		fmt.Fprintf(os.Stderr, "job %s ended %s: %s\n", jobID, done.State, done.Error)
+		return 1
+	}
+	if done.Dropped > 0 && !quiet {
+		fmt.Fprintf(os.Stderr, "(stream dropped %d progress events; report is unaffected)\n", done.Dropped)
+	}
+
+	env, err := c.Report(ctx, jobID)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(env); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	} else {
+		printReport(env.Report)
+		if env.Cached || cached {
+			fmt.Printf("  (served from the (spec, seed) response cache)\n")
+		}
+	}
+	if got := env.Report.Fingerprint(); got != env.Fingerprint {
+		fmt.Fprintf(os.Stderr, "FAIL: server fingerprint %s does not match its own report (%s)\n", env.Fingerprint, got)
+		return 1
+	}
+
+	if verify {
+		// Determinism cross-check: the same (spec, seed) run locally
+		// must fingerprint identically to the daemon's report.
+		local, err := arachnet.RunFleet(ctx, f)
+		if local == nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		lf := local.Fingerprint()
+		if lf != env.Fingerprint {
+			fmt.Fprintf(os.Stderr, "FAIL: local fingerprint %s != server fingerprint %s\n", lf, env.Fingerprint)
+			return 1
+		}
+		fmt.Printf("verified: local run fingerprint matches (%s)\n", lf)
+	}
+	if !env.Report.Ok() {
+		return 1
+	}
+	return 0
 }
 
 func fatal(err error) {

@@ -1,0 +1,113 @@
+// Command arachnet-fleetd is the fleet-as-a-service daemon: the same
+// deterministic fleet engine behind arachnet-fleet, promoted to a
+// long-running HTTP/JSONL service with a bounded job queue, streaming
+// progress, a (spec, seed) response cache, and checkpointed resume.
+//
+//	arachnet-fleetd -addr 127.0.0.1:8040 -checkpoint-dir /var/lib/fleetd
+//	arachnet-fleetd -addr 127.0.0.1:0 -queue 128 -runners 4
+//
+// Submit the same JSON specs the batch CLI accepts:
+//
+//	arachnet-fleet -server http://127.0.0.1:8040 fleet.json
+//	curl -d @fleet.json http://127.0.0.1:8040/v1/jobs
+//
+// Endpoints (all JSON):
+//
+//	POST   /v1/jobs             submit a fleet spec (202 queued, 200 cache hit,
+//	                            429 + Retry-After when the queue is full)
+//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs/{id}        job status
+//	GET    /v1/jobs/{id}/stream JSONL progress stream
+//	GET    /v1/jobs/{id}/report final report + fingerprint
+//	DELETE /v1/jobs/{id}        cancel
+//	GET    /v1/healthz          liveness and queue pressure
+//
+// SIGINT/SIGTERM drain gracefully: new submissions get 503, running
+// jobs checkpoint their completed shards, and a restarted daemon with
+// the same -checkpoint-dir finishes interrupted sweeps with the same
+// report fingerprint an uninterrupted run would have produced.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/fleetd"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8040", "listen address (port 0 picks a random free port)")
+	queueDepth := flag.Int("queue", 64, "admission queue depth (full queue answers 429)")
+	runners := flag.Int("runners", 1, "concurrent fleet runs (each shards across its own pool workers)")
+	workerCap := flag.Int("worker-cap", 0, "cap pool workers per job (0 = spec / GOMAXPROCS)")
+	cacheEntries := flag.Int("cache", 128, "response cache entries keyed on (canonical spec, seed); negative disables")
+	ckptDir := flag.String("checkpoint-dir", "", "persist job checkpoints here for resume after restart (empty = disabled)")
+	ckptEvery := flag.Duration("checkpoint-every", 2*time.Second, "snapshot interval for running jobs")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for checkpoint-and-exit on SIGINT/SIGTERM")
+	quiet := flag.Bool("quiet", false, "suppress operational logging")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+	logf := logger.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+
+	srv, err := fleetd.New(fleetd.Config{
+		QueueDepth:      *queueDepth,
+		Runners:         *runners,
+		WorkerCap:       *workerCap,
+		CacheEntries:    *cacheEntries,
+		CheckpointDir:   *ckptDir,
+		CheckpointEvery: *ckptEvery,
+		Logf:            logf,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	// The resolved address goes to stdout (logs go to stderr) so
+	// scripts binding port 0 can parse the port.
+	fmt.Printf("fleetd listening on http://%s\n", ln.Addr())
+
+	srv.Start()
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		fatal(err)
+	case <-sigCtx.Done():
+	}
+
+	logf("fleetd: draining (checkpointing in-flight jobs)")
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		logger.Print(err)
+	}
+	if err := hs.Shutdown(ctx); err != nil {
+		logger.Print(err)
+	}
+	logf("fleetd: stopped")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

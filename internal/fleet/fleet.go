@@ -20,6 +20,7 @@ package fleet
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
@@ -113,6 +114,23 @@ func (s Status) String() string {
 // MarshalJSON renders the status as its name.
 func (s Status) MarshalJSON() ([]byte, error) { return []byte(`"` + s.String() + `"`), nil }
 
+// UnmarshalJSON parses a status name back into its value, so reports
+// and checkpoints round-trip through JSON (the fleetd daemon persists
+// job outcomes and clients decode reports over the wire).
+func (s *Status) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return fmt.Errorf("fleet: parse status: %w", err)
+	}
+	for cand := StatusPending; cand <= StatusCancelled; cand++ {
+		if cand.String() == name {
+			*s = cand
+			return nil
+		}
+	}
+	return fmt.Errorf("fleet: unknown status %q", name)
+}
+
 // JobOutcome is one job's full record in the report.
 type JobOutcome struct {
 	JobInfo
@@ -167,12 +185,16 @@ func (r *Report) FirstError() string {
 
 // Pool is a reusable fleet runner over one fixed job list: construct
 // with NewPool, start with Run, and poll Snapshot from other
-// goroutines for live progress.
+// goroutines for live progress. Preload (before Run) marks jobs from a
+// previous, interrupted run as already complete, so checkpointed
+// sweeps resume without recomputing finished shards.
 type Pool struct {
-	cfg      Config
-	specs    []JobSpec
-	outcomes []JobOutcome
-	agg      *aggregator
+	cfg       Config
+	specs     []JobSpec
+	outcomes  []JobOutcome
+	agg       *aggregator
+	preloaded int
+	started   bool
 }
 
 // NewPool validates the configuration and builds a pool over the jobs.
@@ -193,13 +215,58 @@ func NewPool(cfg Config, specs []JobSpec) (*Pool, error) {
 	}, nil
 }
 
+// Preload records outcomes recovered from a checkpoint as already
+// complete: Run skips their indices and the final report contains them
+// verbatim, so a resumed sweep's fingerprint matches an uninterrupted
+// run (every job is a pure function of its seed, and wall-clock fields
+// are excluded from the fingerprint).
+//
+// Only deterministic terminal statuses are accepted — StatusOK and
+// StatusFailed; cancelled or timed-out shards must be recomputed
+// because their outcomes depend on wall-clock scheduling. Each outcome
+// is validated against the pool's job list (index range, name, and
+// resolved seed), so a checkpoint taken under a different spec is
+// rejected instead of silently corrupting the report.
+func (p *Pool) Preload(outcomes []JobOutcome) error {
+	if p.started {
+		return errors.New("fleet: Preload after Run")
+	}
+	for _, o := range outcomes {
+		if o.Index < 0 || o.Index >= len(p.specs) {
+			return fmt.Errorf("fleet: preload outcome index %d out of range [0,%d)", o.Index, len(p.specs))
+		}
+		if o.Status != StatusOK && o.Status != StatusFailed {
+			return fmt.Errorf("fleet: preload job %d has non-deterministic status %s", o.Index, o.Status)
+		}
+		want := p.jobInfo(o.Index)
+		if o.Seed != want.Seed || o.Name != want.Name {
+			return fmt.Errorf("fleet: preload job %d is %q seed %d, but the spec resolves %q seed %d (checkpoint from a different spec?)",
+				o.Index, o.Name, o.Seed, want.Name, want.Seed)
+		}
+		if p.outcomes[o.Index].Status != StatusPending {
+			return fmt.Errorf("fleet: preload job %d already loaded", o.Index)
+		}
+		p.outcomes[o.Index] = o
+		p.agg.add(o)
+		p.preloaded++
+	}
+	return nil
+}
+
+// Preloaded reports how many jobs were restored by Preload.
+func (p *Pool) Preloaded() int { return p.preloaded }
+
 // Run executes every job and returns the aggregated report. The report
 // is non-nil even when ctx is cancelled mid-run (the error is then
 // ctx's error and unfinished jobs are marked cancelled).
 func (p *Pool) Run(ctx context.Context) (*Report, error) {
+	p.started = true
 	workers := p.cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	if rest := len(p.specs) - p.preloaded; workers > rest && rest > 0 {
+		workers = rest
 	}
 	if workers > len(p.specs) {
 		workers = len(p.specs)
@@ -210,6 +277,9 @@ func (p *Pool) Run(ctx context.Context) (*Report, error) {
 	go func() {
 		defer close(queue)
 		for i := range p.specs {
+			if p.outcomes[i].Status != StatusPending {
+				continue // preloaded from a checkpoint
+			}
 			select {
 			case queue <- i:
 			case <-ctx.Done():

@@ -1,0 +1,214 @@
+package api
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Client talks to a running arachnet-fleetd daemon. The zero value is
+// not usable; construct with NewClient.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient returns a client for the daemon at base (e.g.
+// "http://127.0.0.1:8040"). Streaming requests disable the client
+// timeout; everything else uses a generous default.
+func NewClient(base string) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), http: &http.Client{}}
+}
+
+// ErrBusy is returned by Submit when the daemon's admission queue is
+// full; RetryAfter carries the server's suggested backoff.
+type ErrBusy struct {
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e ErrBusy) Error() string {
+	return fmt.Sprintf("fleetd queue full; retry after %v", e.RetryAfter)
+}
+
+// decodeError turns a non-2xx response into an error.
+func decodeError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var e ErrorResponse
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("fleetd: %s (HTTP %d)", e.Error, resp.StatusCode)
+	}
+	return fmt.Errorf("fleetd: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+}
+
+// Submit posts a fleet spec (the arachnet-fleet JSON schema) and
+// returns the daemon's acknowledgement. A full queue yields ErrBusy.
+func (c *Client) Submit(ctx context.Context, spec []byte) (SubmitResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/jobs", bytes.NewReader(spec))
+	if err != nil {
+		return SubmitResponse{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return SubmitResponse{}, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK, http.StatusAccepted:
+		var sr SubmitResponse
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			return SubmitResponse{}, fmt.Errorf("fleetd: decode submit response: %w", err)
+		}
+		return sr, nil
+	case http.StatusTooManyRequests:
+		after := time.Second
+		if v := resp.Header.Get("Retry-After"); v != "" {
+			if secs, err := strconv.Atoi(v); err == nil && secs > 0 {
+				after = time.Duration(secs) * time.Second
+			}
+		}
+		return SubmitResponse{}, ErrBusy{RetryAfter: after}
+	default:
+		return SubmitResponse{}, decodeError(resp)
+	}
+}
+
+// getJSON fetches path and decodes the 200 body into out.
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Status fetches one job's lifecycle view.
+func (c *Client) Status(ctx context.Context, id string) (StatusResponse, error) {
+	var st StatusResponse
+	err := c.getJSON(ctx, "/v1/jobs/"+id, &st)
+	return st, err
+}
+
+// List enumerates all jobs known to the daemon.
+func (c *Client) List(ctx context.Context) (ListResponse, error) {
+	var lr ListResponse
+	err := c.getJSON(ctx, "/v1/jobs", &lr)
+	return lr, err
+}
+
+// Report fetches a finished job's full report and fingerprint.
+func (c *Client) Report(ctx context.Context, id string) (ReportEnvelope, error) {
+	var env ReportEnvelope
+	err := c.getJSON(ctx, "/v1/jobs/"+id+"/report", &env)
+	return env, err
+}
+
+// Health fetches the daemon's liveness/pressure view.
+func (c *Client) Health(ctx context.Context) (HealthResponse, error) {
+	var h HealthResponse
+	err := c.getJSON(ctx, "/v1/healthz", &h)
+	return h, err
+}
+
+// Cancel aborts a queued or running job.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	return nil
+}
+
+// Stream follows a job's JSONL progress stream, invoking fn for each
+// line until the stream ends (final "done" line included), fn returns
+// an error, or ctx is cancelled. It returns the terminal line when the
+// stream completed normally.
+func (c *Client) Stream(ctx context.Context, id string, fn func(StreamLine) error) (StreamLine, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/stream", nil)
+	if err != nil {
+		return StreamLine{}, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return StreamLine{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return StreamLine{}, decodeError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var last StreamLine
+	for sc.Scan() {
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var line StreamLine
+		if err := json.Unmarshal(raw, &line); err != nil {
+			return last, fmt.Errorf("fleetd: decode stream line: %w", err)
+		}
+		if fn != nil {
+			if err := fn(line); err != nil {
+				return last, err
+			}
+		}
+		last = line
+		if line.Type == StreamDone {
+			return last, nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return last, err
+	}
+	return last, errors.New("fleetd: stream ended without a done line")
+}
+
+// Wait polls until the job reaches a terminal state, checking every
+// poll interval (default 100ms when zero).
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (StatusResponse, error) {
+	if poll <= 0 {
+		poll = 100 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if TerminalState(st.State) {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-t.C:
+		}
+	}
+}

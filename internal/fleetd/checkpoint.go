@@ -1,0 +1,231 @@
+package fleetd
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/fleet"
+)
+
+// Checkpointed resume. While a job runs, the daemon accumulates its
+// deterministic shard outcomes (status ok or failed — the statuses a
+// resumed pool may preload) and periodically writes an atomic snapshot
+// to <dir>/<id>.ckpt.json. A daemon killed mid-sweep therefore
+// restarts, reloads the directory, and finishes interrupted jobs
+// without recomputing done shards; finished jobs persist their full
+// report so restarts also repopulate the response cache.
+
+// checkpointVersion guards the on-disk schema.
+const checkpointVersion = 1
+
+// ckptSuffix names checkpoint files; anything else in the directory is
+// ignored.
+const ckptSuffix = ".ckpt.json"
+
+// Record is the on-disk form of one job's checkpoint.
+type Record struct {
+	Version int    `json:"version"`
+	ID      string `json:"id"`
+	// State is queued, running, or done (cancelled jobs delete their
+	// checkpoint instead — an operator abort should not resurrect).
+	State string `json:"state"`
+	// Spec is the submitted fleet spec, verbatim, so a restarted
+	// daemon can rebuild and re-run the job list.
+	Spec json.RawMessage `json:"spec"`
+	// Outcomes are the deterministic shard results completed so far
+	// (state running), or empty (queued), or complete (done).
+	Outcomes []fleet.JobOutcome `json:"outcomes,omitempty"`
+	// Fingerprint and Report are set once the job is done.
+	Fingerprint string          `json:"fingerprint,omitempty"`
+	Report      json.RawMessage `json:"report,omitempty"`
+	// Error preserves a failed job's description across restarts.
+	Error string `json:"error,omitempty"`
+}
+
+// CheckpointStore reads and writes job checkpoints in one directory.
+// A nil store is valid and makes every operation a no-op, so the
+// daemon runs fine with checkpointing disabled.
+type CheckpointStore struct {
+	dir string
+}
+
+// NewCheckpointStore opens (creating if needed) the checkpoint
+// directory; dir == "" disables checkpointing and returns nil.
+func NewCheckpointStore(dir string) (*CheckpointStore, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("fleetd: checkpoint dir: %w", err)
+	}
+	return &CheckpointStore{dir: dir}, nil
+}
+
+// path returns the checkpoint file for a job id.
+func (s *CheckpointStore) path(id string) string {
+	return filepath.Join(s.dir, id+ckptSuffix)
+}
+
+// Write persists a record atomically: the JSON is written to a
+// temporary file in the same directory and renamed over the target, so
+// a crash mid-write never leaves a torn checkpoint.
+func (s *CheckpointStore) Write(rec Record) error {
+	if s == nil {
+		return nil
+	}
+	rec.Version = checkpointVersion
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("fleetd: marshal checkpoint %s: %w", rec.ID, err)
+	}
+	tmp := s.path(rec.ID) + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("fleetd: write checkpoint %s: %w", rec.ID, err)
+	}
+	if err := os.Rename(tmp, s.path(rec.ID)); err != nil {
+		return fmt.Errorf("fleetd: commit checkpoint %s: %w", rec.ID, err)
+	}
+	return nil
+}
+
+// Remove deletes a job's checkpoint (used when a job is cancelled).
+func (s *CheckpointStore) Remove(id string) error {
+	if s == nil {
+		return nil
+	}
+	err := os.Remove(s.path(id))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// Load reads every checkpoint in the directory, sorted by job ID so a
+// restarted daemon re-queues interrupted jobs in their original
+// submission order. Unreadable or foreign-version files are skipped
+// with their errors collected, never fatal — one corrupt checkpoint
+// must not block the rest of the fleet from resuming.
+func (s *CheckpointStore) Load() ([]Record, []error) {
+	if s == nil {
+		return nil, nil
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, []error{fmt.Errorf("fleetd: read checkpoint dir: %w", err)}
+	}
+	var recs []Record
+	var errs []error
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasSuffix(name, ckptSuffix) {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(s.dir, name))
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(data, &rec); err != nil {
+			errs = append(errs, fmt.Errorf("fleetd: checkpoint %s: %w", name, err))
+			continue
+		}
+		if rec.Version != checkpointVersion {
+			errs = append(errs, fmt.Errorf("fleetd: checkpoint %s: unsupported version %d", name, rec.Version))
+			continue
+		}
+		if rec.ID == "" {
+			errs = append(errs, fmt.Errorf("fleetd: checkpoint %s: missing id", name))
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].ID < recs[j].ID })
+	return recs, errs
+}
+
+// checkpointer accumulates one running job's deterministic shard
+// outcomes; it implements fleet.Observer so workers feed it directly.
+// flush() writes a snapshot when (and only when) new outcomes arrived
+// since the last write, keeping the periodic ticker cheap.
+type checkpointer struct {
+	store *CheckpointStore
+	id    string
+	spec  json.RawMessage
+
+	mu       sync.Mutex
+	outcomes []fleet.JobOutcome
+	dirty    bool
+}
+
+// newCheckpointer seeds the accumulator with outcomes preloaded from a
+// previous checkpoint, so a resumed job's next snapshot is complete.
+func newCheckpointer(store *CheckpointStore, id string, spec json.RawMessage, preloaded []fleet.JobOutcome) *checkpointer {
+	return &checkpointer{
+		store:    store,
+		id:       id,
+		spec:     spec,
+		outcomes: append([]fleet.JobOutcome(nil), preloaded...),
+	}
+}
+
+// JobStarted implements fleet.Observer.
+func (c *checkpointer) JobStarted(fleet.JobInfo) {}
+
+// JobFinished implements fleet.Observer: deterministic terminal
+// outcomes (ok, failed) are recorded for resume; cancelled and
+// timed-out shards are wall-clock artifacts and must recompute.
+func (c *checkpointer) JobFinished(o fleet.JobOutcome) {
+	if o.Status != fleet.StatusOK && o.Status != fleet.StatusFailed {
+		return
+	}
+	c.mu.Lock()
+	c.outcomes = append(c.outcomes, o)
+	c.dirty = true
+	c.mu.Unlock()
+}
+
+// snapshot returns the outcomes recorded so far, index-sorted so the
+// on-disk record is independent of completion order.
+func (c *checkpointer) snapshot() []fleet.JobOutcome {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := append([]fleet.JobOutcome(nil), c.outcomes...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}
+
+// flush writes a running-state snapshot if anything changed since the
+// last write (or always, when force is set — the drain path wants a
+// final snapshot regardless).
+func (c *checkpointer) flush(force bool) error {
+	if c.store == nil {
+		return nil
+	}
+	c.mu.Lock()
+	if !c.dirty && !force {
+		c.mu.Unlock()
+		return nil
+	}
+	c.dirty = false
+	c.mu.Unlock()
+	return c.store.Write(Record{
+		ID:       c.id,
+		State:    StateRunningCkpt,
+		Spec:     c.spec,
+		Outcomes: c.snapshot(),
+	})
+}
+
+// Checkpoint state names (distinct from the API job states only in
+// that a checkpoint never records cancellation).
+const (
+	StateQueuedCkpt  = "queued"
+	StateRunningCkpt = "running"
+	StateDoneCkpt    = "done"
+)

@@ -1,0 +1,251 @@
+package fleetd
+
+import (
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fleetd/api"
+)
+
+// resumeSpec is slow enough (single worker, ~12 shards of 100k slots)
+// that a drain reliably lands mid-sweep, and deterministic so the
+// resumed fingerprint has a pinned reference.
+const resumeSpec = `{"seed": 77, "workers": 1, "vehicles": [
+	{"name": "long", "engine": "slots", "pattern": "c2", "slots": 100000, "replicate": 12}
+]}`
+
+// TestResumeAfterDrain is the kill/restart determinism leg: drain a
+// daemon mid-sweep, restart over the same checkpoint directory, and
+// require (a) completed shards are not recomputed and (b) the resumed
+// report fingerprint equals an uninterrupted batch run's.
+func TestResumeAfterDrain(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	want := batchFingerprint(t, resumeSpec)
+
+	// First daemon: submit, let a few shards finish, then drain.
+	s1, err := New(Config{CheckpointDir: dir, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Start()
+	hs1 := httptest.NewServer(s1.Handler())
+	c1 := api.NewClient(hs1.URL)
+	sub, err := c1.Submit(ctx, []byte(resumeSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	progressed := false
+	for try := 0; try < 3000 && !progressed; try++ { // 3000 × 10ms = 30s cap
+		st, err := c1.Status(ctx, sub.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == api.StateDone {
+			t.Fatal("sweep finished before the drain; slow the resume spec down")
+		}
+		if st.State == api.StateRunning && st.Done >= 2 {
+			progressed = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !progressed {
+		t.Fatal("no shard progress within the polling budget")
+	}
+	dctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	if err := s1.Drain(dctx); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	hs1.Close()
+
+	// The checkpoint must exist and carry completed shard outcomes.
+	recs, errs := mustStore(t, dir).Load()
+	if len(errs) > 0 {
+		t.Fatalf("checkpoint load errors: %v", errs)
+	}
+	if len(recs) != 1 || recs[0].ID != sub.ID || recs[0].State != StateRunningCkpt {
+		t.Fatalf("unexpected checkpoints after drain: %+v", recs)
+	}
+	if len(recs[0].Outcomes) < 2 {
+		t.Fatalf("drain checkpoint has %d outcomes, want >= 2", len(recs[0].Outcomes))
+	}
+	partial := len(recs[0].Outcomes)
+
+	// Second daemon over the same directory: must auto-resume.
+	s2, err := New(Config{CheckpointDir: dir, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Start()
+	hs2 := httptest.NewServer(s2.Handler())
+	defer hs2.Close()
+	c2 := api.NewClient(hs2.URL)
+	t.Cleanup(func() {
+		dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s2.Drain(dctx); err != nil {
+			t.Errorf("drain s2: %v", err)
+		}
+	})
+
+	st, err := c2.Wait(ctx, sub.ID, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != api.StateDone {
+		t.Fatalf("resumed job ended %s: %s", st.State, st.Error)
+	}
+	if st.Resumed != partial {
+		t.Errorf("resumed shard count = %d, want %d (checkpointed work was recomputed?)", st.Resumed, partial)
+	}
+	if st.Fingerprint != want {
+		t.Errorf("resumed fingerprint %s != uninterrupted batch fingerprint %s", st.Fingerprint, want)
+	}
+	env, err := c2.Report(ctx, sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Report.Fingerprint() != want {
+		t.Error("resumed report re-fingerprints differently from the batch reference")
+	}
+	if env.Report.Completed != 12 {
+		t.Errorf("resumed report completed %d/12 shards", env.Report.Completed)
+	}
+
+	// The finished job persisted a done checkpoint, so a third daemon
+	// serves its report without running anything — and its cache is
+	// warm for resubmissions of the same spec.
+	s3, err := New(Config{CheckpointDir: dir, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s3.Start()
+	hs3 := httptest.NewServer(s3.Handler())
+	defer hs3.Close()
+	c3 := api.NewClient(hs3.URL)
+	t.Cleanup(func() {
+		dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s3.Drain(dctx); err != nil {
+			t.Errorf("drain s3: %v", err)
+		}
+	})
+	env3, err := c3.Report(ctx, sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env3.Fingerprint != want {
+		t.Errorf("restart-loaded report fingerprint %s != %s", env3.Fingerprint, want)
+	}
+	hit, err := c3.Submit(ctx, []byte(resumeSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.Cached || hit.Fingerprint != want {
+		t.Errorf("warm-restart cache miss or mismatch: %+v", hit)
+	}
+}
+
+// TestQueuedJobSurvivesDrain: a job still waiting in the queue when
+// the daemon drains is re-run from scratch by the next daemon.
+func TestQueuedJobSurvivesDrain(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	s1, err := New(Config{CheckpointDir: dir, Runners: 1, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Start()
+	hs1 := httptest.NewServer(s1.Handler())
+	c1 := api.NewClient(hs1.URL)
+	// Occupy the runner with a slow sweep, then queue a quick one.
+	if _, err := c1.Submit(ctx, []byte(resumeSpec)); err != nil {
+		t.Fatal(err)
+	}
+	quick := `{"seed": 3, "vehicles": [{"name": "q", "engine": "slots", "pattern": "c1", "slots": 2000, "replicate": 2}]}`
+	sub, err := c1.Submit(ctx, []byte(quick))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	if err := s1.Drain(dctx); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	hs1.Close()
+
+	s2, err := New(Config{CheckpointDir: dir, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Start()
+	hs2 := httptest.NewServer(s2.Handler())
+	defer hs2.Close()
+	t.Cleanup(func() {
+		dctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s2.Drain(dctx); err != nil {
+			t.Errorf("drain s2: %v", err)
+		}
+	})
+	c2 := api.NewClient(hs2.URL)
+	st, err := c2.Wait(ctx, sub.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != api.StateDone {
+		t.Fatalf("queued-then-drained job ended %s: %s", st.State, st.Error)
+	}
+	if want := batchFingerprint(t, quick); st.Fingerprint != want {
+		t.Errorf("fingerprint %s != batch %s", st.Fingerprint, want)
+	}
+}
+
+// TestCheckpointAtomicity: a stray temp file or corrupt checkpoint in
+// the directory is skipped, never fatal to the rest of the fleet.
+func TestCheckpointCorruptionTolerated(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "job-000009"+ckptSuffix), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "job-000010"+ckptSuffix+".tmp"), []byte("ignored"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	store := mustStore(t, dir)
+	recs, errs := store.Load()
+	if len(recs) != 0 {
+		t.Errorf("corrupt dir yielded records: %+v", recs)
+	}
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "job-000009") {
+		t.Errorf("want one error naming the torn file, got %v", errs)
+	}
+	// The daemon still constructs and serves over such a directory.
+	s, err := New(Config{CheckpointDir: dir, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	dctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Drain(dctx); err != nil {
+		t.Error(err)
+	}
+}
+
+// mustStore opens a checkpoint store or fails the test.
+func mustStore(t *testing.T, dir string) *CheckpointStore {
+	t.Helper()
+	st, err := NewCheckpointStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}

@@ -1,0 +1,788 @@
+// Package fleetd promotes the batch fleet engine (internal/fleet,
+// surfaced as arachnet.RunFleet) to a long-running simulation service:
+// an HTTP/JSONL daemon with a bounded job queue, streaming progress,
+// a (spec, seed) response cache, and checkpointed resume.
+//
+// Design contract, inherited from the engine: a fleet run is a pure
+// function of its spec and master seed. The daemon exploits this
+// everywhere — cache hits return stored reports whose fingerprints are
+// bit-identical to a fresh run's, and a daemon killed mid-sweep
+// restarts, preloads the checkpointed shards, and finishes with the
+// same fingerprint an uninterrupted run would have produced.
+//
+// Admission control: the queue is bounded. A full queue answers 429
+// with Retry-After instead of buffering unboundedly, so overload is
+// explicit backpressure rather than memory growth. A draining daemon
+// (SIGTERM) answers 503 and checkpoints in-flight work before exit.
+package fleetd
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/arachnet"
+	"repro/internal/fleet"
+	"repro/internal/fleetd/api"
+	"repro/internal/obs"
+)
+
+// Config parameterizes a daemon.
+type Config struct {
+	// QueueDepth bounds the admission queue (jobs accepted but not yet
+	// running); <= 0 means the default 64.
+	QueueDepth int
+	// Runners is the number of concurrent fleet runs; <= 0 means 1.
+	// Each run additionally shards across its own pool workers.
+	Runners int
+	// WorkerCap caps the per-job pool worker count regardless of what
+	// the spec asks for; 0 leaves the spec (or GOMAXPROCS) in charge.
+	WorkerCap int
+	// CacheEntries caps the (spec, seed) response cache; 0 means the
+	// default 128, negative disables caching entirely.
+	CacheEntries int
+	// CheckpointDir persists job checkpoints for resume-after-restart;
+	// empty disables checkpointing.
+	CheckpointDir string
+	// CheckpointEvery is the snapshot interval for running jobs;
+	// <= 0 means the default 2s. The drain path always writes a final
+	// snapshot regardless.
+	CheckpointEvery time.Duration
+	// RetryAfter is the backoff suggested on 429; <= 0 means 1s.
+	RetryAfter time.Duration
+	// StreamBuffer is the per-subscriber event buffer for /stream;
+	// <= 0 means the default 1024. Slow readers beyond it drop events
+	// (reported on the stream's final line), never block workers.
+	StreamBuffer int
+	// Logf receives operational log lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// withDefaults resolves the documented zero-value defaults.
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Runners <= 0 {
+		c.Runners = 1
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 128
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 2 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.StreamBuffer <= 0 {
+		c.StreamBuffer = 1024
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// job is one submitted fleet spec moving through the daemon.
+type job struct {
+	id    string
+	spec  json.RawMessage
+	key   string // response-cache key
+	total int    // compiled per-vehicle job count
+	bc    *obs.Broadcaster
+
+	mu          sync.Mutex
+	state       string
+	cached      bool
+	resumed     int
+	preloaded   []fleet.JobOutcome
+	pool        *fleet.Pool
+	cancel      context.CancelFunc
+	fingerprint string
+	report      *fleet.Report
+	errMsg      string
+	done        chan struct{} // closed when the job reaches a terminal state (or is interrupted by drain)
+}
+
+// status snapshots the job's API view.
+func (j *job) status() api.StatusResponse {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := api.StatusResponse{
+		ID:          j.id,
+		State:       j.state,
+		Total:       j.total,
+		Resumed:     j.resumed,
+		Cached:      j.cached,
+		Fingerprint: j.fingerprint,
+		Error:       j.errMsg,
+	}
+	switch {
+	case j.state == api.StateDone:
+		st.Done = j.total
+	case j.pool != nil:
+		st.Done = j.pool.Snapshot().Done
+	default:
+		st.Done = len(j.preloaded)
+	}
+	return st
+}
+
+// Server is the fleetd daemon: construct with New, expose Handler()
+// over any listener, Start() the runners, and Drain() on shutdown.
+type Server struct {
+	cfg   Config
+	store *CheckpointStore
+	cache *Cache
+	mux   *http.ServeMux
+	queue chan *job
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string
+	nextID   int
+	draining bool
+	running  int
+
+	runCtx    context.Context
+	runCancel context.CancelFunc
+	wg        sync.WaitGroup
+	resume    []*job // interrupted jobs recovered from checkpoints, enqueued by Start
+}
+
+// New builds a daemon, loading any checkpoints found in
+// cfg.CheckpointDir: done jobs re-register with their reports (and
+// rewarm the response cache); queued or running jobs are re-queued
+// with their completed shards preloaded, so Start finishes them
+// without recomputation.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	store, err := NewCheckpointStore(cfg.CheckpointDir)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:       cfg,
+		store:     store,
+		cache:     NewCache(cfg.CacheEntries),
+		queue:     make(chan *job, cfg.QueueDepth),
+		jobs:      make(map[string]*job),
+		runCtx:    ctx,
+		runCancel: cancel,
+	}
+	s.buildMux()
+	if err := s.loadCheckpoints(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// buildMux installs the API routes; every handler goes through wrap,
+// the recover middleware (a handler panic answers 500 instead of
+// taking the daemon down).
+func (s *Server) buildMux() {
+	s.mux = http.NewServeMux()
+	s.mux.Handle("POST /v1/jobs", s.wrap(s.handleSubmit))
+	s.mux.Handle("GET /v1/jobs", s.wrap(s.handleList))
+	s.mux.Handle("GET /v1/jobs/{id}", s.wrap(s.handleStatus))
+	s.mux.Handle("DELETE /v1/jobs/{id}", s.wrap(s.handleCancel))
+	s.mux.Handle("GET /v1/jobs/{id}/stream", s.wrap(s.handleStream))
+	s.mux.Handle("GET /v1/jobs/{id}/report", s.wrap(s.handleReport))
+	s.mux.Handle("GET /v1/healthz", s.wrap(s.handleHealth))
+}
+
+// Handler returns the daemon's HTTP interface.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// wrap is the recover middleware every route is registered through.
+func (s *Server) wrap(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.cfg.Logf("fleetd: panic in %s %s: %v", r.Method, r.URL.Path, rec)
+				writeError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", rec))
+			}
+		}()
+		h(w, r)
+	}
+}
+
+// Start launches the runner pool and re-queues checkpointed jobs.
+func (s *Server) Start() {
+	for i := 0; i < s.cfg.Runners; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.runLoop()
+		}()
+	}
+	// Interrupted jobs recovered from checkpoints go back on the queue
+	// in ID (= original submission) order; the send blocks if the queue
+	// is smaller than the backlog, so feed it from a goroutine.
+	resume := s.resume
+	s.resume = nil
+	if len(resume) > 0 {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for _, j := range resume {
+				select {
+				case s.queue <- j:
+				case <-s.runCtx.Done():
+					return
+				}
+			}
+		}()
+	}
+}
+
+// Drain gracefully shuts the daemon down: new submissions are refused
+// (503), running jobs are interrupted and their completed shards
+// checkpointed, queued jobs keep the checkpoints written at admission,
+// and the runners exit. It returns once all runners have stopped or
+// ctx expires.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.runCancel()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("fleetd: drain timed out: %w", ctx.Err())
+	}
+}
+
+// loadCheckpoints restores jobs persisted by a previous process.
+func (s *Server) loadCheckpoints() error {
+	recs, errs := s.store.Load()
+	for _, err := range errs {
+		s.cfg.Logf("fleetd: skipping checkpoint: %v", err)
+	}
+	for _, rec := range recs {
+		f, err := arachnet.UnmarshalFleetJSON(rec.Spec)
+		if err != nil {
+			s.cfg.Logf("fleetd: checkpoint %s: invalid spec: %v", rec.ID, err)
+			continue
+		}
+		specs, err := f.Jobs()
+		if err != nil {
+			s.cfg.Logf("fleetd: checkpoint %s: %v", rec.ID, err)
+			continue
+		}
+		key, err := CacheKey(rec.Spec)
+		if err != nil {
+			s.cfg.Logf("fleetd: checkpoint %s: %v", rec.ID, err)
+			continue
+		}
+		j := &job{
+			id:    rec.ID,
+			spec:  rec.Spec,
+			key:   key,
+			total: len(specs),
+			bc:    obs.NewBroadcaster(),
+			done:  make(chan struct{}),
+		}
+		switch rec.State {
+		case StateDoneCkpt:
+			var rep fleet.Report
+			if err := json.Unmarshal(rec.Report, &rep); err != nil {
+				s.cfg.Logf("fleetd: checkpoint %s: report: %v", rec.ID, err)
+				continue
+			}
+			j.state = api.StateDone
+			j.report = &rep
+			j.fingerprint = rec.Fingerprint
+			j.errMsg = rec.Error
+			j.bc.Close()
+			close(j.done)
+			s.cache.Put(key, CacheEntry{Fingerprint: rec.Fingerprint, Report: &rep})
+		case StateQueuedCkpt, StateRunningCkpt:
+			j.state = api.StateQueued
+			j.preloaded = rec.Outcomes
+			j.resumed = len(rec.Outcomes)
+			s.resume = append(s.resume, j)
+		default:
+			s.cfg.Logf("fleetd: checkpoint %s: unknown state %q", rec.ID, rec.State)
+			continue
+		}
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+		if n := idNumber(rec.ID); n >= s.nextID {
+			s.nextID = n + 1
+		}
+	}
+	if len(s.resume) > 0 {
+		s.cfg.Logf("fleetd: resuming %d interrupted job(s) from %s", len(s.resume), s.cfg.CheckpointDir)
+	}
+	return nil
+}
+
+// idNumber extracts the numeric suffix of a job ID (-1 if malformed).
+func idNumber(id string) int {
+	const prefix = "job-"
+	if !strings.HasPrefix(id, prefix) {
+		return -1
+	}
+	n, err := strconv.Atoi(id[len(prefix):])
+	if err != nil {
+		return -1
+	}
+	return n
+}
+
+// runLoop is one runner: pull jobs until drain.
+func (s *Server) runLoop() {
+	for {
+		select {
+		case <-s.runCtx.Done():
+			return
+		case j := <-s.queue:
+			s.runJob(j)
+		}
+	}
+}
+
+// runJob executes one fleet spec through the pool, checkpointing as it
+// goes. It never panics the runner: spec errors fail the job, and a
+// drain interruption leaves a resumable checkpoint behind.
+func (s *Server) runJob(j *job) {
+	j.mu.Lock()
+	if j.state != api.StateQueued {
+		j.mu.Unlock() // cancelled while queued
+		return
+	}
+	jctx, cancel := context.WithCancel(s.runCtx)
+	j.state = api.StateRunning
+	j.cancel = cancel
+	pre := j.preloaded
+	j.mu.Unlock()
+	defer cancel()
+
+	s.mu.Lock()
+	s.running++
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.running--
+		s.mu.Unlock()
+	}()
+
+	f, err := arachnet.UnmarshalFleetJSON(j.spec)
+	if err != nil {
+		s.finalizeFailed(j, fmt.Errorf("spec no longer valid: %w", err))
+		return
+	}
+	if s.cfg.WorkerCap > 0 && (f.Workers <= 0 || f.Workers > s.cfg.WorkerCap) {
+		f.Workers = s.cfg.WorkerCap
+	}
+	ck := newCheckpointer(s.store, j.id, j.spec, pre)
+	f.Observer = fleet.MultiObserver(ck, fleet.NewTracerObserver(obs.New(j.bc)))
+	pool, err := arachnet.NewFleetPool(f)
+	if err != nil {
+		s.finalizeFailed(j, err)
+		return
+	}
+	if len(pre) > 0 {
+		if err := pool.Preload(pre); err != nil {
+			// A checkpoint that no longer matches the spec is discarded:
+			// recompute everything rather than corrupt the report.
+			s.cfg.Logf("fleetd: %s: discarding checkpoint: %v", j.id, err)
+			ck = newCheckpointer(s.store, j.id, j.spec, nil)
+			f.Observer = fleet.MultiObserver(ck, fleet.NewTracerObserver(obs.New(j.bc)))
+			pool, err = arachnet.NewFleetPool(f)
+			if err != nil {
+				s.finalizeFailed(j, err)
+				return
+			}
+			j.mu.Lock()
+			j.resumed = 0
+			j.mu.Unlock()
+		}
+	}
+	j.mu.Lock()
+	j.pool = pool
+	j.mu.Unlock()
+
+	// Periodic checkpoint snapshots while the pool runs.
+	stopFlush := make(chan struct{})
+	var fwg sync.WaitGroup
+	if s.store != nil {
+		fwg.Add(1)
+		go func() {
+			defer fwg.Done()
+			t := time.NewTicker(s.cfg.CheckpointEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopFlush:
+					return
+				case <-t.C:
+					if err := ck.flush(false); err != nil {
+						s.cfg.Logf("fleetd: %s: checkpoint: %v", j.id, err)
+					}
+				}
+			}
+		}()
+	}
+
+	rep, runErr := pool.Run(jctx)
+	close(stopFlush)
+	fwg.Wait()
+
+	if runErr != nil {
+		// Interrupted. Under drain this is a checkpoint-and-exit; a
+		// client cancel discards the job and its checkpoint.
+		s.mu.Lock()
+		draining := s.draining
+		s.mu.Unlock()
+		if draining {
+			if err := ck.flush(true); err != nil {
+				s.cfg.Logf("fleetd: %s: final checkpoint: %v", j.id, err)
+			}
+			s.finalize(j, api.StateQueued, "", nil, "interrupted: daemon draining; resumes on restart")
+			return
+		}
+		if err := s.store.Remove(j.id); err != nil {
+			s.cfg.Logf("fleetd: %s: remove checkpoint: %v", j.id, err)
+		}
+		s.finalize(j, api.StateCancelled, "", nil, "cancelled")
+		return
+	}
+
+	fp := rep.Fingerprint()
+	errMsg := ""
+	if !rep.Ok() {
+		errMsg = rep.FirstError()
+	}
+	if s.store != nil {
+		repJSON, err := json.Marshal(rep)
+		if err != nil {
+			s.cfg.Logf("fleetd: %s: marshal report: %v", j.id, err)
+		} else if err := s.store.Write(Record{
+			ID: j.id, State: StateDoneCkpt, Spec: j.spec,
+			Fingerprint: fp, Report: repJSON, Error: errMsg,
+		}); err != nil {
+			s.cfg.Logf("fleetd: %s: done checkpoint: %v", j.id, err)
+		}
+	}
+	s.cache.Put(j.key, CacheEntry{Fingerprint: fp, Report: rep})
+	s.finalize(j, api.StateDone, fp, rep, errMsg)
+}
+
+// finalize moves a job to its end state and releases its streamers.
+func (s *Server) finalize(j *job, state, fingerprint string, rep *fleet.Report, errMsg string) {
+	j.mu.Lock()
+	j.state = state
+	j.fingerprint = fingerprint
+	j.report = rep
+	j.errMsg = errMsg
+	j.pool = nil
+	j.mu.Unlock()
+	j.bc.Close()
+	close(j.done)
+	s.cfg.Logf("fleetd: %s: %s%s", j.id, state, suffixIf(errMsg))
+}
+
+// finalizeFailed records a spec-level failure.
+func (s *Server) finalizeFailed(j *job, err error) {
+	if rmErr := s.store.Remove(j.id); rmErr != nil {
+		s.cfg.Logf("fleetd: %s: remove checkpoint: %v", j.id, rmErr)
+	}
+	s.finalize(j, api.StateFailed, "", nil, err.Error())
+}
+
+// suffixIf renders an optional log detail.
+func suffixIf(msg string) string {
+	if msg == "" {
+		return ""
+	}
+	return ": " + msg
+}
+
+// writeJSON emits a JSON response body.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError emits the standard error body.
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, api.ErrorResponse{Error: msg})
+}
+
+// handleSubmit admits one fleet spec: validate, consult the response
+// cache, then enqueue with backpressure.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeError(w, http.StatusServiceUnavailable, "daemon is draining; resubmit after restart")
+		return
+	}
+	raw, err := io.ReadAll(io.LimitReader(r.Body, 8<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("read body: %v", err))
+		return
+	}
+	f, err := arachnet.UnmarshalFleetJSON(raw)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	specs, err := f.Jobs()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	key, err := CacheKey(raw)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	// Cache hit: the run is a pure function of (spec, seed), so the
+	// stored report answers immediately — registered as a done job so
+	// the usual status/report/stream endpoints all work.
+	if entry, ok := s.cache.Get(key); ok {
+		j := s.newJob(raw, key, len(specs))
+		j.state = api.StateDone
+		j.cached = true
+		j.fingerprint = entry.Fingerprint
+		j.report = entry.Report
+		j.bc.Close()
+		close(j.done)
+		s.registerJob(j)
+		if s.store != nil {
+			repJSON, err := json.Marshal(entry.Report)
+			if err == nil {
+				err = s.store.Write(Record{
+					ID: j.id, State: StateDoneCkpt, Spec: j.spec,
+					Fingerprint: entry.Fingerprint, Report: repJSON,
+				})
+			}
+			if err != nil {
+				s.cfg.Logf("fleetd: %s: cache-hit checkpoint: %v", j.id, err)
+			}
+		}
+		writeJSON(w, http.StatusOK, api.SubmitResponse{
+			ID: j.id, State: api.StateDone, Cached: true,
+			Fingerprint: entry.Fingerprint, Jobs: len(specs),
+		})
+		return
+	}
+
+	j := s.newJob(raw, key, len(specs))
+	j.state = api.StateQueued
+	select {
+	case s.queue <- j:
+	default:
+		// Backpressure: the queue is full. 429 + Retry-After instead of
+		// unbounded buffering.
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("job queue full (%d deep); retry later", s.cfg.QueueDepth))
+		return
+	}
+	s.registerJob(j)
+	// Checkpoint at admission so a daemon killed with the job still
+	// queued re-runs it after restart.
+	if err := s.store.Write(Record{ID: j.id, State: StateQueuedCkpt, Spec: j.spec}); err != nil {
+		s.cfg.Logf("fleetd: %s: admission checkpoint: %v", j.id, err)
+	}
+	writeJSON(w, http.StatusAccepted, api.SubmitResponse{ID: j.id, State: api.StateQueued, Jobs: len(specs)})
+}
+
+// newJob allocates a job with the next ID (not yet registered).
+func (s *Server) newJob(raw []byte, key string, total int) *job {
+	s.mu.Lock()
+	id := fmt.Sprintf("job-%06d", s.nextID)
+	s.nextID++
+	s.mu.Unlock()
+	return &job{
+		id: id, spec: raw, key: key, total: total,
+		bc: obs.NewBroadcaster(), done: make(chan struct{}),
+	}
+}
+
+// registerJob publishes a job in the registry.
+func (s *Server) registerJob(j *job) {
+	s.mu.Lock()
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.mu.Unlock()
+}
+
+// lookup finds a job by the {id} path value; nil means the 404 was
+// already written.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *job {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown job %q", id))
+		return nil
+	}
+	return j
+}
+
+// handleList enumerates jobs in submission order.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.order))
+	for _, id := range s.order {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	lr := api.ListResponse{Jobs: make([]api.StatusResponse, 0, len(jobs))}
+	for _, j := range jobs {
+		lr.Jobs = append(lr.Jobs, j.status())
+	}
+	writeJSON(w, http.StatusOK, lr)
+}
+
+// handleStatus reports one job's lifecycle view.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+// handleReport serves a finished job's full report.
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	rep, fp, cached, state := j.report, j.fingerprint, j.cached, j.state
+	j.mu.Unlock()
+	if rep == nil {
+		writeError(w, http.StatusConflict, fmt.Sprintf("job %s is %s; no report yet", j.id, state))
+		return
+	}
+	writeJSON(w, http.StatusOK, api.ReportEnvelope{ID: j.id, Fingerprint: fp, Cached: cached, Report: rep})
+}
+
+// handleCancel aborts a queued or running job.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	state := j.state
+	cancel := j.cancel
+	if state == api.StateQueued {
+		// The runner skips jobs no longer queued; release streamers now.
+		j.state = api.StateCancelled
+		j.errMsg = "cancelled"
+		j.mu.Unlock()
+		j.bc.Close()
+		close(j.done)
+		if err := s.store.Remove(j.id); err != nil {
+			s.cfg.Logf("fleetd: %s: remove checkpoint: %v", j.id, err)
+		}
+		writeJSON(w, http.StatusOK, j.status())
+		return
+	}
+	j.mu.Unlock()
+	switch {
+	case api.TerminalState(state):
+		writeError(w, http.StatusConflict, fmt.Sprintf("job %s already %s", j.id, state))
+	case cancel != nil:
+		cancel()
+		writeJSON(w, http.StatusOK, j.status())
+	default:
+		writeError(w, http.StatusConflict, fmt.Sprintf("job %s is %s and not cancellable", j.id, state))
+	}
+}
+
+// handleStream serves the JSONL progress stream: an opening status
+// line, one line per lifecycle event, and a closing done line carrying
+// the fingerprint (and this subscriber's drop count, if it fell
+// behind).
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported by this connection")
+		return
+	}
+	// Subscribe before snapshotting so no event falls between the two.
+	sub := j.bc.Subscribe(s.cfg.StreamBuffer)
+	defer sub.Close()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	st := j.status()
+	if err := enc.Encode(api.StreamLine{Type: api.StreamStatus, Status: &st}); err != nil {
+		return
+	}
+	flusher.Flush()
+
+	for {
+		select {
+		case ev, ok := <-sub.C:
+			if !ok {
+				// Job finished (or daemon drained): close the stream
+				// with the terminal line.
+				st := j.status()
+				_ = enc.Encode(api.StreamLine{
+					Type: api.StreamDone, State: st.State,
+					Fingerprint: st.Fingerprint, Error: st.Error,
+					Dropped: sub.Dropped(),
+				})
+				flusher.Flush()
+				return
+			}
+			if err := enc.Encode(api.StreamLine{Type: api.StreamEvent, Event: &ev}); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleHealth reports liveness and pressure.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	h := api.HealthResponse{
+		OK:         !s.draining,
+		Draining:   s.draining,
+		Queued:     len(s.queue),
+		Running:    s.running,
+		QueueDepth: s.cfg.QueueDepth,
+	}
+	s.mu.Unlock()
+	h.CacheEntries = s.cache.Len()
+	h.CacheHits = s.cache.Hits()
+	writeJSON(w, http.StatusOK, h)
+}

@@ -1,0 +1,346 @@
+package fleetd
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/arachnet"
+	"repro/internal/fleetd/api"
+)
+
+// testSpec is a small, fast slots sweep used across the server tests.
+const testSpec = `{"seed": 42, "workers": 2, "vehicles": [
+	{"name": "sweep", "engine": "slots", "pattern": "c1", "slots": 2000, "replicate": 4}
+]}`
+
+// startServer builds a daemon and serves it over httptest; the cleanup
+// drains it.
+func startServer(t *testing.T, cfg Config) (*Server, *api.Client) {
+	t.Helper()
+	if cfg.Logf == nil {
+		cfg.Logf = t.Logf
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Drain(ctx); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+		hs.Close()
+	})
+	return s, api.NewClient(hs.URL)
+}
+
+// batchFingerprint runs the spec through the plain batch engine — the
+// reference every daemon path must match.
+func batchFingerprint(t *testing.T, spec string) string {
+	t.Helper()
+	f, err := arachnet.UnmarshalFleetJSON([]byte(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := arachnet.RunFleet(context.Background(), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep.Fingerprint()
+}
+
+// TestSubmitRunReport is the fresh-run determinism leg: submit, wait,
+// fetch the report, and require the fingerprint to equal a local batch
+// run of the same (spec, seed).
+func TestSubmitRunReport(t *testing.T) {
+	_, c := startServer(t, Config{})
+	ctx := context.Background()
+
+	sub, err := c.Submit(ctx, []byte(testSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Cached || sub.State != api.StateQueued || sub.Jobs != 4 {
+		t.Fatalf("unexpected submit ack: %+v", sub)
+	}
+	st, err := c.Wait(ctx, sub.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != api.StateDone || st.Done != 4 || st.Error != "" {
+		t.Fatalf("unexpected terminal status: %+v", st)
+	}
+	env, err := c.Report(ctx, sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Report == nil || !env.Report.Ok() {
+		t.Fatalf("report not ok: %+v", env)
+	}
+	if got := env.Report.Fingerprint(); got != env.Fingerprint {
+		t.Errorf("envelope fingerprint %s != report fingerprint %s", env.Fingerprint, got)
+	}
+	if want := batchFingerprint(t, testSpec); env.Fingerprint != want {
+		t.Errorf("daemon fingerprint %s != batch CLI fingerprint %s", env.Fingerprint, want)
+	}
+}
+
+// TestCacheHitEndToEnd is the cache-hit determinism leg: resubmitting
+// the same spec (even reformatted) returns immediately with the same
+// fingerprint and no new work.
+func TestCacheHitEndToEnd(t *testing.T) {
+	s, c := startServer(t, Config{})
+	ctx := context.Background()
+
+	first, err := c.Submit(ctx, []byte(testSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Wait(ctx, first.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same spec, different formatting and field order: must hit.
+	reformatted := []byte(`{"workers":2,"vehicles":[{"replicate":4,"slots":2000,"pattern":"c1","engine":"slots","name":"sweep"}],"seed":42}`)
+	second, err := c.Submit(ctx, reformatted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Fatal("reformatted resubmission missed the response cache")
+	}
+	if second.Fingerprint != st.Fingerprint {
+		t.Errorf("cache-hit fingerprint %s != fresh-run fingerprint %s", second.Fingerprint, st.Fingerprint)
+	}
+	env, err := c.Report(ctx, second.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !env.Cached || env.Fingerprint != st.Fingerprint || env.Report.Fingerprint() != st.Fingerprint {
+		t.Errorf("cached report not bit-identical: %+v vs %s", env.Fingerprint, st.Fingerprint)
+	}
+	if got := s.cache.Hits(); got != 1 {
+		t.Errorf("cache hits = %d, want 1", got)
+	}
+
+	// Different seed: must miss and queue fresh work.
+	otherSeed := []byte(`{"seed": 43, "workers": 2, "vehicles": [
+		{"name": "sweep", "engine": "slots", "pattern": "c1", "slots": 2000, "replicate": 4}
+	]}`)
+	third, err := c.Submit(ctx, otherSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Cached {
+		t.Error("differing seed hit the cache")
+	}
+	st3, err := c.Wait(ctx, third.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3.Fingerprint == st.Fingerprint {
+		t.Error("different seed produced an identical fingerprint")
+	}
+}
+
+// TestStream checks the JSONL progress stream shape: status line,
+// per-shard lifecycle events, and a done line with the fingerprint.
+func TestStream(t *testing.T) {
+	_, c := startServer(t, Config{})
+	ctx := context.Background()
+
+	sub, err := c.Submit(ctx, []byte(testSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events int
+	sawStatus := false
+	done, err := c.Stream(ctx, sub.ID, func(line api.StreamLine) error {
+		switch line.Type {
+		case api.StreamStatus:
+			sawStatus = true
+		case api.StreamEvent:
+			events++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sawStatus {
+		t.Error("stream did not open with a status line")
+	}
+	if done.Type != api.StreamDone || done.State != api.StateDone {
+		t.Fatalf("stream did not close with done: %+v", done)
+	}
+	if done.Fingerprint == "" {
+		t.Error("done line missing fingerprint")
+	}
+	// Events raced with the run: a late subscriber may have missed
+	// early shards, but a subscriber attached at submit time should see
+	// activity unless the whole sweep beat the HTTP round trip.
+	t.Logf("streamed %d events, dropped %d", events, done.Dropped)
+
+	// Streaming a finished job closes immediately with the same
+	// fingerprint.
+	late, err := c.Stream(ctx, sub.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if late.State != api.StateDone || late.Fingerprint != done.Fingerprint {
+		t.Errorf("late stream terminal line mismatch: %+v vs %+v", late, done)
+	}
+}
+
+// TestBackpressure fills the queue and requires 429 + Retry-After.
+func TestBackpressure(t *testing.T) {
+	// One runner, queue depth 1, and a job slow enough to hold the
+	// runner while the queue fills.
+	_, c := startServer(t, Config{QueueDepth: 1, Runners: 1})
+	ctx := context.Background()
+	slow := `{"seed": 5, "workers": 1, "vehicles": [
+		{"name": "slow", "engine": "slots", "pattern": "c1", "slots": 400000, "replicate": 4}
+	]}`
+	quick := `{"seed": 6, "vehicles": [{"name": "q", "engine": "slots", "pattern": "c1", "slots": 1000}]}`
+
+	first, err := c.Submit(ctx, []byte(slow))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The runner takes first off the queue quickly; saturate the queue
+	// slot, then the next submit must bounce.
+	var queued api.SubmitResponse
+	for try := 0; ; try++ {
+		queued, err = c.Submit(ctx, []byte(quick))
+		if err == nil {
+			break // occupied the single queue slot
+		}
+		if try >= 1000 { // 1000 × 5ms = 5s cap
+			t.Fatalf("never managed to queue the second job: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	overflow := `{"seed": 9, "vehicles": [{"name": "x", "engine": "slots", "pattern": "c1", "slots": 1000}]}`
+	_, err = c.Submit(ctx, []byte(overflow))
+	busy, ok := err.(api.ErrBusy)
+	if !ok {
+		t.Fatalf("overflow submit: got %v, want ErrBusy", err)
+	}
+	if busy.RetryAfter <= 0 {
+		t.Errorf("Retry-After not propagated: %+v", busy)
+	}
+
+	// Cancel the slow job so cleanup drains fast, then the queued one
+	// completes.
+	if err := c.Cancel(ctx, first.ID); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Wait(ctx, first.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != api.StateCancelled {
+		t.Errorf("cancelled job state = %s", st.State)
+	}
+	st2, err := c.Wait(ctx, queued.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.State != api.StateDone {
+		t.Errorf("queued job ended %s: %s", st2.State, st2.Error)
+	}
+}
+
+// TestCancelQueued cancels a job that never started.
+func TestCancelQueued(t *testing.T) {
+	_, c := startServer(t, Config{QueueDepth: 2, Runners: 1})
+	ctx := context.Background()
+	slow := `{"seed": 5, "workers": 1, "vehicles": [
+		{"name": "slow", "engine": "slots", "pattern": "c1", "slots": 400000, "replicate": 4}
+	]}`
+	quick := `{"seed": 6, "vehicles": [{"name": "q", "engine": "slots", "pattern": "c1", "slots": 1000}]}`
+	if _, err := c.Submit(ctx, []byte(slow)); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := c.Submit(ctx, []byte(quick))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Cancel(ctx, sub.ID); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Wait(ctx, sub.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != api.StateCancelled {
+		t.Errorf("state = %s, want cancelled", st.State)
+	}
+	// Cancelling a terminal job is a conflict, not a crash.
+	if err := c.Cancel(ctx, sub.ID); err == nil {
+		t.Error("second cancel succeeded, want conflict")
+	}
+}
+
+// TestHealthAndList smoke-checks the operational endpoints.
+func TestHealthAndList(t *testing.T) {
+	_, c := startServer(t, Config{})
+	ctx := context.Background()
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.OK || h.Draining || h.QueueDepth != 64 {
+		t.Errorf("unexpected health: %+v", h)
+	}
+	sub, err := c.Submit(ctx, []byte(testSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(ctx, sub.ID, 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	lr, err := c.List(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lr.Jobs) != 1 || lr.Jobs[0].ID != sub.ID {
+		t.Errorf("unexpected job list: %+v", lr)
+	}
+	// Unknown job IDs are 404s.
+	if _, err := c.Status(ctx, "job-999999"); err == nil {
+		t.Error("status of unknown job succeeded")
+	}
+	// Bad specs are 400s.
+	if _, err := c.Submit(ctx, []byte(`{"vehicles": []}`)); err == nil {
+		t.Error("empty-fleet spec accepted")
+	}
+}
+
+// TestDrainRejectsSubmits pins the shutdown contract: a draining
+// daemon answers 503 to new work.
+func TestDrainRejectsSubmits(t *testing.T) {
+	cfg := Config{Logf: t.Logf}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+	c := api.NewClient(hs.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(ctx, []byte(testSpec)); err == nil {
+		t.Error("draining daemon accepted a submission")
+	}
+}

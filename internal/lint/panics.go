@@ -10,9 +10,16 @@ import (
 // fleet worker (PR 1 isolates them, but at the cost of losing the job);
 // invariant guards that genuinely cannot fire in correct code state
 // their justification in line with //lint:allow panic-hygiene <reason>.
+//
+// In files importing net/http the check extends to handler wiring: a
+// handler registered bare (Handle/HandleFunc with an identifier, method
+// value, or func literal) has no recover frame between it and the
+// serving goroutine, so one panicking request kills the daemon. The
+// handler argument must pass through a wrapping call — e.g.
+// mux.Handle(pat, s.wrap(h)) — that installs recover middleware.
 var AnalyzerPanicHygiene = &Analyzer{
 	Name: "panic-hygiene",
-	Doc:  "no panic outside must*/Must* helpers in non-test library code",
+	Doc:  "no panic outside must*/Must* helpers; HTTP handlers need a recover wrapper",
 	Run:  runPanicHygiene,
 }
 
@@ -40,5 +47,37 @@ func runPanicHygiene(p *Pass) {
 				return true
 			})
 		}
+		checkHandlerRegistrations(p, f)
 	}
+}
+
+// checkHandlerRegistrations flags Handle/HandleFunc calls whose handler
+// argument is registered bare. Only files importing net/http are
+// examined, so unrelated Handle methods elsewhere are untouched.
+func checkHandlerRegistrations(p *Pass, f *ast.File) {
+	importsHTTP := false
+	for _, path := range importTable(f) {
+		if path == "net/http" {
+			importsHTTP = true
+			break
+		}
+	}
+	if !importsHTTP {
+		return
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 2 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Handle" && sel.Sel.Name != "HandleFunc") {
+			return true
+		}
+		switch call.Args[1].(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.FuncLit:
+			p.Reportf(call.Args[1].Pos(), "HTTP handler registered without a recover wrapper; pass it through recover middleware (e.g. mux.%s(pattern, wrap(handler))) so a panicking request answers 500 instead of killing the daemon", sel.Sel.Name)
+		}
+		return true
+	})
 }

@@ -1,0 +1,33 @@
+// Package httpd is a fixture service package carrying panic-hygiene
+// handler-registration violations for the golden tests: HTTP handlers
+// registered bare (no recover wrapper between the handler and the
+// serving goroutine).
+package httpd
+
+import "net/http"
+
+// Daemon owns the route table.
+type Daemon struct {
+	mux *http.ServeMux
+}
+
+func handleRoot(w http.ResponseWriter, r *http.Request) {}
+
+func (d *Daemon) status(w http.ResponseWriter, r *http.Request) {}
+
+// wrap installs recover middleware; registrations through it comply.
+func wrap(h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() { _ = recover() }()
+		h(w, r)
+	})
+}
+
+// Routes registers handlers three bare ways (flagged) and one wrapped
+// way (clean).
+func (d *Daemon) Routes() {
+	d.mux.HandleFunc("/bare", handleRoot)
+	d.mux.HandleFunc("/lit", func(w http.ResponseWriter, r *http.Request) {})
+	http.HandleFunc("/global", d.status)
+	d.mux.Handle("/wrapped", wrap(handleRoot))
+}

@@ -1,0 +1,126 @@
+package obs
+
+import "sync"
+
+// Broadcaster is a Sink that fans each event out to any number of
+// concurrent subscribers. The JSONL and memory sinks assume a single
+// consumer; the fleetd streaming endpoints need many — each HTTP
+// client watching a job gets its own subscription, added and removed
+// while workers are still emitting.
+//
+// Delivery policy: each subscriber owns a bounded buffer. Emit never
+// blocks — a subscriber whose buffer is full has the event dropped and
+// its drop counter incremented, so one stalled reader (a slow network
+// client) can never back-pressure the simulation workers or starve
+// the other subscribers. Per-subscriber delivery order is emit order.
+type Broadcaster struct {
+	mu     sync.Mutex
+	subs   []*Subscription
+	closed bool
+}
+
+// NewBroadcaster returns an empty broadcaster; it is immediately
+// usable as a Sink.
+func NewBroadcaster() *Broadcaster { return &Broadcaster{} }
+
+// Subscription is one subscriber's view of the event stream. Receive
+// from C until it is closed (by Close on either side); then check
+// Dropped to learn whether the reader kept up.
+type Subscription struct {
+	// C delivers events in emit order. It is closed when the
+	// subscription or the broadcaster closes.
+	C <-chan Event
+
+	b  *Broadcaster
+	ch chan Event
+	// Guarded by b.mu.
+	dropped uint64
+	closed  bool
+}
+
+// Subscribe registers a new subscriber with the given buffer capacity
+// (minimum 1). Events emitted before Subscribe are not replayed.
+// Subscribing to a closed broadcaster returns an already-closed
+// subscription.
+func (b *Broadcaster) Subscribe(buffer int) *Subscription {
+	if buffer < 1 {
+		buffer = 1
+	}
+	ch := make(chan Event, buffer)
+	sub := &Subscription{b: b, ch: ch, C: ch}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		sub.closed = true
+		close(ch)
+		return sub
+	}
+	b.subs = append(b.subs, sub)
+	return sub
+}
+
+// Emit implements Sink: deliver to every live subscriber, dropping
+// (and counting) for any whose buffer is full. Safe for concurrent use
+// with Subscribe and Close.
+func (b *Broadcaster) Emit(ev Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, sub := range b.subs {
+		select {
+		case sub.ch <- ev:
+		default:
+			sub.dropped++
+		}
+	}
+}
+
+// Close shuts the broadcaster down: every subscription channel is
+// closed (after its buffered events drain) and later Emits are
+// discarded. Close is idempotent.
+func (b *Broadcaster) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for _, sub := range b.subs {
+		sub.closed = true
+		close(sub.ch)
+	}
+	b.subs = nil
+}
+
+// Subscribers reports the current live subscriber count.
+func (b *Broadcaster) Subscribers() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}
+
+// Dropped reports how many events were discarded because this
+// subscriber's buffer was full.
+func (s *Subscription) Dropped() uint64 {
+	s.b.mu.Lock()
+	defer s.b.mu.Unlock()
+	return s.dropped
+}
+
+// Close detaches the subscription and closes C. Buffered events are
+// still receivable; Close is idempotent and safe concurrently with
+// Emit.
+func (s *Subscription) Close() {
+	s.b.mu.Lock()
+	defer s.b.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for i, cand := range s.b.subs {
+		if cand == s {
+			s.b.subs = append(s.b.subs[:i], s.b.subs[i+1:]...)
+			break
+		}
+	}
+	close(s.ch)
+}

@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestBroadcasterFanOut checks that every subscriber sees every event,
+// in emit order, when buffers are large enough.
+func TestBroadcasterFanOut(t *testing.T) {
+	b := NewBroadcaster()
+	const events = 100
+	subs := []*Subscription{b.Subscribe(events), b.Subscribe(events), b.Subscribe(events)}
+	for i := 0; i < events; i++ {
+		b.Emit(Event{Kind: KindJobFinish, Job: i})
+	}
+	b.Close()
+	for si, sub := range subs {
+		want := 0
+		for ev := range sub.C {
+			if ev.Job != want {
+				t.Fatalf("subscriber %d: event %d out of order (got job %d)", si, want, ev.Job)
+			}
+			want++
+		}
+		if want != events {
+			t.Errorf("subscriber %d received %d/%d events", si, want, events)
+		}
+		if d := sub.Dropped(); d != 0 {
+			t.Errorf("subscriber %d dropped %d events with a big buffer", si, d)
+		}
+	}
+}
+
+// TestBroadcasterSlowReaderDrops checks the drop policy: a subscriber
+// that never reads loses events beyond its buffer, with an accurate
+// drop count, while a fast sibling still gets everything.
+func TestBroadcasterSlowReaderDrops(t *testing.T) {
+	b := NewBroadcaster()
+	slow := b.Subscribe(4)
+	fast := b.Subscribe(64)
+	const events = 64
+	for i := 0; i < events; i++ {
+		b.Emit(Event{Kind: KindJobStart, Job: i})
+	}
+	if got := slow.Dropped(); got != events-4 {
+		t.Errorf("slow subscriber dropped %d, want %d", got, events-4)
+	}
+	if got := fast.Dropped(); got != 0 {
+		t.Errorf("fast subscriber dropped %d, want 0", got)
+	}
+	b.Close()
+	// The slow reader still receives its buffered prefix in order.
+	want := 0
+	for ev := range slow.C {
+		if ev.Job != want {
+			t.Fatalf("slow subscriber: got job %d, want %d", ev.Job, want)
+		}
+		want++
+	}
+	if want != 4 {
+		t.Errorf("slow subscriber drained %d buffered events, want 4", want)
+	}
+}
+
+// TestBroadcasterSubscribeAfterClose pins the shutdown contract: a
+// late subscription is returned already closed instead of deadlocking.
+func TestBroadcasterSubscribeAfterClose(t *testing.T) {
+	b := NewBroadcaster()
+	b.Close()
+	b.Close() // idempotent
+	sub := b.Subscribe(1)
+	if _, ok := <-sub.C; ok {
+		t.Fatal("subscription on a closed broadcaster delivered an event")
+	}
+	b.Emit(Event{Kind: KindJobStart}) // discarded, must not panic
+}
+
+// TestBroadcasterConcurrent hammers Emit, Subscribe and both Close
+// paths from many goroutines; run under -race (make race / CI) this is
+// the data-race regression test for the multi-subscriber fan-out.
+func TestBroadcasterConcurrent(t *testing.T) {
+	b := NewBroadcaster()
+	const (
+		emitters  = 4
+		churners  = 4
+		perEmit   = 500
+		perChurn  = 50
+		residents = 3
+	)
+
+	var wg sync.WaitGroup
+	// Resident subscribers drain continuously for the whole test.
+	for i := 0; i < residents; i++ {
+		sub := b.Subscribe(16)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range sub.C {
+			}
+		}()
+	}
+	// Churners subscribe, read a little, and detach, concurrently with
+	// the emitters.
+	for i := 0; i < churners; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perChurn; j++ {
+				sub := b.Subscribe(2)
+				select {
+				case <-sub.C:
+				default:
+				}
+				_ = sub.Dropped()
+				sub.Close()
+				sub.Close() // idempotent under race too
+			}
+		}()
+	}
+	var emitWG sync.WaitGroup
+	for i := 0; i < emitters; i++ {
+		emitWG.Add(1)
+		go func(id int) {
+			defer emitWG.Done()
+			for j := 0; j < perEmit; j++ {
+				b.Emit(Event{Kind: KindJobFinish, Job: id*perEmit + j})
+			}
+		}(i)
+	}
+	emitWG.Wait()
+	b.Close()
+	wg.Wait()
+	if n := b.Subscribers(); n != 0 {
+		t.Errorf("%d subscribers left after Close", n)
+	}
+}

@@ -1,0 +1,137 @@
+#!/usr/bin/env bash
+# fleetd kill/restart determinism smoke.
+#
+# Exercises the full fleet-as-a-service loop end to end, across real
+# processes and a real SIGTERM:
+#
+#   1. run the sweep through the batch CLI           -> reference fingerprint
+#   2. start arachnet-fleetd, submit the same spec
+#   3. SIGTERM the daemon mid-sweep                  -> checkpoint written
+#   4. restart over the same checkpoint directory    -> job auto-resumes
+#   5. attach with `arachnet-fleet -server -verify`  -> fingerprint must
+#      equal both a fresh local run and the batch reference
+#   6. resubmit the spec                             -> response cache hit
+#
+# Any divergence between the batch, interrupted-and-resumed, and cached
+# fingerprints fails the script.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+pid1=""
+pid2=""
+cleanup() {
+    [ -n "$pid1" ] && kill "$pid1" 2>/dev/null || true
+    [ -n "$pid2" ] && kill "$pid2" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "FAIL: $*" >&2
+    for log in d1.err d2.err c1.out c2.out c3.out; do
+        if [ -s "$workdir/$log" ]; then
+            echo "--- $log ---" >&2
+            cat "$workdir/$log" >&2
+        fi
+    done
+    exit 1
+}
+
+echo "fleetd-smoke: building binaries"
+go build -o "$workdir/arachnet-fleetd" ./cmd/arachnet-fleetd
+go build -o "$workdir/arachnet-fleet" ./cmd/arachnet-fleet
+
+# Single worker and ~24 shards keep the sweep running for a few seconds
+# so the SIGTERM below reliably lands mid-run.
+spec="$workdir/spec.json"
+cat > "$spec" <<'EOF'
+{"seed": 20260808, "workers": 1, "vehicles": [
+  {"name": "smoke", "engine": "slots", "pattern": "c2", "slots": 150000, "replicate": 24}
+]}
+EOF
+
+echo "fleetd-smoke: batch reference run"
+ref=$("$workdir/arachnet-fleet" "$spec" | awk '$1 == "fingerprint" {print $2}')
+[ -n "$ref" ] || fail "batch run printed no fingerprint"
+echo "fleetd-smoke: reference fingerprint $ref"
+
+# Daemon 1: random port, aggressive checkpointing.
+ckpt="$workdir/ckpt"
+"$workdir/arachnet-fleetd" -addr 127.0.0.1:0 -checkpoint-dir "$ckpt" \
+    -checkpoint-every 100ms >"$workdir/d1.out" 2>"$workdir/d1.err" &
+pid1=$!
+
+url=""
+for _ in $(seq 1 100); do
+    url=$(sed -n 's/^fleetd listening on \(.*\)$/\1/p' "$workdir/d1.out")
+    [ -n "$url" ] && break
+    kill -0 "$pid1" 2>/dev/null || fail "daemon 1 exited before listening"
+    sleep 0.1
+done
+[ -n "$url" ] || fail "daemon 1 never reported its address"
+echo "fleetd-smoke: daemon 1 at $url"
+
+"$workdir/arachnet-fleet" -server "$url" -quiet "$spec" \
+    >"$workdir/c1.out" 2>&1 &
+cpid=$!
+
+# Wait for the periodic snapshot to capture at least one finished shard,
+# then SIGTERM the daemon mid-sweep.
+ck="$ckpt/job-000000.ckpt.json"
+for _ in $(seq 1 200); do
+    grep -q '"outcomes"' "$ck" 2>/dev/null && break
+    sleep 0.05
+done
+grep -q '"outcomes"' "$ck" 2>/dev/null || fail "no shard outcomes checkpointed within 10s"
+
+echo "fleetd-smoke: SIGTERM mid-sweep"
+kill -TERM "$pid1"
+wait "$pid1" 2>/dev/null || true
+pid1=""
+wait "$cpid" 2>/dev/null || true # interrupted client exits nonzero by design
+
+grep -q '"state":"running"' "$ck" ||
+    fail "sweep finished before the SIGTERM landed; slow the smoke spec down"
+
+# Daemon 2 over the same checkpoint directory must resume the job.
+"$workdir/arachnet-fleetd" -addr 127.0.0.1:0 -checkpoint-dir "$ckpt" \
+    -checkpoint-every 100ms >"$workdir/d2.out" 2>"$workdir/d2.err" &
+pid2=$!
+
+url2=""
+for _ in $(seq 1 100); do
+    url2=$(sed -n 's/^fleetd listening on \(.*\)$/\1/p' "$workdir/d2.out")
+    [ -n "$url2" ] && break
+    kill -0 "$pid2" 2>/dev/null || fail "daemon 2 exited before listening"
+    sleep 0.1
+done
+[ -n "$url2" ] || fail "daemon 2 never reported its address"
+grep -q 'resuming 1 interrupted job' "$workdir/d2.err" ||
+    fail "daemon 2 did not announce the resumed job"
+echo "fleetd-smoke: daemon 2 at $url2, resuming"
+
+# Attach to the resumed job; -verify re-runs the spec locally and
+# cross-checks the fingerprints inside the client itself.
+"$workdir/arachnet-fleet" -server "$url2" -job job-000000 -verify -quiet "$spec" \
+    >"$workdir/c2.out" 2>&1 || fail "resumed run failed or fingerprint diverged"
+grep -q 'verified: local run fingerprint matches' "$workdir/c2.out" ||
+    fail "client verify line missing"
+fp=$(awk '$1 == "fingerprint" {print $2}' "$workdir/c2.out")
+[ "$fp" = "$ref" ] || fail "resumed fingerprint $fp != batch reference $ref"
+echo "fleetd-smoke: resumed fingerprint matches batch reference"
+
+# The finished job warmed the response cache: a resubmission answers
+# instantly with the same fingerprint.
+"$workdir/arachnet-fleet" -server "$url2" -quiet "$spec" \
+    >"$workdir/c3.out" 2>&1 || fail "cache-hit resubmission failed"
+grep -q "response cache hit (fingerprint $ref)" "$workdir/c3.out" ||
+    fail "resubmission missed the response cache"
+echo "fleetd-smoke: cache hit returned the same fingerprint"
+
+kill -TERM "$pid2"
+wait "$pid2" 2>/dev/null || true
+pid2=""
+
+echo "fleetd-smoke: OK (fingerprint $ref across batch, resume, and cache)"
