@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench bench-json vet lint race check cover experiments examples fuzz-smoke smoke-fleetd clean
+.PHONY: all build test test-short bench bench-json bench-smoke vet lint race check cover experiments examples fuzz-smoke smoke-fleetd clean
 
 all: vet test
 
@@ -47,16 +47,30 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Perf trajectory: run the DSP, fleet and waveform figure benchmarks
-# and record (or merge) their results into BENCH_5.json. Use
+# Perf trajectory: run the fleet-scaling, experiment and Markov-kernel
+# benchmarks and record (or merge) their results into BENCH_6.json. Use
 # BENCH_LABEL=before on the pre-change tree and BENCH_LABEL=after on
 # the optimized one; both labels live in the same committed file.
 BENCH_LABEL ?= after
-BENCH_JSON ?= BENCH_5.json
-BENCH_PATTERN ?= 'Fig12aUplinkSNR|Fig12bUplinkLoss|CrossValidation|FleetThroughput|QuadOsc|FIR|DownConvert|ReaderChain|SynthesizeUL|PipelineBlocks'
+BENCH_JSON ?= BENCH_6.json
+BENCH_PATTERN ?= 'FleetThroughput|CrossValidation|AppendixCVerification'
 bench-json:
 	$(GO) run ./cmd/arachnet-benchjson -out $(BENCH_JSON) -label $(BENCH_LABEL) \
-		-bench $(BENCH_PATTERN) -benchtime 3x . ./internal/dsp ./internal/fleet
+		-bench $(BENCH_PATTERN) -benchtime 3x .
+
+# Scaling smoke for CI: re-run the fleet throughput benchmark into a
+# scratch file and assert workers=8 clears the configurable
+# speedup-vs-serial floor. The default floor guards the flat-scaling
+# regression this repo once shipped (workers=8 ran at 0.63x serial,
+# see BENCH_6.json "before"): even a single-core runner must stay near
+# parity. Multi-core hosts should raise the floor (e.g.
+# BENCH_SPEEDUP_FLOOR=2.0) to assert real parallel speedup.
+BENCH_SPEEDUP_FLOOR ?= 0.8
+bench-smoke:
+	$(GO) run ./cmd/arachnet-benchjson -out /tmp/bench-smoke.json -label smoke \
+		-bench FleetThroughput -benchtime 2x \
+		-assert 'BenchmarkFleetThroughput/workers=8:speedup-vs-serial>=$(BENCH_SPEEDUP_FLOOR)' \
+		-assert 'BenchmarkFleetThroughput/workers=8:allocs/job<=100' .
 
 # Coverage-guided fuzzing smoke: 10 s on each native fuzz target in the
 # phy codecs (go fuzzing allows one -fuzz pattern per invocation, hence

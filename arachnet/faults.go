@@ -2,6 +2,7 @@ package arachnet
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/faults"
 	"repro/internal/mac"
@@ -113,6 +114,32 @@ func faultsTracer() (*obs.MemorySink, *obs.Tracer) {
 	tr.Mute(obs.KindSlotOpen, obs.KindSlotClose, obs.KindSimEvent, obs.KindDecode)
 	return sink, tr
 }
+
+// chaosTrace is a pooled (sink, tracer) pair for chaos jobs: the event
+// backing array survives between jobs (MemorySink.Reset keeps the
+// capacity), which was the largest single per-job allocation in chaos
+// fleet sweeps. The tracer's mute set is job-independent, so the pair
+// is reusable as-is.
+type chaosTrace struct {
+	sink   *obs.MemorySink
+	tracer *obs.Tracer
+}
+
+var chaosTracePool = sync.Pool{New: func() any {
+	sink, tr := faultsTracer()
+	return &chaosTrace{sink: sink, tracer: tr}
+}}
+
+// acquireChaosTracer returns a cleared pooled pair; pass it back to
+// releaseChaosTracer once the job's recovery analysis has read the
+// sink.
+func acquireChaosTracer() *chaosTrace {
+	ct := chaosTracePool.Get().(*chaosTrace)
+	ct.sink.Reset()
+	return ct
+}
+
+func releaseChaosTracer(ct *chaosTrace) { chaosTracePool.Put(ct) }
 
 // slotFaultsConfig wires a fault plan into a slot-engine config,
 // returning the tracer's memory sink and injector for post-run

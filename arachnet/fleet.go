@@ -104,6 +104,13 @@ type VehicleSpec struct {
 	// rather than ConvergeWithin — a faulted run may never converge.
 	Faults *FaultPlan
 
+	// Rebuild disables the snapshot/clone control plane for this
+	// vehicle: every job constructs its simulator or network from
+	// scratch (the pre-pooling path). The pooled and rebuild paths are
+	// bit-identical — this switch exists for verification tests and the
+	// scaling benchmark's baseline, not for correctness.
+	Rebuild bool
+
 	// Replicate expands the vehicle into this many jobs with distinct
 	// deterministic seeds (default 1).
 	Replicate int
@@ -168,14 +175,17 @@ func (f Fleet) Jobs() ([]FleetJobSpec, error) {
 		if vv.Faults == nil {
 			vv.Faults = f.Faults
 		}
+		// One job function per vehicle, shared by every replica: the
+		// snapshot behind it (simulator clone pool or frozen network
+		// config) is then amortized across the whole seed sweep.
+		run, err := vv.jobFunc()
+		if err != nil {
+			return nil, fmt.Errorf("arachnet: vehicle %q: %w", name, err)
+		}
 		for k := 0; k < reps; k++ {
 			jobName := name
 			if reps > 1 {
 				jobName = fmt.Sprintf("%s-%d", name, k)
-			}
-			run, err := vv.jobFunc()
-			if err != nil {
-				return nil, fmt.Errorf("arachnet: vehicle %q: %w", name, err)
 			}
 			spec := FleetJobSpec{Name: jobName, Run: run}
 			if v.HasSeed {
@@ -202,8 +212,17 @@ func (v VehicleSpec) jobFunc() (fleet.JobFunc, error) {
 			slots = 10_000
 		}
 		plan := v.Faults
+		if v.Rebuild {
+			return func(ctx context.Context, job FleetJobInfo) (FleetResult, error) {
+				return runSlotsVehicle(ctx, mac.SlotSimConfig{Pattern: pt, Seed: job.Seed}, slots, converge, plan)
+			}, nil
+		}
+		snap, err := mac.NewSlotSimSnapshot(mac.SlotSimConfig{Pattern: pt})
+		if err != nil {
+			return nil, err
+		}
 		return func(ctx context.Context, job FleetJobInfo) (FleetResult, error) {
-			return runSlotsVehicle(ctx, mac.SlotSimConfig{Pattern: pt, Seed: job.Seed}, slots, converge, plan)
+			return runSlotsVehiclePooled(ctx, snap, job.Seed, slots, converge, plan)
 		}, nil
 	case "network":
 		base := v.Network
@@ -226,10 +245,20 @@ func (v VehicleSpec) jobFunc() (fleet.JobFunc, error) {
 		}
 		cfg := *base
 		plan := v.Faults
+		if v.Rebuild {
+			return func(ctx context.Context, job FleetJobInfo) (FleetResult, error) {
+				c := cfg
+				c.Seed = job.Seed
+				return runNetworkVehicle(ctx, c, seconds, plan)
+			}, nil
+		}
+		snap, err := NewNetworkSnapshot(cfg)
+		if err != nil {
+			return nil, err
+		}
+		baseTrace := cfg.Trace
 		return func(ctx context.Context, job FleetJobInfo) (FleetResult, error) {
-			c := cfg
-			c.Seed = job.Seed
-			return runNetworkVehicle(ctx, c, seconds, plan)
+			return runNetworkVehicleSnapshot(ctx, snap, baseTrace, job.Seed, seconds, plan)
 		}, nil
 	}
 	return nil, fmt.Errorf("unknown engine %q (want slots or network)", v.Engine)
@@ -252,6 +281,42 @@ func runSlotsVehicle(ctx context.Context, cfg mac.SlotSimConfig, slots, converge
 	if err != nil {
 		return FleetResult{}, err
 	}
+	return measureSlotsRun(ctx, s, slots, convergeWithin, sink, inj)
+}
+
+// runSlotsVehiclePooled is the snapshot/clone fast path: the simulator
+// comes from the vehicle's clone pool (reset to the job seed), chaos
+// jobs draw their sink/tracer pair from the shared tracer pool, and
+// only the per-job injector and result maps are freshly allocated. The
+// measurement loop — and therefore the result — is byte-for-byte the
+// rebuild path's.
+func runSlotsVehiclePooled(ctx context.Context, snap *mac.SlotSimSnapshot, seed uint64, slots, convergeWithin int, plan *FaultPlan) (FleetResult, error) {
+	var (
+		sink *MemorySink
+		tr   *Tracer
+		inj  *FaultInjector
+		fsrc mac.FaultSource
+	)
+	if plan != nil && !plan.Empty() {
+		ct := acquireChaosTracer()
+		defer releaseChaosTracer(ct)
+		sink, tr = ct.sink, ct.tracer
+		var err error
+		inj, err = NewFaultInjector(*plan, seed, snap.Config().Pattern.NumTags(), tr)
+		if err != nil {
+			return FleetResult{}, err
+		}
+		fsrc = inj
+	}
+	s := snap.Acquire(seed, tr, fsrc)
+	defer snap.Release(s)
+	return measureSlotsRun(ctx, s, slots, convergeWithin, sink, inj)
+}
+
+// measureSlotsRun drives a prepared simulator through the job horizon
+// and folds the outcome into a fleet result; shared verbatim by the
+// pooled and rebuild paths so their reports cannot drift apart.
+func measureSlotsRun(ctx context.Context, s *mac.SlotSim, slots, convergeWithin int, sink *MemorySink, inj *FaultInjector) (FleetResult, error) {
 	horizon := slots
 	if convergeWithin > 0 {
 		horizon = convergeWithin
@@ -325,6 +390,42 @@ func runNetworkVehicle(ctx context.Context, cfg NetworkConfig, seconds int, plan
 	if err != nil {
 		return FleetResult{}, err
 	}
+	return measureNetworkRun(ctx, net, seconds, sink, inj)
+}
+
+// runNetworkVehicleSnapshot is the network engine's snapshot path: the
+// deployment, channel calibration and period table come frozen from the
+// vehicle's NetworkSnapshot; only the per-trial devices, engine and RNG
+// streams are built per job. Chaos jobs draw their sink/tracer pair
+// from the shared pool.
+func runNetworkVehicleSnapshot(ctx context.Context, snap *NetworkSnapshot, baseTrace *Tracer, seed uint64, seconds int, plan *FaultPlan) (FleetResult, error) {
+	trace := baseTrace
+	var sink *MemorySink
+	var inj *FaultInjector
+	if plan != nil && !plan.Empty() {
+		if baseTrace != nil {
+			return FleetResult{}, fmt.Errorf("arachnet: fault plan with an external tracer is unsupported")
+		}
+		ct := acquireChaosTracer()
+		defer releaseChaosTracer(ct)
+		sink, trace = ct.sink, ct.tracer
+		var err error
+		inj, err = NewFaultInjector(*plan, seed, len(snap.Config().Tags), trace)
+		if err != nil {
+			return FleetResult{}, err
+		}
+	}
+	net, err := snap.Clone(seed, trace)
+	if err != nil {
+		return FleetResult{}, err
+	}
+	return measureNetworkRun(ctx, net, seconds, sink, inj)
+}
+
+// measureNetworkRun drives a built network through the job horizon and
+// folds its stats into a fleet result; shared by the snapshot and
+// rebuild paths.
+func measureNetworkRun(ctx context.Context, net *Network, seconds int, sink *MemorySink, inj *FaultInjector) (FleetResult, error) {
 	if inj != nil {
 		net.AttachFaults(inj)
 	}

@@ -9,7 +9,6 @@ import (
 	"repro/internal/dsp"
 	"repro/internal/mac"
 	"repro/internal/mcu"
-	"repro/internal/phy"
 	"repro/internal/reader"
 	"repro/internal/sim"
 	"repro/internal/tag"
@@ -49,75 +48,17 @@ type BeaconDecode struct {
 // energized before the reader's first (RESET) beacon; the rest charge
 // from empty through the multiplier, arriving late exactly as in the
 // deployment (4-66 s depending on position).
+//
+// Internally this is snapshot-then-clone (see NetworkSnapshot): the
+// per-config state is frozen and one clone is stamped out. Callers
+// building many networks for the same config should hold the snapshot
+// and Clone per trial instead.
 func NewNetwork(cfg NetworkConfig) (*Network, error) {
-	cfg = cfg.withDefaults()
-	if err := cfg.validate(); err != nil {
-		return nil, err
-	}
-	engine := sim.NewEngine()
-	engine.SetTracer(cfg.Trace)
-	rng := sim.NewRand(cfg.Seed)
-	dep := biw.NewONVOL60()
-	ch := biw.DefaultChannel(dep)
-	link := DefaultLinkModel(ch)
-
-	periods := make(map[int]mac.Period, len(cfg.Tags))
-	for _, spec := range cfg.Tags {
-		periods[int(spec.TID)] = spec.Period
-	}
-	rd, err := reader.New(engine, cfg.Reader, periods, rng.Fork(0xFE))
+	sn, err := NewNetworkSnapshot(cfg)
 	if err != nil {
 		return nil, err
 	}
-	rd.SetTracer(cfg.Trace)
-
-	n := &Network{
-		Cfg:        cfg,
-		Deployment: dep,
-		Channel:    ch,
-		Link:       link,
-		Reader:     rd,
-		Tags:       make(map[uint8]*tag.Device, len(cfg.Tags)),
-		engine:     engine,
-	}
-
-	for _, spec := range cfg.Tags {
-		tcfg := tag.DefaultConfig(spec.TID, spec.Period)
-		tcfg.ULDivider = cfg.ULDivider
-		tcfg.DLRate = cfg.DLRate
-		tcfg.SlotDuration = cfg.SlotDuration
-		tcfg.WithSensor = spec.WithSensor
-		tcfg.Trace = cfg.Trace
-		dev, err := tag.New(engine, tcfg, rng.Fork(uint64(spec.TID)))
-		if err != nil {
-			return nil, err
-		}
-		vp, err := ch.TagPeakVoltage(int(spec.TID))
-		if err != nil {
-			return nil, err
-		}
-		dev.SetHarvestInput(vp)
-		if spec.StartCharged {
-			dev.PreCharge()
-		}
-		tid := spec.TID
-		dev.OnTransmit = func(tx tag.Transmission) { n.deliverUplink(tx) }
-		dev.OnBeaconDecoded = func(_ phy.Command, at Time) {
-			n.beaconDecodes = append(n.beaconDecodes, BeaconDecode{TID: tid, At: at})
-			if len(n.beaconDecodes) > 4096 {
-				n.beaconDecodes = n.beaconDecodes[1:]
-			}
-		}
-		n.Tags[spec.TID] = dev
-	}
-
-	rd.Broadcast = n.deliverBeacon
-	if cfg.WaveformDecode {
-		n.wfNoise = rng.Fork(0xF0)
-		rd.DecodeSlot = n.decodeSlotWaveform
-	}
-	rd.Start()
-	return n, nil
+	return sn.Clone(cfg.Seed, cfg.Trace)
 }
 
 // deliverBeacon fans the reader's envelope edges out to every tag with

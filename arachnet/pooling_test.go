@@ -1,0 +1,117 @@
+package arachnet
+
+import (
+	"context"
+	"testing"
+)
+
+// Pooling equivalence: the snapshot/clone control plane (the default)
+// and the rebuild-per-job path (VehicleSpec.Rebuild) must produce
+// bit-identical fleet reports at every worker count. This is the
+// regression gate that lets the pooled path be the default — any drift
+// between a pooled clone and a freshly constructed simulator shows up
+// here as a fingerprint mismatch.
+
+// poolingFleet mixes the three job shapes the pool serves: a plain
+// steady-state sweep, a convergence-mode sweep, and a chaos vehicle
+// with a per-vehicle fault plan (exercising the pooled tracer pair and
+// the per-job injector).
+func poolingFleet(workers int, rebuild bool) Fleet {
+	plan := RandomFaultPlan(42)
+	f := Fleet{
+		Seed:    17,
+		Workers: workers,
+		Vehicles: []VehicleSpec{
+			{Name: "steady", Pattern: "c2", Slots: 3000, Replicate: 6, Rebuild: rebuild},
+			{Name: "sweep", Pattern: "c3", ConvergeWithin: 500_000, Replicate: 6, Rebuild: rebuild},
+			{Name: "chaos", Pattern: "c7", Slots: 2000, Replicate: 4, Faults: &plan, Rebuild: rebuild},
+		},
+	}
+	return f
+}
+
+// TestFleetPooledMatchesRebuild runs the same fleet through the pooled
+// and rebuild paths at workers 1, 4 and 8; all six reports must carry
+// the same fingerprint.
+func TestFleetPooledMatchesRebuild(t *testing.T) {
+	ctx := context.Background()
+	type variant struct {
+		workers int
+		rebuild bool
+	}
+	variants := []variant{
+		{1, false}, {4, false}, {8, false},
+		{1, true}, {4, true}, {8, true},
+	}
+	prints := make([]string, len(variants))
+	for i, v := range variants {
+		rep, err := poolingFleet(v.workers, v.rebuild).Run(ctx)
+		if err != nil {
+			t.Fatalf("workers=%d rebuild=%v: %v", v.workers, v.rebuild, err)
+		}
+		if !rep.Ok() {
+			t.Fatalf("workers=%d rebuild=%v: %s", v.workers, v.rebuild, rep.FirstError())
+		}
+		prints[i] = rep.Fingerprint()
+	}
+	for i, v := range variants[1:] {
+		if prints[i+1] != prints[0] {
+			t.Errorf("fingerprint diverges at workers=%d rebuild=%v:\n  base   %s\n  got    %s",
+				v.workers, v.rebuild, prints[0], prints[i+1])
+		}
+	}
+}
+
+// TestFleetPooledMatchesRebuildNetwork is the event-level twin: one
+// network vehicle, pooled vs rebuilt, fingerprints must agree.
+func TestFleetPooledMatchesRebuildNetwork(t *testing.T) {
+	if testing.Short() {
+		t.Skip("event-level fleet is slow")
+	}
+	ctx := context.Background()
+	var prints []string
+	for _, rebuild := range []bool{false, true} {
+		f := Fleet{
+			Seed:    5,
+			Workers: 2,
+			Vehicles: []VehicleSpec{
+				{Name: "suv", Engine: "network", Pattern: "c3", Seconds: 60, Replicate: 2, Rebuild: rebuild},
+			},
+		}
+		rep, err := f.Run(ctx)
+		if err != nil {
+			t.Fatalf("rebuild=%v: %v", rebuild, err)
+		}
+		if !rep.Ok() {
+			t.Fatalf("rebuild=%v: %s", rebuild, rep.FirstError())
+		}
+		prints = append(prints, rep.Fingerprint())
+	}
+	if prints[0] != prints[1] {
+		t.Errorf("network engine pooled vs rebuild fingerprints diverge:\n  pooled  %s\n  rebuild %s",
+			prints[0], prints[1])
+	}
+}
+
+// TestFleetRebuildFlagRoundTrips pins the JSON wire format of the
+// rebuild switch.
+func TestFleetRebuildFlagRoundTrips(t *testing.T) {
+	f := Fleet{
+		Seed: 1,
+		Vehicles: []VehicleSpec{
+			{Name: "legacy", Pattern: "c1", Slots: 100, Rebuild: true},
+			{Name: "pooled", Pattern: "c1", Slots: 100},
+		},
+	}
+	data, err := MarshalFleetJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalFleetJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Vehicles[0].Rebuild || got.Vehicles[1].Rebuild {
+		t.Errorf("rebuild flags lost in round trip: %+v", got.Vehicles)
+	}
+}

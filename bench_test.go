@@ -12,6 +12,7 @@ package repro
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -27,14 +28,19 @@ func logTable(b *testing.B, tb experiments.Table) {
 	b.Log("\n" + tb.String())
 }
 
+// fleetBenchJobs is the benchmark fleet's population.
+const fleetBenchJobs = 64
+
 // fleetBenchSpecs compiles the benchmark fleet: 64 c3 vehicles, 3000
-// slots each, on the fast slots engine.
-func fleetBenchSpecs(b *testing.B) []fleet.JobSpec {
+// slots each, on the fast slots engine. rebuild selects the control
+// plane: true is the pre-pooling path (every job constructs its
+// simulator from scratch), false the pooled snapshot/clone path.
+func fleetBenchSpecs(b *testing.B, rebuild bool) []fleet.JobSpec {
 	b.Helper()
 	f := arachnet.Fleet{
 		Seed: 1,
 		Vehicles: []arachnet.VehicleSpec{
-			{Name: "veh", Pattern: "c3", Slots: 3000, Replicate: 64},
+			{Name: "veh", Pattern: "c3", Slots: 3000, Replicate: fleetBenchJobs, Rebuild: rebuild},
 		},
 	}
 	specs, err := f.Jobs()
@@ -44,49 +50,83 @@ func fleetBenchSpecs(b *testing.B) []fleet.JobSpec {
 	return specs
 }
 
+// runFleetSerial drives the specs through a plain loop — no pool, no
+// worker goroutines — and is the baseline every worker count's speedup
+// is measured against.
+func runFleetSerial(b *testing.B, specs []fleet.JobSpec) {
+	b.Helper()
+	ctx := context.Background()
+	for j, s := range specs {
+		if _, err := s.Run(ctx, fleet.JobInfo{Index: j, Name: s.Name, Seed: fleet.DeriveSeed(1, uint64(j))}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 var (
 	fleetSerialOnce sync.Once
 	fleetSerialTime time.Duration
 )
 
-// fleetSerialBaseline times one serial pass over the benchmark fleet
-// (no pool), cached across sub-benchmarks so every worker count
+// fleetSerialBaseline times one serial rebuild-path pass over the
+// benchmark fleet, cached across sub-benchmarks so every worker count
 // reports its speedup against the same baseline.
-func fleetSerialBaseline(b *testing.B, specs []fleet.JobSpec) time.Duration {
+func fleetSerialBaseline(b *testing.B) time.Duration {
 	b.Helper()
 	fleetSerialOnce.Do(func() {
-		ctx := context.Background()
-		start := time.Now() //lint:allow determinism wall-clock measurement of the serial baseline, not simulation state
-		for i, s := range specs {
-			if _, err := s.Run(ctx, fleet.JobInfo{Index: i, Name: s.Name, Seed: fleet.DeriveSeed(1, uint64(i))}); err != nil {
-				b.Fatal(err)
-			}
-		}
+		specs := fleetBenchSpecs(b, true)
+		runFleetSerial(b, specs) // warm caches before timing
+		start := time.Now()      //lint:allow determinism wall-clock measurement of the serial baseline, not simulation state
+		runFleetSerial(b, specs)
 		fleetSerialTime = time.Since(start) //lint:allow determinism wall-clock measurement of the serial baseline, not simulation state
 	})
 	return fleetSerialTime
 }
 
-// BenchmarkFleetThroughput measures the fleet pool against the serial
-// baseline for a 64-job fleet at 1/2/4/8 worker shards. Each op is one
-// whole fleet; the "speedup-vs-serial" metric is the headline
-// (expect >= 2x at 4 workers on a 4+ core machine; on a single-core
-// host the pool can only match serial, minus scheduling overhead).
+// reportAllocsPerJob converts a MemStats malloc delta over b.N fleets
+// into the per-job allocation metric the scaling record tracks.
+func reportAllocsPerJob(b *testing.B, m0, m1 *runtime.MemStats) {
+	b.Helper()
+	b.ReportMetric(float64(m1.Mallocs-m0.Mallocs)/float64(b.N*fleetBenchJobs), "allocs/job")
+}
+
+// BenchmarkFleetThroughput measures the pooled fleet control plane
+// against the serial rebuild-path baseline for a 64-job fleet at
+// 1/2/4/8 worker shards. Each op is one whole fleet. "serial" is the
+// pre-pooling control plane (per-job construction, no pool); the
+// workers=N sub-benchmarks run the snapshot/clone path and report
+// "speedup-vs-serial", "jobs/s" and "allocs/job" (expect >= 2x speedup
+// at 4 workers on a 4+ core machine; on a single-core host the pool
+// can only match serial, minus scheduling overhead — the regression
+// this guards is the pre-pool 0.63x collapse at 8 workers).
 func BenchmarkFleetThroughput(b *testing.B) {
-	specs := fleetBenchSpecs(b)
 	b.Run("serial", func(b *testing.B) {
-		ctx := context.Background()
+		specs := fleetBenchSpecs(b, true)
+		runFleetSerial(b, specs) // warm caches outside the timed region
+		var m0, m1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			for j, s := range specs {
-				if _, err := s.Run(ctx, fleet.JobInfo{Index: j, Name: s.Name, Seed: fleet.DeriveSeed(1, uint64(j))}); err != nil {
-					b.Fatal(err)
-				}
-			}
+			runFleetSerial(b, specs)
 		}
+		b.StopTimer()
+		runtime.ReadMemStats(&m1)
+		reportAllocsPerJob(b, &m0, &m1)
 	})
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			serial := fleetSerialBaseline(b, specs)
+			serial := fleetSerialBaseline(b)
+			specs := fleetBenchSpecs(b, false)
+			// One warm fleet fills the clone pool so the timed region is
+			// the steady state the pool is built for.
+			if rep, err := fleet.Run(context.Background(), fleet.Config{Workers: workers, Seed: 1}, specs); err != nil || !rep.Ok() {
+				b.Fatalf("warmup: %v %s", err, rep.FirstError())
+			}
+			var m0, m1 runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&m0)
+			b.ResetTimer()
 			start := time.Now() //lint:allow determinism benchmark timing for the speedup-vs-serial metric
 			for i := 0; i < b.N; i++ {
 				rep, err := fleet.Run(context.Background(), fleet.Config{Workers: workers, Seed: 1}, specs)
@@ -98,10 +138,13 @@ func BenchmarkFleetThroughput(b *testing.B) {
 				}
 			}
 			perFleet := time.Since(start) / time.Duration(b.N) //lint:allow determinism benchmark timing for the speedup-vs-serial metric
+			b.StopTimer()
+			runtime.ReadMemStats(&m1)
 			if perFleet > 0 {
 				b.ReportMetric(float64(serial)/float64(perFleet), "speedup-vs-serial")
-				b.ReportMetric(64/perFleet.Seconds(), "jobs/s")
+				b.ReportMetric(fleetBenchJobs/perFleet.Seconds(), "jobs/s")
 			}
+			reportAllocsPerJob(b, &m0, &m1)
 		})
 	}
 }
@@ -109,7 +152,7 @@ func BenchmarkFleetThroughput(b *testing.B) {
 // BenchmarkFleetDeterminism regenerates the fleet fingerprint at both
 // extremes of sharding; divergence fails the bench.
 func BenchmarkFleetDeterminism(b *testing.B) {
-	specs := fleetBenchSpecs(b)
+	specs := fleetBenchSpecs(b, false)
 	for i := 0; i < b.N; i++ {
 		r1, err := fleet.Run(context.Background(), fleet.Config{Workers: 1, Seed: 1}, specs)
 		if err != nil {

@@ -12,6 +12,14 @@
 // The schema is a flat map from "<label>/<benchmark>" to ns/op, B/op,
 // allocs/op and every b.ReportMetric custom metric the benchmark
 // emitted.
+//
+// Repeatable -assert flags turn a run into a smoke gate: each bound is
+// checked against the just-recorded entries and a violation exits
+// non-zero, e.g.
+//
+//	arachnet-benchjson -out /tmp/smoke.json -label smoke \
+//	    -bench FleetThroughput \
+//	    -assert 'BenchmarkFleetThroughput/workers=8:speedup-vs-serial>=0.8' .
 package main
 
 import (
@@ -49,6 +57,11 @@ func main() {
 	label := flag.String("label", "after", "entry label prefix (e.g. before, after)")
 	bench := flag.String("bench", ".", "benchmark name pattern (go test -bench)")
 	benchtime := flag.String("benchtime", "1x", "go test -benchtime value")
+	var asserts assertList
+	flag.Var(&asserts, "assert",
+		"assertion on a recorded entry, 'name:metric>=value' or 'name:metric<=value'\n"+
+			"(metric is a b.ReportMetric unit, or ns_per_op / bytes_per_op / allocs_per_op;\n"+
+			"name is looked up under the current -label; repeatable)")
 	flag.Parse()
 	pkgs := flag.Args()
 	if len(pkgs) == 0 {
@@ -110,6 +123,111 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "recorded %d benchmarks under %q in %s\n", n, *label, *out)
+	for _, a := range asserts {
+		if err := a.check(doc.Entries, *label); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "assert ok: %s\n", a)
+	}
+}
+
+// assertion is one '-assert name:metric>=value' bound checked against
+// the recorded entries after the run — the CI bench-smoke hook.
+type assertion struct {
+	name   string // entry name without the label prefix
+	metric string
+	ge     bool // >= when true, <= otherwise
+	bound  float64
+}
+
+func (a assertion) String() string {
+	op := ">="
+	if !a.ge {
+		op = "<="
+	}
+	return fmt.Sprintf("%s:%s%s%g", a.name, a.metric, op, a.bound)
+}
+
+// parseAssertion decodes 'name:metric>=value' / 'name:metric<=value'.
+func parseAssertion(s string) (assertion, error) {
+	var a assertion
+	op := ">="
+	a.ge = true
+	i := strings.Index(s, op)
+	if i < 0 {
+		op = "<="
+		a.ge = false
+		i = strings.Index(s, op)
+	}
+	if i < 0 {
+		return a, fmt.Errorf("assert %q: want name:metric>=value or name:metric<=value", s)
+	}
+	bound, err := strconv.ParseFloat(strings.TrimSpace(s[i+len(op):]), 64)
+	if err != nil {
+		return a, fmt.Errorf("assert %q: bad bound: %w", s, err)
+	}
+	a.bound = bound
+	head := s[:i]
+	j := strings.LastIndex(head, ":")
+	if j < 0 {
+		return a, fmt.Errorf("assert %q: missing ':' between name and metric", s)
+	}
+	a.name, a.metric = strings.TrimSpace(head[:j]), strings.TrimSpace(head[j+1:])
+	if a.name == "" || a.metric == "" {
+		return a, fmt.Errorf("assert %q: empty name or metric", s)
+	}
+	return a, nil
+}
+
+// check evaluates the assertion against the entry recorded under the
+// run's label.
+func (a assertion) check(entries map[string]Entry, label string) error {
+	key := label + "/" + a.name
+	e, ok := entries[key]
+	if !ok {
+		return fmt.Errorf("assert %s: no entry %q recorded", a, key)
+	}
+	var v float64
+	switch a.metric {
+	case "ns_per_op":
+		v = e.NsPerOp
+	case "bytes_per_op":
+		v = e.BytesPerOp
+	case "allocs_per_op":
+		v = e.AllocsOp
+	default:
+		v, ok = e.Metrics[a.metric]
+		if !ok {
+			return fmt.Errorf("assert %s: entry %q has no metric %q", a, key, a.metric)
+		}
+	}
+	if a.ge && v < a.bound {
+		return fmt.Errorf("assert FAILED: %s/%s = %g, want >= %g", key, a.metric, v, a.bound)
+	}
+	if !a.ge && v > a.bound {
+		return fmt.Errorf("assert FAILED: %s/%s = %g, want <= %g", key, a.metric, v, a.bound)
+	}
+	return nil
+}
+
+// assertList is the repeatable -assert flag value.
+type assertList []assertion
+
+func (l *assertList) String() string {
+	parts := make([]string, len(*l))
+	for i, a := range *l {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+func (l *assertList) Set(s string) error {
+	a, err := parseAssertion(s)
+	if err != nil {
+		return err
+	}
+	*l = append(*l, a)
+	return nil
 }
 
 // parseBenchLine decodes one `go test -bench` result line, e.g.

@@ -27,11 +27,18 @@ type Fig15Row struct {
 // the fleet worker pool; seeds stay the trial indices, so the measured
 // distribution matches the historical serial sweep exactly.
 func runConvergence(pt mac.Pattern, seeds int, maxSlots int) (Fig15Row, error) {
+	// One snapshot per pattern: every per-seed trial rewinds a pooled
+	// clone instead of rebuilding the simulator, so the sweep's control
+	// plane is allocation-free in steady state. Reset replays the
+	// construction RNG stream, so the measured distribution is
+	// bit-identical to the rebuild-per-trial sweep.
+	snap, err := mac.NewSlotSimSnapshot(mac.SlotSimConfig{Pattern: pt})
+	if err != nil {
+		return Fig15Row{}, err
+	}
 	res, err := fleetSweep("fig15-"+pt.Name, seeds, func(_ context.Context, seed uint64) (map[string]float64, error) {
-		s, err := mac.NewSlotSim(mac.SlotSimConfig{Pattern: pt, Seed: seed})
-		if err != nil {
-			return nil, err
-		}
+		s := snap.Acquire(seed, nil, nil)
+		defer snap.Release(s)
 		t, ok := s.RunUntilConverged(maxSlots)
 		if !ok {
 			return nil, fmt.Errorf("%s seed %d: no convergence in %d slots", pt.Name, seed, maxSlots)

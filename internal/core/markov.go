@@ -21,6 +21,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/mac"
 )
@@ -355,41 +356,90 @@ func (m *Model) VerifyReachability() error {
 	return nil
 }
 
-// ExpectedAbsorptionSlots solves (I-Q)t = 1 by value iteration and
-// returns the expected slots-to-absorption from the uniform post-RESET
-// initial distribution, plus the worst single transient state.
-func (m *Model) ExpectedAbsorptionSlots() (mean, worst float64, err error) {
+// edge is one flattened transition (used by the factored solver).
+type edge struct {
+	to int
+	p  float64
+}
+
+// Factorization is the solver-ready form of a model's transition
+// structure: reachability verified (Lemma 3), every sparse row
+// flattened into a to-sorted edge list, absorbing states flagged, and
+// the initial-distribution ids resolved — all computed exactly once per
+// config. The expensive value iteration runs at most once (memoized)
+// on reusable vectors, so sweeps that query the same config across many
+// trials pay for one factor + one solve and then read a cached pair.
+// Safe for concurrent use.
+type Factorization struct {
+	model *Model
+
+	rows      [][]edge
+	absorbing []bool
+	initIDs   []int
+
+	mu      sync.Mutex
+	t, next []float64 // iteration vectors, reused
+	solved  bool
+	mean    float64
+	worst   float64
+}
+
+// Factor verifies reachability and flattens the chain into a
+// Factorization. Each row is sorted by successor id: float addition is
+// order-sensitive, so summing in map iteration order would perturb the
+// result in the last ulp from run to run (and the slice walk is far
+// cheaper inside the million-iteration loop).
+func (m *Model) Factor() (*Factorization, error) {
 	if err := m.VerifyReachability(); err != nil {
-		return 0, 0, err
+		return nil, err
 	}
-	// Flatten each sparse row into a to-sorted edge list once: float
-	// addition is order-sensitive, so summing in map iteration order
-	// would perturb the result in the last ulp from run to run (and the
-	// slice walk is far cheaper inside the million-iteration loop).
-	type edge struct {
-		to int
-		p  float64
+	f := &Factorization{
+		model:     m,
+		rows:      make([][]edge, len(m.list)),
+		absorbing: make([]bool, len(m.list)),
+		t:         make([]float64, len(m.list)),
+		next:      make([]float64, len(m.list)),
 	}
-	rows := make([][]edge, len(m.list))
 	for id := range m.trans {
 		row := make([]edge, 0, len(m.trans[id]))
 		for to, p := range m.trans[id] {
 			row = append(row, edge{to, p})
 		}
 		sort.Slice(row, func(i, j int) bool { return row[i].to < row[j].to })
-		rows[id] = row
+		f.rows[id] = row
+		f.absorbing[id] = m.IsAbsorbing(m.list[id])
 	}
-	t := make([]float64, len(m.list))
-	next := make([]float64, len(m.list))
+	for _, s := range m.initialStates() {
+		f.initIDs = append(f.initIDs, m.states[s])
+	}
+	return f, nil
+}
+
+// ExpectedAbsorptionSlots solves (I-Q)t = 1 by value iteration on the
+// factored rows and returns the expected slots-to-absorption from the
+// uniform post-RESET initial distribution, plus the worst single
+// transient state. The solve runs once; later calls return the
+// memoized pair without touching the allocator.
+func (f *Factorization) ExpectedAbsorptionSlots() (mean, worst float64, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.solved {
+		return f.mean, f.worst, nil
+	}
+	t, next := f.t, f.next
+	for i := range t {
+		t[i] = 0
+		next[i] = 0
+	}
 	for iter := 0; iter < 1_000_000; iter++ {
 		var delta float64
-		for id := range m.list {
-			if m.IsAbsorbing(m.list[id]) {
+		for id := range f.rows {
+			if f.absorbing[id] {
 				next[id] = 0
 				continue
 			}
 			v := 1.0
-			for _, e := range rows[id] {
+			for _, e := range f.rows[id] {
 				v += e.p * t[e.to]
 			}
 			if d := v - t[id]; d > delta {
@@ -404,18 +454,35 @@ func (m *Model) ExpectedAbsorptionSlots() (mean, worst float64, err error) {
 			break
 		}
 	}
-	inits := m.initialStates()
 	var sum float64
-	for _, s := range inits {
-		sum += t[m.states[s]]
+	for _, id := range f.initIDs {
+		sum += t[id]
 	}
 	worstV := 0.0
-	for id := range m.list {
+	for id := range t {
 		if t[id] > worstV {
 			worstV = t[id]
 		}
 	}
-	return sum / float64(len(inits)), worstV, nil
+	f.mean = sum / float64(len(f.initIDs))
+	f.worst = worstV
+	f.solved = true
+	return f.mean, f.worst, nil
+}
+
+// Model returns the enumerated chain this factorization was built from.
+func (f *Factorization) Model() *Model { return f.model }
+
+// ExpectedAbsorptionSlots is the unfactored entry point: it factors the
+// chain and solves, returning the same values (bit-identically) as the
+// pre-factorization implementation. Sweeps should prefer ForConfig,
+// which caches the factorization across trials.
+func (m *Model) ExpectedAbsorptionSlots() (mean, worst float64, err error) {
+	f, err := m.Factor()
+	if err != nil {
+		return 0, 0, err
+	}
+	return f.ExpectedAbsorptionSlots()
 }
 
 // Describe returns a short human-readable model summary.

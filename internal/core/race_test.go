@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports that this test binary runs under the race
+// detector, where the large chain-state enumerations are ~20x slower
+// and would blow the package test timeout on small machines.
+const raceEnabled = true

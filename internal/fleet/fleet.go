@@ -347,12 +347,20 @@ func (p *Pool) runJob(ctx context.Context, idx int) JobOutcome {
 		p.cfg.Observer.JobStarted(info)
 	}
 
-	jctx := ctx
-	if p.cfg.JobTimeout > 0 {
-		var cancel context.CancelFunc
-		jctx, cancel = context.WithTimeout(ctx, p.cfg.JobTimeout)
-		defer cancel()
+	start := time.Now() //lint:allow determinism per-job wall latency for operator reporting only
+	if p.cfg.JobTimeout <= 0 {
+		// Fast path: with no deadline to enforce, the job runs inline on
+		// the worker goroutine — no per-job goroutine, channel or timer.
+		// Panic isolation is a deferred recover, so the steady-state
+		// control-plane cost of a job is zero allocations.
+		res, err, panicked := p.callJob(ctx, idx, info)
+		out.Elapsed = time.Since(start) //lint:allow determinism per-job wall latency for operator reporting only
+		p.classify(&out, res, err, panicked)
+		return out
 	}
+
+	jctx, cancel := context.WithTimeout(ctx, p.cfg.JobTimeout)
+	defer cancel()
 
 	type jobReturn struct {
 		res      Result
@@ -360,37 +368,15 @@ func (p *Pool) runJob(ctx context.Context, idx int) JobOutcome {
 		panicked bool
 	}
 	done := make(chan jobReturn, 1)
-	start := time.Now() //lint:allow determinism per-job wall latency for operator reporting only
 	go func() {
-		defer func() {
-			if r := recover(); r != nil {
-				done <- jobReturn{err: fmt.Errorf("panic: %v", r), panicked: true}
-			}
-		}()
-		res, err := p.specs[idx].Run(jctx, info)
-		done <- jobReturn{res: res, err: err}
+		res, err, panicked := p.callJob(jctx, idx, info)
+		done <- jobReturn{res: res, err: err, panicked: panicked}
 	}()
 
 	select {
 	case ret := <-done:
 		out.Elapsed = time.Since(start) //lint:allow determinism per-job wall latency for operator reporting only
-		switch {
-		case ret.panicked:
-			out.Status = StatusPanicked
-			out.Err = ret.err.Error()
-		case ret.err == nil:
-			out.Status = StatusOK
-			out.Result = ret.res
-		case errors.Is(ret.err, context.DeadlineExceeded):
-			out.Status = StatusTimedOut
-			out.Err = ret.err.Error()
-		case errors.Is(ret.err, context.Canceled):
-			out.Status = StatusCancelled
-			out.Err = ret.err.Error()
-		default:
-			out.Status = StatusFailed
-			out.Err = ret.err.Error()
-		}
+		p.classify(&out, ret.res, ret.err, ret.panicked)
 	case <-jctx.Done():
 		// The job ignored its context; abandon its goroutine (the
 		// buffered channel lets it finish and be collected) and
@@ -405,6 +391,40 @@ func (p *Pool) runJob(ctx context.Context, idx int) JobOutcome {
 		}
 	}
 	return out
+}
+
+// callJob invokes the job function with panic recovery.
+func (p *Pool) callJob(ctx context.Context, idx int, info JobInfo) (res Result, err error, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = Result{}
+			err = fmt.Errorf("panic: %v", r)
+			panicked = true
+		}
+	}()
+	res, err = p.specs[idx].Run(ctx, info)
+	return res, err, false
+}
+
+// classify maps a job return onto the outcome record.
+func (p *Pool) classify(out *JobOutcome, res Result, err error, panicked bool) {
+	switch {
+	case panicked:
+		out.Status = StatusPanicked
+		out.Err = err.Error()
+	case err == nil:
+		out.Status = StatusOK
+		out.Result = res
+	case errors.Is(err, context.DeadlineExceeded):
+		out.Status = StatusTimedOut
+		out.Err = err.Error()
+	case errors.Is(err, context.Canceled):
+		out.Status = StatusCancelled
+		out.Err = err.Error()
+	default:
+		out.Status = StatusFailed
+		out.Err = err.Error()
+	}
 }
 
 // buildReport folds the outcome table, in index order, into the final

@@ -289,3 +289,34 @@ func TestObservers(t *testing.T) {
 type syncWriter struct{ b *strings.Builder }
 
 func (w *syncWriter) Write(p []byte) (int, error) { return w.b.Write(p) }
+
+// TestInlineFaultIsolation covers the no-timeout fast path: with
+// JobTimeout unset the pool runs jobs inline on the worker goroutine
+// (no per-job goroutine, channel or timer), and panic/error isolation
+// must still hold there.
+func TestInlineFaultIsolation(t *testing.T) {
+	specs := makeSpecs(8)
+	specs[2].Run = func(ctx context.Context, job JobInfo) (Result, error) {
+		panic("inline fault")
+	}
+	specs[4].Run = func(ctx context.Context, job JobInfo) (Result, error) {
+		return Result{}, fmt.Errorf("inline error")
+	}
+	rep, err := Run(context.Background(), Config{Workers: 3, Seed: 4}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != 6 || rep.Panicked != 1 || rep.Failed != 1 {
+		t.Fatalf("counts: %+v", rep)
+	}
+	if rep.Jobs[2].Status != StatusPanicked || !strings.Contains(rep.Jobs[2].Err, "inline fault") {
+		t.Errorf("job 2: %+v", rep.Jobs[2])
+	}
+	if rep.Jobs[4].Status != StatusFailed || rep.Jobs[4].Err != "inline error" {
+		t.Errorf("job 4: %+v", rep.Jobs[4])
+	}
+	// Healthy siblings keep their results.
+	if rep.Jobs[0].Status != StatusOK || rep.Jobs[0].Result.Metrics["acc"] == 0 {
+		t.Errorf("job 0: %+v", rep.Jobs[0])
+	}
+}

@@ -35,6 +35,15 @@ func (c *ConvergenceDetector) Observe(collision bool) bool {
 	return false
 }
 
+// Reset rewinds the detector to its freshly constructed state (keeping
+// the configured window) without allocating.
+func (c *ConvergenceDetector) Reset() {
+	c.slots = 0
+	c.cleanRun = 0
+	c.converged = false
+	c.at = 0
+}
+
 // Converged reports whether the criterion was met.
 func (c *ConvergenceDetector) Converged() bool { return c.converged }
 
@@ -85,6 +94,20 @@ func (w *WindowStats) Observe(nonEmpty, collision bool) {
 	if collision {
 		w.totalCollision++
 	}
+}
+
+// Reset rewinds the stats to empty (keeping the configured window and
+// its ring buffers) without allocating.
+func (w *WindowStats) Reset() {
+	for i := range w.nonEmpty {
+		w.nonEmpty[i] = false
+		w.collide[i] = false
+	}
+	w.pos = 0
+	w.filled = 0
+	w.totalSlots = 0
+	w.totalNonEmpty = 0
+	w.totalCollision = 0
 }
 
 // NonEmptyRatio returns the windowed non-empty ratio.

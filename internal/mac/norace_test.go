@@ -1,0 +1,5 @@
+//go:build !race
+
+package mac
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package mac
+
+// raceEnabled reports that this test binary runs under the race
+// detector, where sync.Pool deliberately drops items (to shake out
+// lifetime bugs) and allocation counts are therefore meaningless.
+const raceEnabled = true

@@ -12,6 +12,14 @@ import (
 // feedback (ACK/NACK + EMPTY) and implements the Sec. 5.6
 // future-collision avoidance using its a-priori knowledge of every
 // tag's period.
+//
+// The per-slot state (settled beliefs, miss counters, appearance set)
+// lives in dense tid-indexed tables sized to the provisioned
+// population, so the EndSlot hot path runs without a single allocation
+// or map operation — the fleet pool executes millions of slots per
+// sweep through this code. Observations may still carry any tid up to
+// MaxObservationTID (the reader tolerates unprovisioned tags); ids
+// beyond the dense range spill into a lazily-built overflow set.
 type ReaderProtocol struct {
 	// Periods maps TID to its transmission period (known to the reader
 	// by provisioning, Sec. 5.5).
@@ -27,11 +35,25 @@ type ReaderProtocol struct {
 	// reader's belief changes. A nil tracer costs nothing.
 	Trace *obs.Tracer
 
-	slot     int          // index of the slot that is about to end
-	maxP     int          // largest provisioned period
-	appeared map[int]bool // T_a of Eq. 4
-	settled  map[int]Assignment
-	misses   map[int]int // consecutive expected-slot misses per settled tag
+	slot int // index of the slot that is about to end
+	maxP int // largest provisioned period
+
+	// Dense tid-indexed protocol state, length maxTID+1 (index 0
+	// unused). settledOK[tid] gates settled[tid]/misses[tid];
+	// settledCount mirrors the number of true entries.
+	settled      []Assignment
+	settledOK    []bool
+	misses       []int
+	appeared     []bool // T_a of Eq. 4, dense portion
+	appearedHi   map[int]bool
+	settledCount int
+
+	// Scratch for settledExcept, reused across slots (callers must not
+	// retain the returned slices).
+	exAs   []Assignment
+	exTIDs []int
+	// Scratch for victim selection (chooseVictim).
+	vScratch []Assignment
 
 	evictTID   int // tag being force-migrated for a blocked newcomer; -1 if none
 	evictNacks int
@@ -50,10 +72,23 @@ type Observation struct {
 // NonEmpty reports whether anything was on the channel.
 func (o Observation) NonEmpty() bool { return len(o.Decoded) > 0 || o.Collision }
 
+// decodedHas reports whether tid decoded this slot. Linear scan: the
+// list holds at most a handful of entries, and avoiding a per-slot map
+// keeps EndSlot allocation-free.
+func (o Observation) decodedHas(tid int) bool {
+	for _, d := range o.Decoded {
+		if d == tid {
+			return true
+		}
+	}
+	return false
+}
+
 // NewReaderProtocol builds the reader state machine for the
 // provisioned tag population.
 func NewReaderProtocol(periods map[int]Period) (*ReaderProtocol, error) {
 	maxP := 1
+	maxTID := 0
 	// Validate in sorted tid order so the reported offender does not
 	// depend on map iteration order.
 	tids := make([]int, 0, len(periods))
@@ -69,21 +104,38 @@ func NewReaderProtocol(periods map[int]Period) (*ReaderProtocol, error) {
 		if int(p) > maxP {
 			maxP = int(p)
 		}
+		if tid > maxTID {
+			maxTID = tid
+		}
 	}
 	r := &ReaderProtocol{
 		Periods:       periods,
 		NackThreshold: DefaultNackThreshold,
 		maxP:          maxP,
+		settled:       make([]Assignment, maxTID+1),
+		settledOK:     make([]bool, maxTID+1),
+		misses:        make([]int, maxTID+1),
+		appeared:      make([]bool, maxTID+1),
+		exAs:          make([]Assignment, 0, maxTID+1),
+		exTIDs:        make([]int, 0, maxTID+1),
+		vScratch:      make([]Assignment, 0, maxTID+2),
 	}
 	r.reset()
 	return r, nil
 }
 
+// reset clears all protocol state in place; no allocation, so pooled
+// simulators rewind through it between trials.
 func (r *ReaderProtocol) reset() {
 	r.slot = 0
-	r.appeared = make(map[int]bool)
-	r.settled = make(map[int]Assignment)
-	r.misses = make(map[int]int)
+	for i := range r.settled {
+		r.settled[i] = Assignment{}
+		r.settledOK[i] = false
+		r.misses[i] = 0
+		r.appeared[i] = false
+	}
+	clear(r.appearedHi)
+	r.settledCount = 0
 	r.evictTID = -1
 	r.evictNacks = 0
 }
@@ -110,50 +162,50 @@ func (r *ReaderProtocol) SyncSlot(slot int) {
 }
 
 // SettledCount returns how many tags the reader believes are settled.
-func (r *ReaderProtocol) SettledCount() int { return len(r.settled) }
+func (r *ReaderProtocol) SettledCount() int { return r.settledCount }
 
 // EvictTarget returns the TID currently being force-migrated for a
 // blocked newcomer, or -1 when no eviction is in progress.
 func (r *ReaderProtocol) EvictTarget() int { return r.evictTID }
 
+// markAppeared records tid in the appearance set T_a.
+func (r *ReaderProtocol) markAppeared(tid int) {
+	if tid < len(r.appeared) {
+		r.appeared[tid] = true
+		return
+	}
+	if r.appearedHi == nil {
+		r.appearedHi = make(map[int]bool)
+	}
+	r.appearedHi[tid] = true
+}
+
 // SettledAssignments returns a copy of the reader's current belief in
-// ascending tid order, so the slice is identical across runs (map
-// iteration order must not leak into outputs).
+// ascending tid order, so the slice is identical across runs.
 func (r *ReaderProtocol) SettledAssignments() []Assignment {
-	out := make([]Assignment, 0, len(r.settled))
-	for _, tid := range r.settledTIDs() {
-		out = append(out, r.settled[tid])
+	out := make([]Assignment, 0, r.settledCount)
+	for tid, ok := range r.settledOK {
+		if ok {
+			out = append(out, r.settled[tid])
+		}
 	}
 	return out
 }
 
-// settledTIDs returns the settled tag ids in ascending order.
-func (r *ReaderProtocol) settledTIDs() []int {
-	tids := make([]int, 0, len(r.settled))
-	for tid := range r.settled {
-		tids = append(tids, tid)
-	}
-	sort.Ints(tids)
-	return tids
-}
-
-// settledExcept returns the settled assignments of all tags other than
-// tid in ascending tid order, paired with their tids. Map iteration
-// order must not leak into protocol decisions: victim selection has to
-// be deterministic for reproducible runs.
+// settledExcept gathers the settled assignments of all tags other than
+// tid in ascending tid order, paired with their tids, into reusable
+// scratch (valid until the next call). The dense walk is already
+// tid-ordered, so victim selection stays deterministic without a sort.
 func (r *ReaderProtocol) settledExcept(tid int) ([]Assignment, []int) {
-	tids := make([]int, 0, len(r.settled))
-	for id := range r.settled {
-		if id != tid {
-			tids = append(tids, id)
+	r.exAs = r.exAs[:0]
+	r.exTIDs = r.exTIDs[:0]
+	for id, ok := range r.settledOK {
+		if ok && id != tid {
+			r.exAs = append(r.exAs, r.settled[id])
+			r.exTIDs = append(r.exTIDs, id)
 		}
 	}
-	sort.Ints(tids)
-	out := make([]Assignment, len(tids))
-	for i, id := range tids {
-		out[i] = r.settled[id]
-	}
-	return out, tids
+	return r.exAs, r.exTIDs
 }
 
 // EndSlot ingests the observation for the slot that just ended and
@@ -191,13 +243,13 @@ func (r *ReaderProtocol) judgeSolo(tid, s int) bool {
 	if !known {
 		// A tag the reader was not provisioned for: tolerate it with a
 		// plain ACK (it cannot be checked for future collisions).
-		r.appeared[tid] = true
+		r.markAppeared(tid)
 		return true
 	}
-	r.appeared[tid] = true
+	r.markAppeared(tid)
 	cand := Assignment{Period: p, Offset: s % int(p)}
 
-	if cur, ok := r.settled[tid]; ok && cur == cand {
+	if r.settledOK[tid] && r.settled[tid] == cand {
 		// Settled tag on its usual schedule.
 		r.misses[tid] = 0
 		if r.evictTID == tid {
@@ -223,7 +275,7 @@ func (r *ReaderProtocol) judgeSolo(tid, s int) bool {
 		// future slot: veto.
 		if FeasibleOffset(others, p) < 0 && r.evictTID < 0 {
 			// No offset works at all: pick a victim to force-migrate.
-			if v := ChooseVictim(others, p); v >= 0 {
+			if v := r.chooseVictim(others, p); v >= 0 {
 				r.evictTID = otherTIDs[v]
 				r.evictNacks = 0
 				if r.Trace.Enabled() {
@@ -235,6 +287,10 @@ func (r *ReaderProtocol) judgeSolo(tid, s int) bool {
 		return false
 	}
 	// Viable: accept and record the belief.
+	if !r.settledOK[tid] {
+		r.settledOK[tid] = true
+		r.settledCount++
+	}
 	r.settled[tid] = cand
 	r.misses[tid] = 0
 	if r.Trace.Enabled() {
@@ -242,6 +298,35 @@ func (r *ReaderProtocol) judgeSolo(tid, s int) bool {
 			Period: int(cand.Period), Offset: cand.Offset})
 	}
 	return true
+}
+
+// chooseVictim is ChooseVictim on reader-owned scratch: identical
+// selection (same candidate order, same feasibility checks, same
+// longest-period preference) without the per-candidate slice builds, so
+// eviction decisions stay off the allocator during convergence.
+func (r *ReaderProtocol) chooseVictim(existing []Assignment, p Period) int {
+	if cap(r.vScratch) < len(existing)+1 {
+		r.vScratch = make([]Assignment, 0, len(existing)+1)
+	}
+	best := -1
+	for i := range existing {
+		rest := r.vScratch[:0]
+		rest = append(rest, existing[:i]...)
+		rest = append(rest, existing[i+1:]...)
+		off := FeasibleOffset(rest, p)
+		if off < 0 {
+			continue
+		}
+		// The evicted tag must itself be re-placeable afterwards.
+		withNew := append(rest, Assignment{Period: p, Offset: off})
+		if FeasibleOffset(withNew, existing[i].Period) < 0 {
+			continue
+		}
+		if best < 0 || existing[i].Period > existing[best].Period {
+			best = i
+		}
+	}
+	return best
 }
 
 func conflictsAny(a Assignment, others []Assignment) bool {
@@ -254,28 +339,30 @@ func conflictsAny(a Assignment, others []Assignment) bool {
 }
 
 func (r *ReaderProtocol) unsettle(tid int) {
-	delete(r.settled, tid)
-	delete(r.misses, tid)
+	if r.settledOK[tid] {
+		r.settledOK[tid] = false
+		r.settled[tid] = Assignment{}
+		r.misses[tid] = 0
+		r.settledCount--
+	}
 }
 
 // trackExpected updates the reader's per-tag belief: a settled tag that
 // fails to show in its expected slot for NackThreshold consecutive
-// rounds is dropped (it migrated, desynchronized or browned out).
+// rounds is dropped (it migrated, desynchronized or browned out). The
+// ascending dense walk visits tags in tid order — the same order the
+// old sorted-snapshot scan used — so the tag_unsettle trace events
+// appear identically on every run.
 func (r *ReaderProtocol) trackExpected(o Observation, s int) {
-	decoded := make(map[int]bool, len(o.Decoded))
-	for _, tid := range o.Decoded {
-		decoded[tid] = true
-	}
-	// Snapshot the settled set in tid order: unsettle mutates r.settled
-	// mid-scan, and the tag_unsettle trace events emitted below must
-	// appear in the same order on every run for JSONL traces (and the
-	// fault-recovery fingerprints built on them) to be reproducible.
-	for _, tid := range r.settledTIDs() {
+	for tid, ok := range r.settledOK {
+		if !ok {
+			continue
+		}
 		a := r.settled[tid]
 		if !a.TransmitsAt(s) {
 			continue
 		}
-		if decoded[tid] {
+		if o.decodedHas(tid) {
 			continue // seen (judgeSolo already reset misses on ACK path)
 		}
 		// Missed its expected slot (whether silent or lost in a
@@ -302,8 +389,8 @@ func (r *ReaderProtocol) trackExpected(o Observation, s int) {
 // then gate newcomers off slots that are actually free — poisoning the
 // very mechanism meant to integrate them (Sec. 5.5/5.6).
 func (r *ReaderProtocol) emptyFlag(s int) bool {
-	for _, a := range r.settled {
-		if a.TransmitsAt(s) {
+	for tid, ok := range r.settledOK {
+		if ok && r.settled[tid].TransmitsAt(s) {
 			return false
 		}
 	}

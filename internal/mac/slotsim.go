@@ -20,6 +20,13 @@ type SlotSim struct {
 	tags   []*simTag
 	fb     Feedback
 
+	// Per-slot scratch, reused across Step calls so the steady-state
+	// slot loop is allocation-free (see SlotResult for the aliasing
+	// contract).
+	txScratch  []*simTag
+	tidScratch []int
+	decScratch []int
+
 	Window      *WindowStats
 	Convergence *ConvergenceDetector
 	// TruthNonEmpty / TruthCollisions count ground-truth slot states
@@ -149,13 +156,70 @@ func NewSlotSim(cfg SlotSimConfig) (*SlotSim, error) {
 		reader:      reader,
 		tags:        tags,
 		fb:          reader.Reset(),
+		txScratch:   make([]*simTag, 0, len(tags)),
+		tidScratch:  make([]int, 0, len(tags)),
+		decScratch:  make([]int, 0, 1),
 		Window:      NewWindowStats(),
 		Convergence: NewConvergenceDetector(),
 	}
 	return s, nil
 }
 
+// Reset rewinds the simulator in place to the state NewSlotSim would
+// produce for the same pattern with the given seed, without allocating.
+// It replays the construction-time RNG fork sequence exactly — root
+// seeded from seed, one fork per tag in pattern order (each drawing the
+// initial offset), then the simulator's own fork — so a reset simulator
+// is bit-identical to a freshly built one. Pooled clones
+// (SlotSimSnapshot) call this between trials.
+func (s *SlotSim) Reset(seed uint64) {
+	s.cfg.Seed = seed
+	var root sim.Rand //lint:allow rng-discipline seeded in place on the next line; avoids an allocation per reset
+	root.Seed(seed)
+	for i, t := range s.tags {
+		t.proto.rng.ReseedFork(&root, uint64(t.tid))
+		t.proto.reinit()
+		if s.cfg.NackThreshold > 0 {
+			t.proto.NackThreshold = s.cfg.NackThreshold
+		}
+		t.proto.DisableEmptyGate = s.cfg.DisableEmptyGate
+		t.joinSlot = s.cfg.joinSlot(i)
+		t.down = false
+		t.downUntil = 0
+		t.txCount = 0
+		t.ackCount = 0
+		t.lastTxSlot = -1
+	}
+	s.rng.ReseedFork(&root, 0xC0FFEE)
+	if s.cfg.NackThreshold > 0 {
+		s.reader.NackThreshold = s.cfg.NackThreshold
+	} else {
+		s.reader.NackThreshold = DefaultNackThreshold
+	}
+	s.fb = s.reader.Reset()
+	s.Window.Reset()
+	s.Convergence.Reset()
+	s.TruthNonEmpty = 0
+	s.TruthCollisions = 0
+	s.SlotsRun = 0
+}
+
+// AttachObservers points the simulator (and its reader protocol) at a
+// per-trial tracer and fault source. Pooled clones carry no observers
+// while parked; the pool attaches the job's own pair on Acquire and
+// detaches on Release so a parked clone never retains a job's sink.
+func (s *SlotSim) AttachObservers(trace *obs.Tracer, faults FaultSource) {
+	s.cfg.Trace = trace
+	s.cfg.Faults = faults
+	s.reader.Trace = trace
+}
+
 // SlotResult reports one simulated slot.
+//
+// Transmitters and Obs.Decoded alias per-simulator scratch that the
+// next Step call overwrites — the slot loop runs allocation-free.
+// Callers that need a slot's lists beyond the following Step must copy
+// them.
 type SlotResult struct {
 	Slot         int
 	Transmitters []int
@@ -186,7 +250,7 @@ func (s *SlotSim) Step() SlotResult {
 		s.cfg.Trace.Emit(obs.Event{Kind: obs.KindSlotOpen, Slot: slot, ACK: fb.ACK, Empty: fb.Empty})
 	}
 
-	var transmitters []*simTag
+	transmitters := s.txScratch[:0]
 	for i, t := range s.tags {
 		if slot < t.joinSlot {
 			continue
@@ -243,6 +307,7 @@ func (s *SlotSim) Step() SlotResult {
 	}
 
 	var seen Observation
+	s.decScratch = s.decScratch[:0]
 	switch len(transmitters) {
 	case 0:
 	case 1:
@@ -255,7 +320,8 @@ func (s *SlotSim) Step() SlotResult {
 			failP = 1 // the packet was truncated mid-air
 		}
 		if !s.rng.Bool(failP) {
-			seen.Decoded = []int{t.tid}
+			s.decScratch = append(s.decScratch, t.tid)
+			seen.Decoded = s.decScratch
 		}
 	default:
 		seen.Collision = s.rng.Bool(s.cfg.CollisionDetectProb)
@@ -264,7 +330,8 @@ func (s *SlotSim) Step() SlotResult {
 			// waveform layer would pick the strongest).
 			t := transmitters[s.rng.Intn(len(transmitters))]
 			if !t.down {
-				seen.Decoded = []int{t.tid}
+				s.decScratch = append(s.decScratch, t.tid)
+				seen.Decoded = s.decScratch
 			}
 		}
 	}
@@ -295,13 +362,24 @@ func (s *SlotSim) Step() SlotResult {
 	s.fb = next
 	s.SlotsRun++
 
-	tids := make([]int, len(transmitters))
-	for i, t := range transmitters {
-		tids[i] = t.tid
+	s.txScratch = transmitters // keep any growth for the next slot
+	tids := s.tidScratch[:0]
+	for _, t := range transmitters {
+		tids = append(tids, t.tid)
 	}
+	s.tidScratch = tids
 	if s.cfg.Trace.Enabled() {
-		s.cfg.Trace.Emit(obs.Event{Kind: obs.KindSlotClose, Slot: slot, TIDs: tids,
-			Decoded: seen.Decoded, Collision: seen.Collision, ACK: next.ACK, Empty: next.Empty})
+		// Events outlive the slot (sinks retain them), so they get
+		// copies, not the reused scratch.
+		tidsCopy := make([]int, len(tids))
+		copy(tidsCopy, tids)
+		var decCopy []int
+		if seen.Decoded != nil {
+			decCopy = make([]int, len(seen.Decoded))
+			copy(decCopy, seen.Decoded)
+		}
+		s.cfg.Trace.Emit(obs.Event{Kind: obs.KindSlotClose, Slot: slot, TIDs: tidsCopy,
+			Decoded: decCopy, Collision: seen.Collision, ACK: next.ACK, Empty: next.Empty})
 	}
 	return SlotResult{Slot: slot, Transmitters: tids, Obs: seen, Feedback: next}
 }

@@ -1,0 +1,83 @@
+package mac
+
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// SlotSimSnapshot is the frozen, shareable half of the slot-simulator
+// snapshot/clone seam. It captures one validated SlotSimConfig —
+// pattern, link probabilities, join schedule, protocol knobs — and
+// hands out pooled, resettable SlotSim clones. The per-config work
+// (validation, period table, tag/reader construction) happens once;
+// every Acquire after warm-up is a pure in-place rewind, so
+// steady-state Monte Carlo trials and fleet jobs allocate nothing in
+// the control plane.
+//
+// The contract (see DESIGN.md "Snapshot/clone"):
+//
+//   - Immutable per config: everything in the SlotSimConfig except
+//     Seed, Trace and Faults. The snapshot's config is copied at
+//     construction; callers must not mutate referenced slices after
+//     NewSlotSimSnapshot.
+//   - Mutable per trial: the seed (full RNG replay via SlotSim.Reset),
+//     the tracer and the fault source (attached on Acquire, detached on
+//     Release so a parked clone never pins a job's sink).
+//
+// A SlotSimSnapshot is safe for concurrent Acquire/Release from many
+// goroutines; each acquired *SlotSim belongs to one goroutine at a
+// time.
+type SlotSimSnapshot struct {
+	cfg  SlotSimConfig
+	pool sync.Pool
+}
+
+// NewSlotSimSnapshot validates cfg once and returns a snapshot whose
+// clones all simulate that config. The Seed, Trace and Faults fields of
+// cfg are ignored — they are per-trial inputs to Acquire.
+func NewSlotSimSnapshot(cfg SlotSimConfig) (*SlotSimSnapshot, error) {
+	cfg.Seed = 0
+	cfg.Trace = nil
+	cfg.Faults = nil
+	probe, err := NewSlotSim(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sn := &SlotSimSnapshot{cfg: cfg}
+	sn.pool.New = func() any {
+		s, err := NewSlotSim(sn.cfg)
+		if err != nil {
+			// The config was validated by the probe build above and is
+			// never mutated afterwards, so construction cannot fail.
+			//lint:allow panic-hygiene config validated at snapshot construction; failure here is a programming bug
+			panic(err)
+		}
+		return s
+	}
+	sn.pool.Put(probe)
+	return sn, nil
+}
+
+// Config returns the frozen per-config state (Seed/Trace/Faults zeroed).
+func (sn *SlotSimSnapshot) Config() SlotSimConfig { return sn.cfg }
+
+// Acquire returns a clone reset to the given seed with the trial's
+// observers attached: bit-identical to NewSlotSim with the same config
+// and seed. Pass the clone to Release when the trial ends.
+func (sn *SlotSimSnapshot) Acquire(seed uint64, trace *obs.Tracer, faults FaultSource) *SlotSim {
+	s := sn.pool.Get().(*SlotSim)
+	s.AttachObservers(trace, faults)
+	s.Reset(seed)
+	return s
+}
+
+// Release detaches the trial's observers and parks the clone for reuse.
+// The caller must not touch s afterwards.
+func (sn *SlotSimSnapshot) Release(s *SlotSim) {
+	if s == nil {
+		return
+	}
+	s.AttachObservers(nil, nil)
+	sn.pool.Put(s)
+}

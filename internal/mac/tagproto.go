@@ -86,6 +86,21 @@ func NewTagProtocol(p Period, rng *sim.Rand) (*TagProtocol, error) {
 	return t, nil
 }
 
+// reinit rewinds the protocol to its NewTagProtocol post-construction
+// state: MIGRATE, EMPTY-gated newcomer, fresh offset drawn from the
+// (externally reseeded) rng. Pooled simulators use it between trials so
+// a reset tag is bit-identical to a freshly constructed one.
+func (t *TagProtocol) reinit() {
+	t.NackThreshold = DefaultNackThreshold
+	t.state = Migrate
+	t.counter = 0
+	t.nacks = 0
+	t.transmitted = false
+	t.newcomer = true
+	t.migrations = 0
+	t.offset = t.rng.Intn(int(t.Period))
+}
+
 // State returns the protocol state.
 func (t *TagProtocol) State() TagState { return t.state }
 

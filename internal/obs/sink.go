@@ -69,6 +69,14 @@ func (s *MemorySink) Events() []Event {
 	return append([]Event(nil), s.events...)
 }
 
+// Reset clears the buffer but keeps its capacity, so pooled per-trial
+// sinks are reused without reallocating the event backing array.
+func (s *MemorySink) Reset() {
+	s.mu.Lock()
+	s.events = s.events[:0]
+	s.mu.Unlock()
+}
+
 // Drain returns the buffered events and clears the buffer, keeping
 // long-running consumers (per-slot CSV rendering) memory-bounded.
 func (s *MemorySink) Drain() []Event {

@@ -17,24 +17,39 @@ type Rand struct {
 // which guarantees a well-mixed nonzero state even for small seeds.
 func NewRand(seed uint64) *Rand {
 	r := &Rand{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed reinitializes the generator in place, bit-identically to
+// NewRand(seed). Pooled simulation state uses it to rewind an existing
+// stream to a fresh trial without allocating a new generator.
+func (r *Rand) Seed(seed uint64) {
 	sm := seed
-	next := func() uint64 {
+	for i := range r.s {
 		sm += 0x9e3779b97f4a7c15
 		z := sm
 		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-		return z ^ (z >> 31)
+		r.s[i] = z ^ (z >> 31)
 	}
-	for i := range r.s {
-		r.s[i] = next()
-	}
-	return r
 }
 
 // Fork derives an independent stream labelled by id. Two forks of the
 // same parent with different ids produce uncorrelated sequences.
 func (r *Rand) Fork(id uint64) *Rand {
-	return NewRand(r.Uint64() ^ (id * 0x9e3779b97f4a7c15) ^ 0xa0761d6478bd642f)
+	f := &Rand{}
+	f.ReseedFork(r, id)
+	return f
+}
+
+// ReseedFork reinitializes r in place as a fork of parent labelled by
+// id, consuming exactly the parent state a Fork call would: the
+// resulting stream is bit-identical to parent.Fork(id). This is the
+// allocation-free reset path for clone pools that must replay a
+// construction-time fork sequence.
+func (r *Rand) ReseedFork(parent *Rand, id uint64) {
+	r.Seed(parent.Uint64() ^ (id * 0x9e3779b97f4a7c15) ^ 0xa0761d6478bd642f)
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

@@ -1,0 +1,53 @@
+package sim
+
+import "testing"
+
+// Seed must rewind an existing generator to exactly the stream a fresh
+// NewRand would produce — the clone pools rely on bit-identical replay.
+func TestSeedMatchesNewRand(t *testing.T) {
+	for _, seed := range []uint64{0, 1, 42, 0xDEADBEEF, ^uint64(0)} {
+		fresh := NewRand(seed)
+		reused := NewRand(seed ^ 0x1234) // dirty it first
+		for i := 0; i < 17; i++ {
+			reused.Uint64()
+		}
+		reused.Seed(seed)
+		for i := 0; i < 100; i++ {
+			if a, b := fresh.Uint64(), reused.Uint64(); a != b {
+				t.Fatalf("seed %d draw %d: %x != %x", seed, i, a, b)
+			}
+		}
+	}
+}
+
+// ReseedFork must consume the parent identically to Fork and yield the
+// same child stream.
+func TestReseedForkMatchesFork(t *testing.T) {
+	p1, p2 := NewRand(7), NewRand(7)
+	c1 := p1.Fork(3)
+	var c2 Rand
+	c2.ReseedFork(p2, 3)
+	for i := 0; i < 100; i++ {
+		if a, b := c1.Uint64(), c2.Uint64(); a != b {
+			t.Fatalf("child draw %d: %x != %x", i, a, b)
+		}
+	}
+	// Parents consumed the same amount of state.
+	if a, b := p1.Uint64(), p2.Uint64(); a != b {
+		t.Fatalf("parent streams diverged after fork: %x != %x", a, b)
+	}
+}
+
+// A reset loop on pooled generators must not allocate.
+func TestSeedAllocationFree(t *testing.T) {
+	r := NewRand(1)
+	var child Rand
+	n := testing.AllocsPerRun(100, func() {
+		r.Seed(9)
+		child.ReseedFork(r, 2)
+		_ = child.Uint64()
+	})
+	if n != 0 {
+		t.Fatalf("Seed/ReseedFork allocate %v per run, want 0", n)
+	}
+}
