@@ -44,15 +44,18 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"sort"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"repro/arachnet"
 	"repro/internal/fleetd/api"
 	"repro/internal/prof"
+	"repro/internal/resilience"
 )
 
 // stopProf finishes profiling; every exit path runs it so the profiles
@@ -74,6 +77,9 @@ func main() {
 	jobID := flag.String("job", "", "with -server: attach to this existing job instead of submitting")
 	verify := flag.Bool("verify", false, "with -server: also run the fleet locally and cross-check the fingerprints")
 	quiet := flag.Bool("quiet", false, "with -server: suppress the streamed per-job progress lines")
+	retries := flag.Int("retries", 0, "with -server: retry transient transport/5xx failures up to this many attempts per call, honoring Retry-After (0 = one attempt)")
+	flakyEvery := flag.Int("flaky", 0, "with -server: fault-injection aid — fail every Nth client request at the transport, exercising -retries (0 = off)")
+	healthOnly := flag.Bool("health", false, "with -server: print the daemon's /v1/healthz JSON and exit")
 
 	// Ad-hoc sweep construction, used when no spec file is given.
 	engine := flag.String("engine", "slots", "ad-hoc sweep: engine (slots or network)")
@@ -145,10 +151,18 @@ func main() {
 	if *serverURL != "" {
 		// Client mode: the daemon runs the fleet; this process submits,
 		// streams, and prints — and optionally re-runs locally to
-		// cross-check determinism across the two front ends.
+		// cross-check determinism across the two front ends. The retry
+		// schedule is seeded from the fleet seed, so a faulted session
+		// replays bit-identically.
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
-		code := runClient(ctx, *serverURL, *jobID, f, *jsonOut, *verify, *quiet)
+		c := newServerClient(*serverURL, *retries, *flakyEvery, f.Seed)
+		var code int
+		if *healthOnly {
+			code = printHealth(ctx, c)
+		} else {
+			code = runClient(ctx, c, *jobID, f, *jsonOut, *verify, *quiet)
+		}
 		if err := stopProf(); err != nil {
 			fatal(err)
 		}
@@ -265,11 +279,59 @@ func printReport(rep *arachnet.FleetReport) {
 	fmt.Printf("  fingerprint       %s\n", rep.Fingerprint())
 }
 
+// flakyTransport fails every Nth request with a transport error — a
+// deterministic fault-injection aid for demonstrating (and smoke-
+// testing) the client retry path against a live daemon.
+type flakyTransport struct {
+	next  http.RoundTripper
+	every uint64
+	n     atomic.Uint64
+}
+
+func (t *flakyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if n := t.n.Add(1); n%t.every == 0 {
+		return nil, fmt.Errorf("flaky transport: injected failure (request %d)", n)
+	}
+	return t.next.RoundTrip(req)
+}
+
+// newServerClient assembles the fleetd client from the resilience
+// flags: -retries enables seeded-backoff retries, -flaky injects a
+// deterministic transport fault schedule under them.
+func newServerClient(base string, retries, flakyEvery int, seed uint64) *api.Client {
+	var opts []api.Option
+	if flakyEvery > 0 {
+		opts = append(opts, api.WithTransport(&flakyTransport{next: http.DefaultTransport, every: uint64(flakyEvery)}))
+	}
+	if retries > 0 {
+		opts = append(opts, api.WithRetry(resilience.Policy{MaxAttempts: retries}, seed))
+	}
+	return api.NewClient(base, opts...)
+}
+
+// printHealth fetches and prints /v1/healthz as JSON (the -health mode).
+func printHealth(ctx context.Context, c *api.Client) int {
+	h, err := c.Health(ctx)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(h); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if !h.OK || h.Degraded {
+		return 1
+	}
+	return 0
+}
+
 // runClient drives a remote fleetd run: submit (or attach with -job),
 // stream progress, fetch and print the report, and optionally verify
 // the fingerprint against a local run. Returns the process exit code.
-func runClient(ctx context.Context, base, jobID string, f arachnet.Fleet, jsonOut, verify, quiet bool) int {
-	c := api.NewClient(base)
+func runClient(ctx context.Context, c *api.Client, jobID string, f arachnet.Fleet, jsonOut, verify, quiet bool) int {
 	cached := false
 	if jobID == "" {
 		spec, err := arachnet.MarshalFleetJSON(f)
@@ -288,7 +350,7 @@ func runClient(ctx context.Context, base, jobID string, f arachnet.Fleet, jsonOu
 			if cached {
 				fmt.Printf("job %s: response cache hit (fingerprint %s)\n", sub.ID, sub.Fingerprint)
 			} else {
-				fmt.Printf("job %s: queued (%d vehicle jobs) on %s\n", sub.ID, sub.Jobs, base)
+				fmt.Printf("job %s: queued (%d vehicle jobs) on %s\n", sub.ID, sub.Jobs, c.Base())
 			}
 		}
 	}
@@ -357,6 +419,10 @@ func runClient(ctx context.Context, base, jobID string, f arachnet.Fleet, jsonOu
 			return 1
 		}
 		fmt.Printf("verified: local run fingerprint matches (%s)\n", lf)
+	}
+	// Printed last so the count covers every call, report fetch included.
+	if n := c.Retries(); n > 0 && !quiet {
+		fmt.Fprintf(os.Stderr, "(client retried %d time(s) through transport faults)\n", n)
 	}
 	if !env.Report.Ok() {
 		return 1

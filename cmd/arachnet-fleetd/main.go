@@ -26,6 +26,16 @@
 // jobs checkpoint their completed shards, and a restarted daemon with
 // the same -checkpoint-dir finishes interrupted sweeps with the same
 // report fingerprint an uninterrupted run would have produced.
+//
+// Resilience: checkpoints are written crash-safely (fsync + rename +
+// directory fsync) under a CRC envelope; a checkpoint that fails to
+// decode on restart is quarantined as <id>.corrupt instead of blocking
+// the fleet. When the checkpoint directory turns unwritable the daemon
+// enters degraded mode — cached reports and /v1/healthz keep serving,
+// non-cached submissions get 503 — and recovers on the next write that
+// succeeds. -job-deadline bounds each job's wall clock; -job-retries
+// re-executes shards that failed with transient ("transient: ...")
+// errors, never panics, without perturbing the report fingerprint.
 package main
 
 import (
@@ -51,6 +61,8 @@ func main() {
 	cacheEntries := flag.Int("cache", 128, "response cache entries keyed on (canonical spec, seed); negative disables")
 	ckptDir := flag.String("checkpoint-dir", "", "persist job checkpoints here for resume after restart (empty = disabled)")
 	ckptEvery := flag.Duration("checkpoint-every", 2*time.Second, "snapshot interval for running jobs")
+	jobDeadline := flag.Duration("job-deadline", 0, "per-job wall-clock deadline; an overrunning job fails (0 = unlimited)")
+	jobRetries := flag.Int("job-retries", 0, "re-execution rounds for shards that failed with transient errors (panics never re-run)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for checkpoint-and-exit on SIGINT/SIGTERM")
 	quiet := flag.Bool("quiet", false, "suppress operational logging")
 	flag.Parse()
@@ -68,6 +80,8 @@ func main() {
 		CacheEntries:    *cacheEntries,
 		CheckpointDir:   *ckptDir,
 		CheckpointEvery: *ckptEvery,
+		JobDeadline:     *jobDeadline,
+		JobRetries:      *jobRetries,
 		Logf:            logf,
 	})
 	if err != nil {

@@ -305,17 +305,21 @@ func (p *Pool) Run(ctx context.Context) (*Report, error) {
 	}
 	wg.Wait()
 
-	// Jobs the feeder never handed out (cancellation) are pending in
-	// the outcome table; record them so the report stays complete.
-	for i := range p.outcomes {
-		if p.outcomes[i].Status == StatusPending {
-			out := JobOutcome{
-				JobInfo: p.jobInfo(i),
-				Status:  StatusCancelled,
-				Err:     context.Canceled.Error(),
+	// Jobs the feeder never handed out (cancellation or an expired
+	// run deadline) are pending in the outcome table; record them so
+	// the report stays complete, classified by which way the parent
+	// context stopped.
+	if stop := ctx.Err(); stop != nil {
+		for i := range p.outcomes {
+			if p.outcomes[i].Status == StatusPending {
+				out := JobOutcome{
+					JobInfo: p.jobInfo(i),
+					Status:  parentStopStatus(stop),
+					Err:     stop.Error(),
+				}
+				p.outcomes[i] = out
+				p.agg.add(out)
 			}
-			p.outcomes[i] = out
-			p.agg.add(out)
 		}
 	}
 
@@ -338,9 +342,9 @@ func (p *Pool) jobInfo(idx int) JobInfo {
 func (p *Pool) runJob(ctx context.Context, idx int) JobOutcome {
 	info := p.jobInfo(idx)
 	out := JobOutcome{JobInfo: info}
-	if ctx.Err() != nil {
-		out.Status = StatusCancelled
-		out.Err = ctx.Err().Error()
+	if err := ctx.Err(); err != nil {
+		out.Status = parentStopStatus(err)
+		out.Err = err.Error()
 		return out
 	}
 	if p.cfg.Observer != nil {
@@ -382,15 +386,26 @@ func (p *Pool) runJob(ctx context.Context, idx int) JobOutcome {
 		// buffered channel lets it finish and be collected) and
 		// classify by which context fired.
 		out.Elapsed = time.Since(start) //lint:allow determinism per-job wall latency for operator reporting only
-		if ctx.Err() != nil {
-			out.Status = StatusCancelled
-			out.Err = ctx.Err().Error()
+		if err := ctx.Err(); err != nil {
+			out.Status = parentStopStatus(err)
+			out.Err = err.Error()
 		} else {
 			out.Status = StatusTimedOut
 			out.Err = fmt.Sprintf("job exceeded timeout %v", p.cfg.JobTimeout)
 		}
 	}
 	return out
+}
+
+// parentStopStatus classifies a run stopped by its parent context: an
+// expired deadline is a timeout (the run-level budget ran out), an
+// explicit cancel is a cancellation. Both are wall-clock artifacts a
+// resumed pool must recompute.
+func parentStopStatus(err error) Status {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return StatusTimedOut
+	}
+	return StatusCancelled
 }
 
 // callJob invokes the job function with panic recovery.

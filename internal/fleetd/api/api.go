@@ -58,6 +58,9 @@ type StatusResponse struct {
 	// Resumed counts shards restored from a checkpoint rather than
 	// recomputed (non-zero only after a daemon restart).
 	Resumed int `json:"resumed,omitempty"`
+	// Reruns counts bounded automatic re-executions the daemon ran for
+	// shards that failed with retryable (transient) errors.
+	Reruns int `json:"reruns,omitempty"`
 	// Cached marks a response-cache hit.
 	Cached bool `json:"cached,omitempty"`
 	// Fingerprint is set once the job is done.
@@ -93,6 +96,11 @@ const (
 // StreamLine is one JSONL record of a job's progress stream.
 type StreamLine struct {
 	Type string `json:"type"`
+	// Seq is the event's position in the job's ordered event log
+	// (1-based, event lines only). A client that reconnects passes
+	// ?after=<last seq> and the server replays everything newer, so an
+	// interrupted stream resumes without gaps or duplicates.
+	Seq uint64 `json:"seq,omitempty"`
 	// Status is the snapshot opening the stream.
 	Status *StatusResponse `json:"status,omitempty"`
 	// Event is a job lifecycle event (obs vocabulary: job_start /
@@ -119,6 +127,17 @@ type HealthResponse struct {
 	// CacheEntries / CacheHits describe the response cache.
 	CacheEntries int    `json:"cache_entries"`
 	CacheHits    uint64 `json:"cache_hits"`
+	// Degraded is set while the checkpoint directory is unwritable:
+	// the daemon keeps serving cached reports and health, refuses
+	// non-cached submissions, and recovers automatically once a
+	// checkpoint write succeeds again.
+	Degraded bool `json:"degraded,omitempty"`
+	// DegradedReason is the write error that triggered degraded mode.
+	DegradedReason string `json:"degraded_reason,omitempty"`
+	// Counters is the daemon's metrics registry (checkpoint writes and
+	// errors, quarantines, shard reruns, degraded transitions, ...),
+	// keys sorted by Go's map marshalling.
+	Counters map[string]uint64 `json:"counters,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx response.

@@ -11,47 +11,246 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/resilience"
 )
 
 // Client talks to a running arachnet-fleetd daemon. The zero value is
-// not usable; construct with NewClient.
+// not usable; construct with NewClient. The bare client (no options)
+// performs each call exactly once; WithRetry turns on the resilience
+// layer: transient transport failures and 5xx responses retry with
+// seeded backoff, 429 responses honor the server's Retry-After, an
+// optional circuit breaker fails fast during outages, and interrupted
+// progress streams reconnect at their last event sequence number.
 type Client struct {
-	base string
-	http *http.Client
+	base    string
+	http    *http.Client
+	clock   resilience.Clock
+	policy  *resilience.Policy
+	seed    uint64
+	breaker *resilience.Breaker
+
+	retries atomic.Uint64
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithTransport substitutes the HTTP transport — the seam the chaos
+// harness uses to inject deterministic connection failures.
+func WithTransport(rt http.RoundTripper) Option {
+	return func(c *Client) { c.http.Transport = rt }
+}
+
+// WithHTTPClient substitutes the entire HTTP client.
+func WithHTTPClient(h *http.Client) Option {
+	return func(c *Client) {
+		if h != nil {
+			c.http = h
+		}
+	}
+}
+
+// WithClock substitutes the clock backoff waits go through; tests pass
+// a resilience.FakeClock so retry schedules elapse instantly.
+func WithClock(clock resilience.Clock) Option {
+	return func(c *Client) { c.clock = clock }
+}
+
+// WithRetry enables retries under the given policy. The schedule is a
+// pure function of (policy, seed, attempt), so a chaos run replays
+// bit-identically from its seed.
+func WithRetry(p resilience.Policy, seed uint64) Option {
+	return func(c *Client) {
+		c.policy = &p
+		c.seed = seed
+	}
+}
+
+// WithBreaker adds a circuit breaker in front of every call (only
+// meaningful together with WithRetry; a bare call still consults it).
+func WithBreaker(cfg resilience.BreakerConfig) Option {
+	return func(c *Client) { c.breaker = resilience.NewBreaker(cfg, c.clock) }
 }
 
 // NewClient returns a client for the daemon at base (e.g.
 // "http://127.0.0.1:8040"). Streaming requests disable the client
-// timeout; everything else uses a generous default.
-func NewClient(base string) *Client {
-	return &Client{base: strings.TrimRight(base, "/"), http: &http.Client{}}
+// timeout; everything else uses a generous default. With no options
+// the client is bare: one attempt per call, errors surfaced as-is.
+func NewClient(base string, opts ...Option) *Client {
+	c := &Client{
+		base:  strings.TrimRight(base, "/"),
+		http:  &http.Client{},
+		clock: resilience.Real(),
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// Base returns the daemon base URL this client talks to.
+func (c *Client) Base() string { return c.base }
+
+// Retries reports how many retry waits this client has performed —
+// the number fleetd-smoke asserts is non-zero under a flaky transport.
+func (c *Client) Retries() uint64 { return c.retries.Load() }
+
+// BreakerTrips reports how often the client's breaker opened (0
+// without WithBreaker).
+func (c *Client) BreakerTrips() uint64 {
+	if c.breaker == nil {
+		return 0
+	}
+	return c.breaker.Trips()
 }
 
 // ErrBusy is returned by Submit when the daemon's admission queue is
-// full; RetryAfter carries the server's suggested backoff.
+// full; RetryAfter carries the server's suggested backoff and Message
+// the server's own description of the pressure.
 type ErrBusy struct {
 	RetryAfter time.Duration
+	// Message is the server's error body (e.g. "job queue full (64
+	// deep); retry later"), empty if the body carried none.
+	Message string
 }
 
 // Error implements error.
 func (e ErrBusy) Error() string {
+	if e.Message != "" {
+		return fmt.Sprintf("fleetd busy: %s (retry after %v)", e.Message, e.RetryAfter)
+	}
 	return fmt.Sprintf("fleetd queue full; retry after %v", e.RetryAfter)
 }
 
-// decodeError turns a non-2xx response into an error.
+// ResilienceClass classifies backpressure as busy, never as an outage.
+func (e ErrBusy) ResilienceClass() resilience.Class { return resilience.ClassBusy }
+
+// HTTPError is a non-2xx response, normalized: the status code plus
+// the server's error message (decoded from the standard error body
+// when present, raw body text otherwise).
+type HTTPError struct {
+	StatusCode int
+	Message    string
+}
+
+// Error implements error.
+func (e *HTTPError) Error() string {
+	return fmt.Sprintf("fleetd: %s (HTTP %d)", e.Message, e.StatusCode)
+}
+
+// ResilienceClass maps server errors (5xx) to retryable and client
+// errors (4xx) to fatal.
+func (e *HTTPError) ResilienceClass() resilience.Class {
+	if e.StatusCode >= 500 {
+		return resilience.ClassRetryable
+	}
+	return resilience.ClassFatal
+}
+
+// closeBody drains and closes a response body so the underlying
+// connection is always reusable, error paths included.
+func closeBody(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+}
+
+// decodeError turns a non-2xx response into an *HTTPError, surfacing
+// the server's message.
 func decodeError(resp *http.Response) error {
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	msg := strings.TrimSpace(string(body))
 	var e ErrorResponse
 	if json.Unmarshal(body, &e) == nil && e.Error != "" {
-		return fmt.Errorf("fleetd: %s (HTTP %d)", e.Error, resp.StatusCode)
+		msg = e.Error
 	}
-	return fmt.Errorf("fleetd: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	if msg == "" {
+		msg = http.StatusText(resp.StatusCode)
+	}
+	return &HTTPError{StatusCode: resp.StatusCode, Message: msg}
+}
+
+// retryAfterOf parses a Retry-After header (seconds), defaulting to 1s.
+func retryAfterOf(resp *http.Response) time.Duration {
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		if secs, err := strconv.Atoi(v); err == nil && secs > 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return time.Second
+}
+
+// classifyTransport marks errors for the retry runner: transport
+// failures are retryable, busy errors carry their Retry-After hint,
+// HTTP errors classify themselves, context errors stay fatal.
+func classifyTransport(err error) error {
+	if err == nil {
+		return nil
+	}
+	var busy ErrBusy
+	if errors.As(err, &busy) {
+		return resilience.MarkBusy(err, busy.RetryAfter)
+	}
+	var he *HTTPError
+	if errors.As(err, &he) {
+		return err // self-classifying
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	// Anything else from the HTTP client is a transport-level failure:
+	// connection refused, reset, torn body. Retryable.
+	return resilience.MarkRetryable(err)
+}
+
+// run executes op through the retry layer when one is configured, or
+// directly (one attempt, unwrapped errors) on a bare client.
+func (c *Client) run(ctx context.Context, op func(ctx context.Context) error) error {
+	if c.policy == nil {
+		if c.breaker != nil {
+			if err := c.breaker.Allow(); err != nil {
+				return err
+			}
+			err := op(ctx)
+			if err != nil && resilience.Classify(classifyTransport(err)) == resilience.ClassBusy {
+				c.breaker.Record(nil) // backpressure is not an outage
+			} else {
+				c.breaker.Record(err)
+			}
+			return err
+		}
+		return op(ctx)
+	}
+	r := resilience.Runner{
+		Policy:  *c.policy,
+		Seed:    c.seed,
+		Clock:   c.clock,
+		Breaker: c.breaker,
+		OnRetry: func(int, time.Duration, error) { c.retries.Add(1) },
+	}
+	err := r.Do(ctx, func(ctx context.Context) error {
+		return classifyTransport(op(ctx))
+	})
+	return resilience.Unmark(err)
 }
 
 // Submit posts a fleet spec (the arachnet-fleet JSON schema) and
-// returns the daemon's acknowledgement. A full queue yields ErrBusy.
+// returns the daemon's acknowledgement. A full queue yields ErrBusy
+// (after the configured retries, when any, each honoring Retry-After).
 func (c *Client) Submit(ctx context.Context, spec []byte) (SubmitResponse, error) {
+	var sr SubmitResponse
+	err := c.run(ctx, func(ctx context.Context) error {
+		var err error
+		sr, err = c.submitOnce(ctx, spec)
+		return err
+	})
+	return sr, err
+}
+
+// submitOnce is one submission attempt.
+func (c *Client) submitOnce(ctx context.Context, spec []byte) (SubmitResponse, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/jobs", bytes.NewReader(spec))
 	if err != nil {
 		return SubmitResponse{}, err
@@ -61,7 +260,7 @@ func (c *Client) Submit(ctx context.Context, spec []byte) (SubmitResponse, error
 	if err != nil {
 		return SubmitResponse{}, err
 	}
-	defer resp.Body.Close()
+	defer closeBody(resp)
 	switch resp.StatusCode {
 	case http.StatusOK, http.StatusAccepted:
 		var sr SubmitResponse
@@ -70,20 +269,28 @@ func (c *Client) Submit(ctx context.Context, spec []byte) (SubmitResponse, error
 		}
 		return sr, nil
 	case http.StatusTooManyRequests:
-		after := time.Second
-		if v := resp.Header.Get("Retry-After"); v != "" {
-			if secs, err := strconv.Atoi(v); err == nil && secs > 0 {
-				after = time.Duration(secs) * time.Second
-			}
+		after := retryAfterOf(resp)
+		busy := ErrBusy{RetryAfter: after}
+		var he *HTTPError
+		if err := decodeError(resp); errors.As(err, &he) {
+			busy.Message = he.Message
 		}
-		return SubmitResponse{}, ErrBusy{RetryAfter: after}
+		return SubmitResponse{}, busy
 	default:
 		return SubmitResponse{}, decodeError(resp)
 	}
 }
 
-// getJSON fetches path and decodes the 200 body into out.
+// getJSON fetches path and decodes the 200 body into out, through the
+// retry layer.
 func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	return c.run(ctx, func(ctx context.Context) error {
+		return c.getJSONOnce(ctx, path, out)
+	})
+}
+
+// getJSONOnce is one GET attempt.
+func (c *Client) getJSONOnce(ctx context.Context, path string, out any) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
 	if err != nil {
 		return err
@@ -92,7 +299,7 @@ func (c *Client) getJSON(ctx context.Context, path string, out any) error {
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
+	defer closeBody(resp)
 	if resp.StatusCode != http.StatusOK {
 		return decodeError(resp)
 	}
@@ -129,27 +336,76 @@ func (c *Client) Health(ctx context.Context) (HealthResponse, error) {
 
 // Cancel aborts a queued or running job.
 func (c *Client) Cancel(ctx context.Context, id string) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.base+"/v1/jobs/"+id, nil)
-	if err != nil {
-		return err
-	}
-	resp, err := c.http.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return decodeError(resp)
-	}
-	return nil
+	return c.run(ctx, func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.base+"/v1/jobs/"+id, nil)
+		if err != nil {
+			return err
+		}
+		resp, err := c.http.Do(req)
+		if err != nil {
+			return err
+		}
+		defer closeBody(resp)
+		if resp.StatusCode != http.StatusOK {
+			return decodeError(resp)
+		}
+		return nil
+	})
+}
+
+// streamState threads resume progress through stream attempts: the
+// last event sequence seen (the reconnect offset) and whether the
+// opening status line was already delivered to fn.
+type streamState struct {
+	lastSeq   uint64
+	sawStatus bool
+	dropped   uint64
 }
 
 // Stream follows a job's JSONL progress stream, invoking fn for each
 // line until the stream ends (final "done" line included), fn returns
-// an error, or ctx is cancelled. It returns the terminal line when the
-// stream completed normally.
+// an error, or ctx is cancelled. With retries configured, a transport
+// failure mid-stream reconnects at ?after=<last seq> — the server
+// replays only newer events, so fn sees every event exactly once and
+// in order even across reconnects. It returns the terminal line when
+// the stream completed normally.
 func (c *Client) Stream(ctx context.Context, id string, fn func(StreamLine) error) (StreamLine, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/stream", nil)
+	var st streamState
+	var last StreamLine
+	var userErr error
+	err := c.run(ctx, func(ctx context.Context) error {
+		l, err := c.streamOnce(ctx, id, &st, func(line StreamLine) error {
+			if fn == nil {
+				return nil
+			}
+			if err := fn(line); err != nil {
+				userErr = err
+				return err
+			}
+			return nil
+		})
+		if err == nil {
+			last = l
+		}
+		if userErr != nil {
+			// fn's own error must not be retried or reclassified.
+			return resilience.MarkFatal(userErr)
+		}
+		return err
+	})
+	if userErr != nil {
+		return last, userErr
+	}
+	return last, err
+}
+
+// streamOnce runs one stream connection, resuming after st.lastSeq.
+func (c *Client) streamOnce(ctx context.Context, id string, st *streamState, fn func(StreamLine) error) (StreamLine, error) {
+	path := c.base + "/v1/jobs/" + id + "/stream"
+	if st.lastSeq > 0 {
+		path += "?after=" + strconv.FormatUint(st.lastSeq, 10)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, path, nil)
 	if err != nil {
 		return StreamLine{}, err
 	}
@@ -157,13 +413,12 @@ func (c *Client) Stream(ctx context.Context, id string, fn func(StreamLine) erro
 	if err != nil {
 		return StreamLine{}, err
 	}
-	defer resp.Body.Close()
+	defer closeBody(resp)
 	if resp.StatusCode != http.StatusOK {
 		return StreamLine{}, decodeError(resp)
 	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	var last StreamLine
 	for sc.Scan() {
 		raw := bytes.TrimSpace(sc.Bytes())
 		if len(raw) == 0 {
@@ -171,26 +426,49 @@ func (c *Client) Stream(ctx context.Context, id string, fn func(StreamLine) erro
 		}
 		var line StreamLine
 		if err := json.Unmarshal(raw, &line); err != nil {
-			return last, fmt.Errorf("fleetd: decode stream line: %w", err)
+			return StreamLine{}, fmt.Errorf("fleetd: decode stream line: %w", err)
 		}
-		if fn != nil {
-			if err := fn(line); err != nil {
-				return last, err
+		switch line.Type {
+		case StreamStatus:
+			// Reconnects open with a fresh status snapshot; fn sees
+			// only the first so its line sequence reads like one
+			// uninterrupted stream.
+			if st.sawStatus {
+				continue
 			}
+			st.sawStatus = true
+		case StreamEvent:
+			if line.Seq != 0 {
+				if line.Seq <= st.lastSeq {
+					continue // replayed duplicate
+				}
+				st.lastSeq = line.Seq
+			}
+		case StreamDone:
+			// Fold drops accumulated on earlier connections into the
+			// terminal line the caller keeps.
+			line.Dropped += st.dropped
+			if err := fn(line); err != nil {
+				return line, err
+			}
+			return line, nil
 		}
-		last = line
-		if line.Type == StreamDone {
-			return last, nil
+		if line.Dropped > 0 {
+			st.dropped += line.Dropped
+		}
+		if err := fn(line); err != nil {
+			return StreamLine{}, err
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return last, err
+		return StreamLine{}, err
 	}
-	return last, errors.New("fleetd: stream ended without a done line")
+	return StreamLine{}, errors.New("fleetd: stream ended without a done line")
 }
 
 // Wait polls until the job reaches a terminal state, checking every
-// poll interval (default 100ms when zero).
+// poll interval (default 100ms when zero). Each poll goes through the
+// retry layer, so a briefly unreachable daemon does not abort a wait.
 func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (StatusResponse, error) {
 	if poll <= 0 {
 		poll = 100 * time.Millisecond

@@ -3,29 +3,45 @@ package fleetd
 import (
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/fleet"
 )
 
 // Checkpointed resume. While a job runs, the daemon accumulates its
 // deterministic shard outcomes (status ok or failed — the statuses a
-// resumed pool may preload) and periodically writes an atomic snapshot
-// to <dir>/<id>.ckpt.json. A daemon killed mid-sweep therefore
-// restarts, reloads the directory, and finishes interrupted jobs
-// without recomputing done shards; finished jobs persist their full
-// report so restarts also repopulate the response cache.
+// resumed pool may preload) and periodically writes a crash-safe
+// snapshot to <dir>/<id>.ckpt.json. A daemon killed mid-sweep
+// therefore restarts, reloads the directory, and finishes interrupted
+// jobs without recomputing done shards; finished jobs persist their
+// full report so restarts also repopulate the response cache.
+//
+// Durability contract: Write stages the bytes in a temp file, fsyncs
+// the file, renames it over the target, then fsyncs the directory —
+// after Write returns, the checkpoint survives a machine crash, and a
+// crash at any earlier point leaves the previous checkpoint intact.
+// Records are wrapped in a CRC-tagged envelope; Load quarantines any
+// file that fails to decode or whose CRC disagrees (renamed to
+// <id>.corrupt, reported, never fatal) so one bad sector cannot block
+// the rest of the fleet from resuming.
 
-// checkpointVersion guards the on-disk schema.
-const checkpointVersion = 1
+// checkpointVersion guards the on-disk schema. Version 2 wraps the
+// record in a CRC32-C envelope; version-1 files (no envelope, no CRC)
+// are still read.
+const checkpointVersion = 2
 
 // ckptSuffix names checkpoint files; anything else in the directory is
 // ignored.
 const ckptSuffix = ".ckpt.json"
+
+// corruptSuffix is where Load quarantines files it cannot trust.
+const corruptSuffix = ".corrupt"
 
 // Record is the on-disk form of one job's checkpoint.
 type Record struct {
@@ -47,23 +63,103 @@ type Record struct {
 	Error string `json:"error,omitempty"`
 }
 
+// envelope is the version-2 on-disk wrapper: the record's raw JSON
+// plus a CRC32-C over exactly those bytes, so torn or bit-rotted
+// checkpoints are detected instead of half-trusted.
+type envelope struct {
+	Version int             `json:"version"`
+	CRC     string          `json:"crc"`
+	Record  json.RawMessage `json:"record"`
+}
+
+// castagnoli is the CRC32-C table (hardware-accelerated on most CPUs).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// crcHex tags record bytes for the envelope.
+func crcHex(b []byte) string {
+	return fmt.Sprintf("%08x", crc32.Checksum(b, castagnoli))
+}
+
+// Quarantine describes one checkpoint file Load refused to trust.
+type Quarantine struct {
+	// File is the original checkpoint file name (not path).
+	File string `json:"file"`
+	// MovedTo is the quarantine destination name, empty if the rename
+	// itself failed (the file is left in place and skipped).
+	MovedTo string `json:"moved_to,omitempty"`
+	// Reason says why the file was rejected.
+	Reason string `json:"reason"`
+}
+
+// RecoveryReport is Load's structured account of what it found:
+// how many records loaded cleanly, which files were quarantined and
+// why, and any directory-level errors. It replaces a bare error slice
+// so operators (and tests) can distinguish "empty dir" from "ate a
+// corrupt checkpoint" at a glance.
+type RecoveryReport struct {
+	// Loaded counts records decoded and CRC-verified.
+	Loaded int `json:"loaded"`
+	// Quarantined lists rejected files, in directory order.
+	Quarantined []Quarantine `json:"quarantined,omitempty"`
+	// Errors collects non-quarantine failures (unreadable dir or
+	// files); these do not abort the load either.
+	Errors []string `json:"errors,omitempty"`
+}
+
+// Clean reports whether the load saw no quarantines and no errors.
+func (r RecoveryReport) Clean() bool {
+	return len(r.Quarantined) == 0 && len(r.Errors) == 0
+}
+
+// String summarizes the report for logs.
+func (r RecoveryReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "loaded %d checkpoint(s)", r.Loaded)
+	for _, q := range r.Quarantined {
+		dest := q.MovedTo
+		if dest == "" {
+			dest = "(left in place)"
+		}
+		fmt.Fprintf(&b, "; quarantined %s -> %s: %s", q.File, dest, q.Reason)
+	}
+	for _, e := range r.Errors {
+		fmt.Fprintf(&b, "; error: %s", e)
+	}
+	return b.String()
+}
+
 // CheckpointStore reads and writes job checkpoints in one directory.
 // A nil store is valid and makes every operation a no-op, so the
 // daemon runs fine with checkpointing disabled.
 type CheckpointStore struct {
 	dir string
+	fs  FS
+	// tmpSeq makes each write's staging file unique, so concurrent
+	// writes for the same job (admission racing the first periodic
+	// flush) never rename each other's temp file out from under them.
+	tmpSeq atomic.Uint64
 }
 
 // NewCheckpointStore opens (creating if needed) the checkpoint
-// directory; dir == "" disables checkpointing and returns nil.
+// directory on the real filesystem; dir == "" disables checkpointing
+// and returns nil.
 func NewCheckpointStore(dir string) (*CheckpointStore, error) {
+	return NewCheckpointStoreFS(dir, OSFS())
+}
+
+// NewCheckpointStoreFS is NewCheckpointStore with an injected FS —
+// the seam the chaos harness uses to put faults under every write.
+func NewCheckpointStoreFS(dir string, fsys FS) (*CheckpointStore, error) {
 	if dir == "" {
 		return nil, nil
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if fsys == nil {
+		fsys = OSFS()
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("fleetd: checkpoint dir: %w", err)
 	}
-	return &CheckpointStore{dir: dir}, nil
+	return &CheckpointStore{dir: dir, fs: fsys}, nil
 }
 
 // path returns the checkpoint file for a job id.
@@ -71,24 +167,45 @@ func (s *CheckpointStore) path(id string) string {
 	return filepath.Join(s.dir, id+ckptSuffix)
 }
 
-// Write persists a record atomically: the JSON is written to a
-// temporary file in the same directory and renamed over the target, so
-// a crash mid-write never leaves a torn checkpoint.
+// Write persists a record crash-safely: marshal into the CRC envelope,
+// stage in a temp file in the same directory, fsync the file, rename
+// over the target, fsync the directory. A crash before the rename
+// leaves the previous checkpoint; a crash after the directory sync
+// leaves the new one; the CRC catches anything in between.
 func (s *CheckpointStore) Write(rec Record) error {
 	if s == nil {
 		return nil
 	}
 	rec.Version = checkpointVersion
-	data, err := json.Marshal(rec)
+	raw, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("fleetd: marshal checkpoint %s: %w", rec.ID, err)
 	}
-	tmp := s.path(rec.ID) + ".tmp"
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+	data, err := json.Marshal(envelope{Version: checkpointVersion, CRC: crcHex(raw), Record: raw})
+	if err != nil {
+		return fmt.Errorf("fleetd: marshal checkpoint envelope %s: %w", rec.ID, err)
+	}
+	tmp := fmt.Sprintf("%s.%d.tmp", s.path(rec.ID), s.tmpSeq.Add(1))
+	f, err := s.fs.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("fleetd: stage checkpoint %s: %w", rec.ID, err)
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
 		return fmt.Errorf("fleetd: write checkpoint %s: %w", rec.ID, err)
 	}
-	if err := os.Rename(tmp, s.path(rec.ID)); err != nil {
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("fleetd: sync checkpoint %s: %w", rec.ID, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("fleetd: close checkpoint %s: %w", rec.ID, err)
+	}
+	if err := s.fs.Rename(tmp, s.path(rec.ID)); err != nil {
 		return fmt.Errorf("fleetd: commit checkpoint %s: %w", rec.ID, err)
+	}
+	if err := s.fs.SyncDir(s.dir); err != nil {
+		return fmt.Errorf("fleetd: sync checkpoint dir for %s: %w", rec.ID, err)
 	}
 	return nil
 }
@@ -98,7 +215,7 @@ func (s *CheckpointStore) Remove(id string) error {
 	if s == nil {
 		return nil
 	}
-	err := os.Remove(s.path(id))
+	err := s.fs.Remove(s.path(id))
 	if os.IsNotExist(err) {
 		return nil
 	}
@@ -107,46 +224,89 @@ func (s *CheckpointStore) Remove(id string) error {
 
 // Load reads every checkpoint in the directory, sorted by job ID so a
 // restarted daemon re-queues interrupted jobs in their original
-// submission order. Unreadable or foreign-version files are skipped
-// with their errors collected, never fatal — one corrupt checkpoint
-// must not block the rest of the fleet from resuming.
-func (s *CheckpointStore) Load() ([]Record, []error) {
+// submission order. Files that fail to decode or whose CRC disagrees
+// are quarantined — renamed to <id>.corrupt and accounted for in the
+// RecoveryReport — never fatal: one corrupt checkpoint must not block
+// the rest of the fleet from resuming.
+func (s *CheckpointStore) Load() ([]Record, RecoveryReport) {
+	var report RecoveryReport
 	if s == nil {
-		return nil, nil
+		return nil, report
 	}
-	entries, err := os.ReadDir(s.dir)
+	entries, err := s.fs.ReadDir(s.dir)
 	if err != nil {
-		return nil, []error{fmt.Errorf("fleetd: read checkpoint dir: %w", err)}
+		report.Errors = append(report.Errors, fmt.Sprintf("read checkpoint dir: %v", err))
+		return nil, report
 	}
 	var recs []Record
-	var errs []error
 	for _, ent := range entries {
 		name := ent.Name()
 		if ent.IsDir() || !strings.HasSuffix(name, ckptSuffix) {
 			continue
 		}
-		data, err := os.ReadFile(filepath.Join(s.dir, name))
+		data, err := s.fs.ReadFile(filepath.Join(s.dir, name))
 		if err != nil {
-			errs = append(errs, err)
+			report.Errors = append(report.Errors, fmt.Sprintf("read %s: %v", name, err))
 			continue
 		}
-		var rec Record
-		if err := json.Unmarshal(data, &rec); err != nil {
-			errs = append(errs, fmt.Errorf("fleetd: checkpoint %s: %w", name, err))
-			continue
-		}
-		if rec.Version != checkpointVersion {
-			errs = append(errs, fmt.Errorf("fleetd: checkpoint %s: unsupported version %d", name, rec.Version))
-			continue
-		}
-		if rec.ID == "" {
-			errs = append(errs, fmt.Errorf("fleetd: checkpoint %s: missing id", name))
+		rec, reason := decodeCheckpoint(data)
+		if reason != "" {
+			report.Quarantined = append(report.Quarantined, s.quarantine(name, reason))
 			continue
 		}
 		recs = append(recs, rec)
+		report.Loaded++
 	}
 	sort.Slice(recs, func(i, j int) bool { return recs[i].ID < recs[j].ID })
-	return recs, errs
+	return recs, report
+}
+
+// decodeCheckpoint parses one checkpoint file. An empty reason means
+// the record is trustworthy; otherwise reason says why it is not.
+func decodeCheckpoint(data []byte) (Record, string) {
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return Record{}, fmt.Sprintf("undecodable: %v", err)
+	}
+	switch env.Version {
+	case checkpointVersion:
+		if got := crcHex(env.Record); got != env.CRC {
+			return Record{}, fmt.Sprintf("crc mismatch: file says %s, content is %s", env.CRC, got)
+		}
+		var rec Record
+		if err := json.Unmarshal(env.Record, &rec); err != nil {
+			return Record{}, fmt.Sprintf("record undecodable: %v", err)
+		}
+		if rec.ID == "" {
+			return Record{}, "missing job id"
+		}
+		return rec, ""
+	case 1:
+		// Legacy pre-envelope format: the whole file is the record.
+		// No CRC to check; decode errors still quarantine.
+		var rec Record
+		if err := json.Unmarshal(data, &rec); err != nil {
+			return Record{}, fmt.Sprintf("legacy record undecodable: %v", err)
+		}
+		if rec.ID == "" {
+			return Record{}, "legacy record missing job id"
+		}
+		return rec, ""
+	default:
+		return Record{}, fmt.Sprintf("unsupported version %d", env.Version)
+	}
+}
+
+// quarantine moves a rejected checkpoint aside as <id>.corrupt so the
+// next load does not trip on it again; the bytes are preserved for
+// post-mortem. If the rename fails the file stays put and is skipped.
+func (s *CheckpointStore) quarantine(name, reason string) Quarantine {
+	q := Quarantine{File: name, Reason: reason}
+	dest := strings.TrimSuffix(name, ckptSuffix) + corruptSuffix
+	if err := s.fs.Rename(filepath.Join(s.dir, name), filepath.Join(s.dir, dest)); err == nil {
+		q.MovedTo = dest
+	}
+	return q
 }
 
 // checkpointer accumulates one running job's deterministic shard
@@ -157,6 +317,10 @@ type checkpointer struct {
 	store *CheckpointStore
 	id    string
 	spec  json.RawMessage
+	// onWrite, when set, observes every write attempt's outcome — the
+	// daemon hooks its degraded-mode accounting here so periodic
+	// flushes double as recovery probes.
+	onWrite func(error)
 
 	mu       sync.Mutex
 	outcomes []fleet.JobOutcome
@@ -214,12 +378,16 @@ func (c *checkpointer) flush(force bool) error {
 	}
 	c.dirty = false
 	c.mu.Unlock()
-	return c.store.Write(Record{
+	err := c.store.Write(Record{
 		ID:       c.id,
 		State:    StateRunningCkpt,
 		Spec:     c.spec,
 		Outcomes: c.snapshot(),
 	})
+	if c.onWrite != nil {
+		c.onWrite(err)
+	}
+	return err
 }
 
 // Checkpoint state names (distinct from the API job states only in

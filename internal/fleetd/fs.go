@@ -1,0 +1,73 @@
+package fleetd
+
+import (
+	"io"
+	"os"
+)
+
+// FS is the filesystem seam the checkpoint store writes through. The
+// daemon runs on OSFS; the chaos harness substitutes a fault-injecting
+// implementation to simulate torn writes, full disks, and processes
+// killed between syscalls — without ever touching a real disk fault.
+// The methods are exactly the operations a crash-safe write needs,
+// so every fsync/rename the durability argument depends on crosses
+// this boundary and is visible to fault injection.
+type FS interface {
+	// MkdirAll creates the checkpoint directory tree.
+	MkdirAll(dir string, perm os.FileMode) error
+	// Create opens name for writing, truncating any previous content.
+	Create(name string) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file (callers tolerate fs.ErrNotExist).
+	Remove(name string) error
+	// ReadDir lists a directory.
+	ReadDir(dir string) ([]os.DirEntry, error)
+	// ReadFile slurps a file.
+	ReadFile(name string) ([]byte, error)
+	// SyncDir fsyncs a directory so a completed rename survives a
+	// crash of the machine, not just of the process.
+	SyncDir(dir string) error
+}
+
+// File is the writable handle Create returns: sequential writes, an
+// explicit durability barrier, and close.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// osFS is the real-disk FS.
+type osFS struct{}
+
+// OSFS returns the FS backed by the os package; the default for every
+// production server.
+func OSFS() FS { return osFS{} }
+
+func (osFS) MkdirAll(dir string, perm os.FileMode) error { return os.MkdirAll(dir, perm) }
+
+func (osFS) Create(name string) (File, error) {
+	return os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) ReadDir(dir string) ([]os.DirEntry, error) { return os.ReadDir(dir) }
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}

@@ -66,9 +66,9 @@ func TestResumeAfterDrain(t *testing.T) {
 	hs1.Close()
 
 	// The checkpoint must exist and carry completed shard outcomes.
-	recs, errs := mustStore(t, dir).Load()
-	if len(errs) > 0 {
-		t.Fatalf("checkpoint load errors: %v", errs)
+	recs, report := mustStore(t, dir).Load()
+	if !report.Clean() {
+		t.Fatalf("checkpoint recovery not clean: %s", report)
 	}
 	if len(recs) != 1 || recs[0].ID != sub.ID || recs[0].State != StateRunningCkpt {
 		t.Fatalf("unexpected checkpoints after drain: %+v", recs)
@@ -209,8 +209,9 @@ func TestQueuedJobSurvivesDrain(t *testing.T) {
 	}
 }
 
-// TestCheckpointAtomicity: a stray temp file or corrupt checkpoint in
-// the directory is skipped, never fatal to the rest of the fleet.
+// TestCheckpointCorruptionTolerated: a stray temp file or corrupt
+// checkpoint in the directory is quarantined as <id>.corrupt and
+// reported, never fatal to the rest of the fleet.
 func TestCheckpointCorruptionTolerated(t *testing.T) {
 	dir := t.TempDir()
 	if err := os.WriteFile(filepath.Join(dir, "job-000009"+ckptSuffix), []byte("{torn"), 0o644); err != nil {
@@ -220,12 +221,40 @@ func TestCheckpointCorruptionTolerated(t *testing.T) {
 		t.Fatal(err)
 	}
 	store := mustStore(t, dir)
-	recs, errs := store.Load()
+	recs, report := store.Load()
 	if len(recs) != 0 {
 		t.Errorf("corrupt dir yielded records: %+v", recs)
 	}
-	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "job-000009") {
-		t.Errorf("want one error naming the torn file, got %v", errs)
+	if report.Loaded != 0 {
+		t.Errorf("report claims %d loaded records", report.Loaded)
+	}
+	if len(report.Quarantined) != 1 || !strings.Contains(report.Quarantined[0].File, "job-000009") {
+		t.Fatalf("want one quarantine naming the torn file, got %+v", report.Quarantined)
+	}
+	q := report.Quarantined[0]
+	if q.MovedTo != "job-000009"+corruptSuffix {
+		t.Errorf("quarantine destination = %q", q.MovedTo)
+	}
+	if q.Reason == "" {
+		t.Error("quarantine carries no reason")
+	}
+	// The bytes must be preserved for post-mortem at the new name, and
+	// the original file must be gone so the next load skips it.
+	moved, err := os.ReadFile(filepath.Join(dir, q.MovedTo))
+	if err != nil {
+		t.Fatalf("quarantined bytes unreadable: %v", err)
+	}
+	if string(moved) != "{torn" {
+		t.Errorf("quarantined bytes = %q, want the original torn content", moved)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "job-000009"+ckptSuffix)); !os.IsNotExist(err) {
+		t.Errorf("torn checkpoint still present after quarantine (err=%v)", err)
+	}
+	// A second load over the same directory is clean: the quarantine is
+	// not re-reported and the .corrupt file is ignored.
+	recs2, report2 := store.Load()
+	if len(recs2) != 0 || !report2.Clean() {
+		t.Errorf("second load not clean: recs=%+v report=%s", recs2, report2)
 	}
 	// The daemon still constructs and serves over such a directory.
 	s, err := New(Config{CheckpointDir: dir, Logf: t.Logf})
@@ -237,6 +266,56 @@ func TestCheckpointCorruptionTolerated(t *testing.T) {
 	defer cancel()
 	if err := s.Drain(dctx); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestCheckpointCRCMismatchQuarantined: a version-2 envelope whose CRC
+// disagrees with its record bytes is quarantined even though it parses
+// as valid JSON — silent bit rot is caught, not half-trusted.
+func TestCheckpointCRCMismatchQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	store := mustStore(t, dir)
+	rec := Record{ID: "job-000001", State: StateQueuedCkpt, Spec: []byte(`{"seed":1}`)}
+	if err := store.Write(rec); err != nil {
+		t.Fatal(err)
+	}
+	name := "job-000001" + ckptSuffix
+	path := filepath.Join(dir, name)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the embedded record without breaking the JSON.
+	tampered := strings.Replace(string(data), `"seed":1`, `"seed":2`, 1)
+	if tampered == string(data) {
+		t.Fatal("tamper target not found in checkpoint bytes")
+	}
+	if err := os.WriteFile(path, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, report := store.Load()
+	if len(recs) != 0 {
+		t.Errorf("tampered checkpoint loaded: %+v", recs)
+	}
+	if len(report.Quarantined) != 1 || !strings.Contains(report.Quarantined[0].Reason, "crc mismatch") {
+		t.Fatalf("want a crc-mismatch quarantine, got %+v", report.Quarantined)
+	}
+}
+
+// TestCheckpointLegacyV1Loads: a pre-envelope (version 1) checkpoint
+// still loads — upgrades must not orphan in-flight jobs.
+func TestCheckpointLegacyV1Loads(t *testing.T) {
+	dir := t.TempDir()
+	legacy := `{"version":1,"id":"job-000004","state":"queued","spec":{"seed":9}}`
+	if err := os.WriteFile(filepath.Join(dir, "job-000004"+ckptSuffix), []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, report := mustStore(t, dir).Load()
+	if !report.Clean() || report.Loaded != 1 {
+		t.Fatalf("legacy load not clean: %s", report)
+	}
+	if len(recs) != 1 || recs[0].ID != "job-000004" || recs[0].State != StateQueuedCkpt {
+		t.Fatalf("legacy record mangled: %+v", recs)
 	}
 }
 

@@ -14,11 +14,21 @@
 // with Retry-After instead of buffering unboundedly, so overload is
 // explicit backpressure rather than memory growth. A draining daemon
 // (SIGTERM) answers 503 and checkpoints in-flight work before exit.
+//
+// Failure model (see DESIGN.md §9): checkpoints are crash-safe
+// (fsync + rename + CRC, corrupt files quarantined); shards that fail
+// with transient errors are re-executed a bounded number of times
+// (panics and other fatal errors are not); each job can carry a
+// deadline; and an unwritable checkpoint directory puts the daemon in
+// degraded mode — cached reports and health keep serving, non-cached
+// submissions get 503, and the next successful checkpoint write (every
+// attempt doubles as the recovery probe) restores normal service.
 package fleetd
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -31,6 +41,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/fleetd/api"
 	"repro/internal/obs"
+	"repro/internal/resilience"
 )
 
 // Config parameterizes a daemon.
@@ -56,10 +67,29 @@ type Config struct {
 	CheckpointEvery time.Duration
 	// RetryAfter is the backoff suggested on 429; <= 0 means 1s.
 	RetryAfter time.Duration
-	// StreamBuffer is the per-subscriber event buffer for /stream;
-	// <= 0 means the default 1024. Slow readers beyond it drop events
-	// (reported on the stream's final line), never block workers.
+	// StreamBuffer is the per-job retained event window for /stream;
+	// <= 0 means the default 1024. Reconnecting clients whose offset
+	// fell behind the window see the gap as a drop count.
 	StreamBuffer int
+	// JobDeadline bounds each job's wall-clock run; a job that exceeds
+	// it fails with a deadline error (its shards are classified
+	// timed-out). 0 means no deadline.
+	JobDeadline time.Duration
+	// JobRetries bounds automatic re-execution of shards that failed
+	// with retryable (transient-classified) errors. Panics and other
+	// fatal failures are never re-run. 0 disables re-execution.
+	JobRetries int
+	// FS is the filesystem the checkpoint store writes through; nil
+	// means the real disk. The chaos harness injects faults here.
+	FS FS
+	// WrapJob, when non-nil, wraps every compiled shard run function —
+	// the chaos harness's fault-injection seam. Production leaves it
+	// nil.
+	WrapJob func(fleet.JobFunc) fleet.JobFunc
+	// Metrics receives the daemon's counters (checkpoint writes,
+	// quarantines, reruns, degraded transitions); nil means a private
+	// registry, exposed either way on /v1/healthz.
+	Metrics *obs.Metrics
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -84,6 +114,9 @@ func (c Config) withDefaults() Config {
 	if c.StreamBuffer <= 0 {
 		c.StreamBuffer = 1024
 	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewMetrics()
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -96,12 +129,13 @@ type job struct {
 	spec  json.RawMessage
 	key   string // response-cache key
 	total int    // compiled per-vehicle job count
-	bc    *obs.Broadcaster
+	log   *eventLog
 
 	mu          sync.Mutex
 	state       string
 	cached      bool
 	resumed     int
+	reruns      int
 	preloaded   []fleet.JobOutcome
 	pool        *fleet.Pool
 	cancel      context.CancelFunc
@@ -120,6 +154,7 @@ func (j *job) status() api.StatusResponse {
 		State:       j.state,
 		Total:       j.total,
 		Resumed:     j.resumed,
+		Reruns:      j.reruns,
 		Cached:      j.cached,
 		Fingerprint: j.fingerprint,
 		Error:       j.errMsg,
@@ -138,18 +173,22 @@ func (j *job) status() api.StatusResponse {
 // Server is the fleetd daemon: construct with New, expose Handler()
 // over any listener, Start() the runners, and Drain() on shutdown.
 type Server struct {
-	cfg   Config
-	store *CheckpointStore
-	cache *Cache
-	mux   *http.ServeMux
-	queue chan *job
+	cfg     Config
+	store   *CheckpointStore
+	cache   *Cache
+	mux     *http.ServeMux
+	queue   chan *job
+	metrics *obs.Metrics
 
-	mu       sync.Mutex
-	jobs     map[string]*job
-	order    []string
-	nextID   int
-	draining bool
-	running  int
+	mu             sync.Mutex
+	jobs           map[string]*job
+	order          []string
+	nextID         int
+	draining       bool
+	running        int
+	degraded       bool
+	degradedReason string
+	inflight       map[string]string // cache key -> active (queued/running) job ID
 
 	runCtx    context.Context
 	runCancel context.CancelFunc
@@ -161,10 +200,11 @@ type Server struct {
 // cfg.CheckpointDir: done jobs re-register with their reports (and
 // rewarm the response cache); queued or running jobs are re-queued
 // with their completed shards preloaded, so Start finishes them
-// without recomputation.
+// without recomputation. Corrupt checkpoint files are quarantined as
+// <id>.corrupt and reported, never fatal.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	store, err := NewCheckpointStore(cfg.CheckpointDir)
+	store, err := NewCheckpointStoreFS(cfg.CheckpointDir, cfg.FS)
 	if err != nil {
 		return nil, err
 	}
@@ -174,7 +214,9 @@ func New(cfg Config) (*Server, error) {
 		store:     store,
 		cache:     NewCache(cfg.CacheEntries),
 		queue:     make(chan *job, cfg.QueueDepth),
+		metrics:   cfg.Metrics,
 		jobs:      make(map[string]*job),
+		inflight:  make(map[string]string),
 		runCtx:    ctx,
 		runCancel: cancel,
 	}
@@ -267,11 +309,62 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 }
 
+// Degraded reports whether the daemon is in degraded mode and why.
+func (s *Server) Degraded() (bool, string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.degraded, s.degradedReason
+}
+
+// checkpointWrite routes every checkpoint write through the degraded
+// mode accounting: a failure enters degraded mode, a success leaves
+// it. Every attempt therefore doubles as the recovery probe — no
+// separate probing machinery exists.
+func (s *Server) checkpointWrite(rec Record) error {
+	if s.store == nil {
+		return nil
+	}
+	err := s.store.Write(rec)
+	s.noteCheckpoint(err)
+	return err
+}
+
+// noteCheckpoint folds one checkpoint write outcome into the degraded
+// state machine and metrics.
+func (s *Server) noteCheckpoint(err error) {
+	if err == nil {
+		s.metrics.Inc("ckpt_writes")
+		s.mu.Lock()
+		if s.degraded {
+			s.degraded = false
+			s.degradedReason = ""
+			s.mu.Unlock()
+			s.metrics.Inc("degraded_exits")
+			s.cfg.Logf("fleetd: checkpoint dir writable again; leaving degraded mode")
+			return
+		}
+		s.mu.Unlock()
+		return
+	}
+	s.metrics.Inc("ckpt_write_errors")
+	s.mu.Lock()
+	if !s.degraded {
+		s.degraded = true
+		s.degradedReason = err.Error()
+		s.mu.Unlock()
+		s.metrics.Inc("degraded_entries")
+		s.cfg.Logf("fleetd: entering degraded mode: %v", err)
+		return
+	}
+	s.mu.Unlock()
+}
+
 // loadCheckpoints restores jobs persisted by a previous process.
 func (s *Server) loadCheckpoints() error {
-	recs, errs := s.store.Load()
-	for _, err := range errs {
-		s.cfg.Logf("fleetd: skipping checkpoint: %v", err)
+	recs, report := s.store.Load()
+	if !report.Clean() {
+		s.metrics.Add("ckpt_quarantined", uint64(len(report.Quarantined)))
+		s.cfg.Logf("fleetd: checkpoint recovery: %s", report)
 	}
 	for _, rec := range recs {
 		f, err := arachnet.UnmarshalFleetJSON(rec.Spec)
@@ -294,7 +387,7 @@ func (s *Server) loadCheckpoints() error {
 			spec:  rec.Spec,
 			key:   key,
 			total: len(specs),
-			bc:    obs.NewBroadcaster(),
+			log:   newEventLog(s.cfg.StreamBuffer),
 			done:  make(chan struct{}),
 		}
 		switch rec.State {
@@ -308,7 +401,7 @@ func (s *Server) loadCheckpoints() error {
 			j.report = &rep
 			j.fingerprint = rec.Fingerprint
 			j.errMsg = rec.Error
-			j.bc.Close()
+			j.log.Close()
 			close(j.done)
 			s.cache.Put(key, CacheEntry{Fingerprint: rec.Fingerprint, Report: &rep})
 		case StateQueuedCkpt, StateRunningCkpt:
@@ -316,6 +409,7 @@ func (s *Server) loadCheckpoints() error {
 			j.preloaded = rec.Outcomes
 			j.resumed = len(rec.Outcomes)
 			s.resume = append(s.resume, j)
+			s.inflight[key] = j.id
 		default:
 			s.cfg.Logf("fleetd: checkpoint %s: unknown state %q", rec.ID, rec.State)
 			continue
@@ -357,20 +451,61 @@ func (s *Server) runLoop() {
 	}
 }
 
+// retryableFailed lists the indices of shards that failed with a
+// transient-classified error — the candidates for bounded
+// re-execution. Panicked, timed-out and fatally-failed shards are
+// excluded: re-running them cannot change a deterministic outcome.
+func retryableFailed(rep *fleet.Report) []int {
+	var idx []int
+	for _, o := range rep.Jobs {
+		if o.Status == fleet.StatusFailed && resilience.ClassifyMessage(o.Err) == resilience.ClassRetryable {
+			idx = append(idx, o.Index)
+		}
+	}
+	return idx
+}
+
+// keepDeterministic filters a report's outcomes down to the ones a
+// rerun pool may preload: successes and fatal (non-transient)
+// failures.
+func keepDeterministic(rep *fleet.Report) []fleet.JobOutcome {
+	var keep []fleet.JobOutcome
+	for _, o := range rep.Jobs {
+		switch o.Status {
+		case fleet.StatusOK:
+			keep = append(keep, o)
+		case fleet.StatusFailed:
+			if resilience.ClassifyMessage(o.Err) == resilience.ClassFatal {
+				keep = append(keep, o)
+			}
+		}
+	}
+	return keep
+}
+
 // runJob executes one fleet spec through the pool, checkpointing as it
-// goes. It never panics the runner: spec errors fail the job, and a
-// drain interruption leaves a resumable checkpoint behind.
+// goes. It never panics the runner: spec errors fail the job, shards
+// that failed transiently are re-executed up to Config.JobRetries
+// times, a deadline overrun fails the job, and a drain interruption
+// leaves a resumable checkpoint behind.
 func (s *Server) runJob(j *job) {
 	j.mu.Lock()
 	if j.state != api.StateQueued {
 		j.mu.Unlock() // cancelled while queued
 		return
 	}
-	jctx, cancel := context.WithCancel(s.runCtx)
+	base, cancel := context.WithCancel(s.runCtx)
+	jctx := base
+	dcancel := context.CancelFunc(func() {})
+	if s.cfg.JobDeadline > 0 {
+		//lint:allow determinism job deadlines are wall-clock budgets, not simulation state
+		jctx, dcancel = resilience.Tighten(base, time.Now(), s.cfg.JobDeadline)
+	}
 	j.state = api.StateRunning
 	j.cancel = cancel
 	pre := j.preloaded
 	j.mu.Unlock()
+	defer dcancel()
 	defer cancel()
 
 	s.mu.Lock()
@@ -390,77 +525,145 @@ func (s *Server) runJob(j *job) {
 	if s.cfg.WorkerCap > 0 && (f.Workers <= 0 || f.Workers > s.cfg.WorkerCap) {
 		f.Workers = s.cfg.WorkerCap
 	}
-	ck := newCheckpointer(s.store, j.id, j.spec, pre)
-	f.Observer = fleet.MultiObserver(ck, fleet.NewTracerObserver(obs.New(j.bc)))
-	pool, err := arachnet.NewFleetPool(f)
+	specs, err := f.Jobs()
 	if err != nil {
 		s.finalizeFailed(j, err)
 		return
 	}
-	if len(pre) > 0 {
-		if err := pool.Preload(pre); err != nil {
-			// A checkpoint that no longer matches the spec is discarded:
-			// recompute everything rather than corrupt the report.
-			s.cfg.Logf("fleetd: %s: discarding checkpoint: %v", j.id, err)
-			ck = newCheckpointer(s.store, j.id, j.spec, nil)
-			f.Observer = fleet.MultiObserver(ck, fleet.NewTracerObserver(obs.New(j.bc)))
-			pool, err = arachnet.NewFleetPool(f)
-			if err != nil {
-				s.finalizeFailed(j, err)
-				return
-			}
-			j.mu.Lock()
-			j.resumed = 0
-			j.mu.Unlock()
+	if s.cfg.WrapJob != nil {
+		for i := range specs {
+			specs[i].Run = s.cfg.WrapJob(specs[i].Run)
 		}
+	}
+
+	// buildPool assembles a fresh pool + checkpointer over the shared
+	// shard list, preloading previously-settled outcomes.
+	buildPool := func(pre []fleet.JobOutcome) (*fleet.Pool, *checkpointer, error) {
+		ck := newCheckpointer(s.store, j.id, j.spec, pre)
+		ck.onWrite = s.noteCheckpoint
+		cfg := fleet.Config{
+			Workers:    f.Workers,
+			Seed:       f.Seed,
+			JobTimeout: f.JobTimeout,
+			Observer:   fleet.MultiObserver(ck, fleet.NewTracerObserver(obs.New(j.log))),
+		}
+		pool, err := fleet.NewPool(cfg, specs)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(pre) > 0 {
+			if err := pool.Preload(pre); err != nil {
+				return nil, nil, err
+			}
+		}
+		return pool, ck, nil
+	}
+
+	// runPool runs one pool with the periodic checkpoint ticker.
+	runPool := func(pool *fleet.Pool, ck *checkpointer) (*fleet.Report, error) {
+		stopFlush := make(chan struct{})
+		var fwg sync.WaitGroup
+		if s.store != nil {
+			fwg.Add(1)
+			go func() {
+				defer fwg.Done()
+				t := time.NewTicker(s.cfg.CheckpointEvery)
+				defer t.Stop()
+				for {
+					select {
+					case <-stopFlush:
+						return
+					case <-t.C:
+						if err := ck.flush(false); err != nil {
+							s.cfg.Logf("fleetd: %s: checkpoint: %v", j.id, err)
+						}
+					}
+				}
+			}()
+		}
+		rep, runErr := pool.Run(jctx)
+		close(stopFlush)
+		fwg.Wait()
+		return rep, runErr
+	}
+
+	pool, ck, err := buildPool(pre)
+	if err != nil && len(pre) > 0 {
+		// A checkpoint that no longer matches the spec is discarded:
+		// recompute everything rather than corrupt the report.
+		s.cfg.Logf("fleetd: %s: discarding checkpoint: %v", j.id, err)
+		j.mu.Lock()
+		j.resumed = 0
+		j.mu.Unlock()
+		pool, ck, err = buildPool(nil)
+	}
+	if err != nil {
+		s.finalizeFailed(j, err)
+		return
 	}
 	j.mu.Lock()
 	j.pool = pool
 	j.mu.Unlock()
 
-	// Periodic checkpoint snapshots while the pool runs.
-	stopFlush := make(chan struct{})
-	var fwg sync.WaitGroup
-	if s.store != nil {
-		fwg.Add(1)
-		go func() {
-			defer fwg.Done()
-			t := time.NewTicker(s.cfg.CheckpointEvery)
-			defer t.Stop()
-			for {
-				select {
-				case <-stopFlush:
-					return
-				case <-t.C:
-					if err := ck.flush(false); err != nil {
-						s.cfg.Logf("fleetd: %s: checkpoint: %v", j.id, err)
-					}
-				}
-			}
-		}()
-	}
+	rep, runErr := runPool(pool, ck)
 
-	rep, runErr := pool.Run(jctx)
-	close(stopFlush)
-	fwg.Wait()
+	// Bounded re-execution: shards that failed with transient errors
+	// get fresh attempts (successes and fatal failures are preloaded,
+	// so nothing deterministic is recomputed). Because every shard is
+	// a pure function of its seed, the rerun report's fingerprint is
+	// the one an unfaulted run produces.
+	for runErr == nil && s.cfg.JobRetries > 0 {
+		transient := retryableFailed(rep)
+		j.mu.Lock()
+		rounds := j.reruns
+		j.mu.Unlock()
+		if len(transient) == 0 || rounds >= s.cfg.JobRetries {
+			break
+		}
+		j.mu.Lock()
+		j.reruns++
+		j.mu.Unlock()
+		s.metrics.Inc("job_rerun_rounds")
+		s.metrics.Add("shards_rerun", uint64(len(transient)))
+		s.cfg.Logf("fleetd: %s: re-running %d shard(s) after transient failures (round %d/%d)",
+			j.id, len(transient), rounds+1, s.cfg.JobRetries)
+		pool, ck, err = buildPool(keepDeterministic(rep))
+		if err != nil {
+			s.finalizeFailed(j, err)
+			return
+		}
+		j.mu.Lock()
+		j.pool = pool
+		j.mu.Unlock()
+		rep, runErr = runPool(pool, ck)
+	}
 
 	if runErr != nil {
 		// Interrupted. Under drain this is a checkpoint-and-exit; a
-		// client cancel discards the job and its checkpoint.
+		// deadline overrun fails the job; a client cancel discards the
+		// job and its checkpoint.
 		s.mu.Lock()
 		draining := s.draining
 		s.mu.Unlock()
-		if draining {
+		switch {
+		case draining:
 			if err := ck.flush(true); err != nil {
 				s.cfg.Logf("fleetd: %s: final checkpoint: %v", j.id, err)
 			}
 			s.finalize(j, api.StateQueued, "", nil, "interrupted: daemon draining; resumes on restart")
-			return
+		case errors.Is(runErr, context.DeadlineExceeded):
+			s.metrics.Inc("jobs_deadline_exceeded")
+			if err := s.store.Remove(j.id); err != nil {
+				s.cfg.Logf("fleetd: %s: remove checkpoint: %v", j.id, err)
+			}
+			s.finalize(j, api.StateFailed, "", nil,
+				fmt.Sprintf("job deadline %v exceeded", s.cfg.JobDeadline))
+		default:
+			if err := s.store.Remove(j.id); err != nil {
+				s.cfg.Logf("fleetd: %s: remove checkpoint: %v", j.id, err)
+			}
+			s.finalize(j, api.StateCancelled, "", nil, "cancelled")
 		}
-		if err := s.store.Remove(j.id); err != nil {
-			s.cfg.Logf("fleetd: %s: remove checkpoint: %v", j.id, err)
-		}
-		s.finalize(j, api.StateCancelled, "", nil, "cancelled")
 		return
 	}
 
@@ -473,7 +676,7 @@ func (s *Server) runJob(j *job) {
 		repJSON, err := json.Marshal(rep)
 		if err != nil {
 			s.cfg.Logf("fleetd: %s: marshal report: %v", j.id, err)
-		} else if err := s.store.Write(Record{
+		} else if err := s.checkpointWrite(Record{
 			ID: j.id, State: StateDoneCkpt, Spec: j.spec,
 			Fingerprint: fp, Report: repJSON, Error: errMsg,
 		}); err != nil {
@@ -484,7 +687,8 @@ func (s *Server) runJob(j *job) {
 	s.finalize(j, api.StateDone, fp, rep, errMsg)
 }
 
-// finalize moves a job to its end state and releases its streamers.
+// finalize moves a job to its end state, releases its streamers, and
+// retires its in-flight dedupe entry.
 func (s *Server) finalize(j *job, state, fingerprint string, rep *fleet.Report, errMsg string) {
 	j.mu.Lock()
 	j.state = state
@@ -493,8 +697,21 @@ func (s *Server) finalize(j *job, state, fingerprint string, rep *fleet.Report, 
 	j.errMsg = errMsg
 	j.pool = nil
 	j.mu.Unlock()
-	j.bc.Close()
+	j.log.Close()
 	close(j.done)
+	s.mu.Lock()
+	if s.inflight[j.key] == j.id {
+		delete(s.inflight, j.key)
+	}
+	s.mu.Unlock()
+	switch state {
+	case api.StateDone:
+		s.metrics.Inc("jobs_done")
+	case api.StateFailed:
+		s.metrics.Inc("jobs_failed")
+	case api.StateCancelled:
+		s.metrics.Inc("jobs_cancelled")
+	}
 	s.cfg.Logf("fleetd: %s: %s%s", j.id, state, suffixIf(errMsg))
 }
 
@@ -529,7 +746,9 @@ func writeError(w http.ResponseWriter, code int, msg string) {
 }
 
 // handleSubmit admits one fleet spec: validate, consult the response
-// cache, then enqueue with backpressure.
+// cache, dedupe against in-flight submissions of the same spec (so a
+// client retrying a submit never double-enqueues), then enqueue with
+// backpressure. In degraded mode only cache hits are served.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
@@ -561,20 +780,23 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	// Cache hit: the run is a pure function of (spec, seed), so the
 	// stored report answers immediately — registered as a done job so
-	// the usual status/report/stream endpoints all work.
+	// the usual status/report/stream endpoints all work. Served even
+	// in degraded mode: the answer needs no new checkpoint to be
+	// correct (the write below is attempted anyway — it doubles as the
+	// degraded-mode recovery probe).
 	if entry, ok := s.cache.Get(key); ok {
 		j := s.newJob(raw, key, len(specs))
 		j.state = api.StateDone
 		j.cached = true
 		j.fingerprint = entry.Fingerprint
 		j.report = entry.Report
-		j.bc.Close()
+		j.log.Close()
 		close(j.done)
 		s.registerJob(j)
 		if s.store != nil {
 			repJSON, err := json.Marshal(entry.Report)
 			if err == nil {
-				err = s.store.Write(Record{
+				err = s.checkpointWrite(Record{
 					ID: j.id, State: StateDoneCkpt, Spec: j.spec,
 					Fingerprint: entry.Fingerprint, Report: repJSON,
 				})
@@ -583,10 +805,38 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 				s.cfg.Logf("fleetd: %s: cache-hit checkpoint: %v", j.id, err)
 			}
 		}
+		s.metrics.Inc("submit_cache_hits")
 		writeJSON(w, http.StatusOK, api.SubmitResponse{
 			ID: j.id, State: api.StateDone, Cached: true,
 			Fingerprint: entry.Fingerprint, Jobs: len(specs),
 		})
+		return
+	}
+
+	// In-flight dedupe: a retried submit of a spec that is already
+	// queued or running returns the existing job instead of enqueuing
+	// a duplicate — submission is idempotent under client retries.
+	s.mu.Lock()
+	if id, ok := s.inflight[key]; ok {
+		dup := s.jobs[id]
+		s.mu.Unlock()
+		if dup != nil {
+			s.metrics.Inc("submit_deduped")
+			st := dup.status()
+			writeJSON(w, http.StatusAccepted, api.SubmitResponse{
+				ID: dup.id, State: st.State, Jobs: dup.total,
+			})
+			return
+		}
+		s.mu.Lock()
+	}
+	degraded, reason := s.degraded, s.degradedReason
+	s.mu.Unlock()
+	if degraded {
+		// New work cannot be checkpointed, so it is refused rather
+		// than silently losing its durability guarantee.
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Sprintf("daemon degraded (checkpoint dir unwritable: %s); only cached specs are served", reason))
 		return
 	}
 
@@ -603,9 +853,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.registerJob(j)
+	s.mu.Lock()
+	s.inflight[key] = j.id
+	s.mu.Unlock()
 	// Checkpoint at admission so a daemon killed with the job still
 	// queued re-runs it after restart.
-	if err := s.store.Write(Record{ID: j.id, State: StateQueuedCkpt, Spec: j.spec}); err != nil {
+	if err := s.checkpointWrite(Record{ID: j.id, State: StateQueuedCkpt, Spec: j.spec}); err != nil {
 		s.cfg.Logf("fleetd: %s: admission checkpoint: %v", j.id, err)
 	}
 	writeJSON(w, http.StatusAccepted, api.SubmitResponse{ID: j.id, State: api.StateQueued, Jobs: len(specs)})
@@ -619,7 +872,7 @@ func (s *Server) newJob(raw []byte, key string, total int) *job {
 	s.mu.Unlock()
 	return &job{
 		id: id, spec: raw, key: key, total: total,
-		bc: obs.NewBroadcaster(), done: make(chan struct{}),
+		log: newEventLog(s.cfg.StreamBuffer), done: make(chan struct{}),
 	}
 }
 
@@ -699,8 +952,13 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		j.state = api.StateCancelled
 		j.errMsg = "cancelled"
 		j.mu.Unlock()
-		j.bc.Close()
+		j.log.Close()
 		close(j.done)
+		s.mu.Lock()
+		if s.inflight[j.key] == j.id {
+			delete(s.inflight, j.key)
+		}
+		s.mu.Unlock()
 		if err := s.store.Remove(j.id); err != nil {
 			s.cfg.Logf("fleetd: %s: remove checkpoint: %v", j.id, err)
 		}
@@ -720,9 +978,12 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleStream serves the JSONL progress stream: an opening status
-// line, one line per lifecycle event, and a closing done line carrying
-// the fingerprint (and this subscriber's drop count, if it fell
-// behind).
+// line, one sequenced line per lifecycle event, and a closing done
+// line carrying the fingerprint. Event lines carry their position in
+// the job's event log, and ?after=<seq> resumes from that position —
+// a client whose connection died reconnects and receives exactly the
+// events it missed. An offset that has fallen behind the retained
+// window reports the gap on the done line's drop count.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	j := s.lookup(w, r)
 	if j == nil {
@@ -733,9 +994,15 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "streaming unsupported by this connection")
 		return
 	}
-	// Subscribe before snapshotting so no event falls between the two.
-	sub := j.bc.Subscribe(s.cfg.StreamBuffer)
-	defer sub.Close()
+	var after uint64
+	if v := r.URL.Query().Get("after"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad after offset %q", v))
+			return
+		}
+		after = n
+	}
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
@@ -746,43 +1013,57 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 	flusher.Flush()
 
+	var dropped uint64
 	for {
-		select {
-		case ev, ok := <-sub.C:
-			if !ok {
-				// Job finished (or daemon drained): close the stream
-				// with the terminal line.
-				st := j.status()
-				_ = enc.Encode(api.StreamLine{
-					Type: api.StreamDone, State: st.State,
-					Fingerprint: st.Fingerprint, Error: st.Error,
-					Dropped: sub.Dropped(),
-				})
-				flusher.Flush()
+		evs, first, gap, closed, wait := j.log.since(after)
+		dropped += gap
+		after += gap
+		for i := range evs {
+			seq := first + uint64(i)
+			if err := enc.Encode(api.StreamLine{Type: api.StreamEvent, Seq: seq, Event: &evs[i]}); err != nil {
 				return
 			}
-			if err := enc.Encode(api.StreamLine{Type: api.StreamEvent, Event: &ev}); err != nil {
-				return
-			}
+			after = seq
+		}
+		if len(evs) > 0 {
 			flusher.Flush()
-		case <-r.Context().Done():
+		}
+		if closed && len(evs) == 0 {
+			st := j.status()
+			_ = enc.Encode(api.StreamLine{
+				Type: api.StreamDone, Seq: after, State: st.State,
+				Fingerprint: st.Fingerprint, Error: st.Error,
+				Dropped: dropped,
+			})
+			flusher.Flush()
 			return
+		}
+		if len(evs) == 0 {
+			select {
+			case <-wait:
+			case <-r.Context().Done():
+				return
+			}
 		}
 	}
 }
 
-// handleHealth reports liveness and pressure.
+// handleHealth reports liveness, pressure, degraded state, and the
+// daemon's resilience counters.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	h := api.HealthResponse{
-		OK:         !s.draining,
-		Draining:   s.draining,
-		Queued:     len(s.queue),
-		Running:    s.running,
-		QueueDepth: s.cfg.QueueDepth,
+		OK:             !s.draining,
+		Draining:       s.draining,
+		Queued:         len(s.queue),
+		Running:        s.running,
+		QueueDepth:     s.cfg.QueueDepth,
+		Degraded:       s.degraded,
+		DegradedReason: s.degradedReason,
 	}
 	s.mu.Unlock()
 	h.CacheEntries = s.cache.Len()
 	h.CacheHits = s.cache.Hits()
+	h.Counters = s.metrics.Counters()
 	writeJSON(w, http.StatusOK, h)
 }

@@ -76,6 +76,7 @@ func Analyzers() []*Analyzer {
 		AnalyzerMapOrder,
 		AnalyzerUnits,
 		AnalyzerPanicHygiene,
+		AnalyzerSleepDiscipline,
 	}
 }
 

@@ -16,7 +16,7 @@ var update = flag.Bool("update", false, "rewrite the golden files under testdata
 // golden file.
 var fixtureChecks = []string{
 	"determinism", "rng-discipline", "map-order", "units",
-	"panic-hygiene", DirectiveCheck,
+	"panic-hygiene", "sleep-discipline", DirectiveCheck,
 }
 
 // loadFixture runs the full analyzer suite over the fixture module.

@@ -1,0 +1,39 @@
+// Package fleetd is a fixture service package carrying
+// sleep-discipline violations for the golden tests: bare time.Sleep,
+// time.After and time.Tick in service code, alongside the compliant
+// stoppable-ticker form.
+package fleetd
+
+import "time"
+
+// retryLoop waits three non-compliant ways (flagged).
+func retryLoop(done chan struct{}) {
+	time.Sleep(100 * time.Millisecond)
+	select {
+	case <-time.After(time.Second):
+	case <-done:
+	}
+	for range time.Tick(time.Second) {
+		return
+	}
+}
+
+// pollLoop waits the compliant way: a ticker that shutdown can stop.
+func pollLoop(done chan struct{}) {
+	t := time.NewTicker(50 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+		case <-done:
+			return
+		}
+	}
+}
+
+// allowedWait states its exemption in line; the directive suppresses
+// the finding and the golden for the directive check stays clean.
+func allowedWait() {
+	//lint:allow sleep-discipline startup grace period measured in wall time
+	time.Sleep(time.Millisecond)
+}

@@ -71,6 +71,22 @@ func (m *Metrics) Observe(name string, v float64) {
 	m.mu.Unlock()
 }
 
+// Counters returns a copy of the counter map — the form HTTP health
+// endpoints embed directly (Go marshals map keys sorted, so the JSON
+// is deterministic). Nil-safe (returns nil).
+func (m *Metrics) Counters() map[string]uint64 {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]uint64, len(m.counters))
+	for name, v := range m.counters {
+		out[name] = v
+	}
+	return out
+}
+
 // bucketOf maps v to its base-2 bucket exponent; non-positive values
 // share a single underflow bucket below any representable exponent.
 func bucketOf(v float64) int {

@@ -1,0 +1,192 @@
+package resilience
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed passes calls through, counting consecutive
+	// failures.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen fails fast until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen admits one probe call at a time; enough
+	// consecutive probe successes re-close, any failure re-opens.
+	BreakerHalfOpen
+)
+
+// String names the state for logs and metrics.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig parameterizes a Breaker; the zero value resolves to
+// the documented defaults.
+type BreakerConfig struct {
+	// FailureThreshold is the consecutive-failure count that opens the
+	// circuit; <= 0 means 5.
+	FailureThreshold int
+	// Cooldown is how long an open circuit fails fast before admitting
+	// a half-open probe; <= 0 means 2s.
+	Cooldown time.Duration
+	// HalfOpenSuccesses is how many consecutive probe successes close
+	// the circuit again; <= 0 means 1.
+	HalfOpenSuccesses int
+}
+
+// withDefaults resolves the documented zero-value defaults.
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 2 * time.Second
+	}
+	if c.HalfOpenSuccesses <= 0 {
+		c.HalfOpenSuccesses = 1
+	}
+	return c
+}
+
+// ErrCircuitOpen is wrapped by the error Allow returns while the
+// circuit is open; callers can errors.Is against it.
+var ErrCircuitOpen = errors.New("resilience: circuit open")
+
+// circuitOpenError carries the remaining cooldown, classified busy so
+// the retry runner waits it out instead of hammering.
+type circuitOpenError struct {
+	retryIn time.Duration
+}
+
+func (e *circuitOpenError) Error() string {
+	return ErrCircuitOpen.Error() + "; retry in " + e.retryIn.String()
+}
+
+func (e *circuitOpenError) Is(target error) bool      { return target == ErrCircuitOpen }
+func (e *circuitOpenError) ResilienceClass() Class    { return ClassBusy }
+func (e *circuitOpenError) RetryAfter() time.Duration { return e.retryIn }
+
+// Breaker is a half-open circuit breaker. All time arithmetic goes
+// through the injected Clock, so the state machine is deterministic
+// under test. Safe for concurrent use.
+type Breaker struct {
+	cfg   BreakerConfig
+	clock Clock
+
+	mu        sync.Mutex
+	state     BreakerState
+	failures  int       // consecutive failures while closed
+	successes int       // consecutive probe successes while half-open
+	probing   bool      // a half-open probe is in flight
+	openedAt  time.Time // when the circuit last opened
+	trips     uint64    // lifetime closed→open transitions
+}
+
+// NewBreaker builds a breaker on the given clock (nil means Real()).
+func NewBreaker(cfg BreakerConfig, clock Clock) *Breaker {
+	if clock == nil {
+		clock = Real()
+	}
+	return &Breaker{cfg: cfg.withDefaults(), clock: clock}
+}
+
+// Allow gates a call: nil admits it (Record must follow with the
+// outcome), a busy-classified error wrapping ErrCircuitOpen rejects
+// it. An open circuit whose cooldown has elapsed moves to half-open
+// and admits a single probe.
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return nil
+	case BreakerOpen:
+		elapsed := b.clock.Now().Sub(b.openedAt)
+		if elapsed < b.cfg.Cooldown {
+			return &circuitOpenError{retryIn: b.cfg.Cooldown - elapsed}
+		}
+		b.state = BreakerHalfOpen
+		b.successes = 0
+		b.probing = true
+		return nil
+	default: // BreakerHalfOpen
+		if b.probing {
+			return &circuitOpenError{retryIn: b.cfg.Cooldown}
+		}
+		b.probing = true
+		return nil
+	}
+}
+
+// Record reports the outcome of an admitted call. Failures while
+// closed open the circuit at the threshold; any failure while
+// half-open re-opens it; successes close it again after the configured
+// probe count.
+func (b *Breaker) Record(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		if err == nil {
+			b.failures = 0
+			return
+		}
+		b.failures++
+		if b.failures >= b.cfg.FailureThreshold {
+			b.open()
+		}
+	case BreakerHalfOpen:
+		b.probing = false
+		if err != nil {
+			b.open()
+			return
+		}
+		b.successes++
+		if b.successes >= b.cfg.HalfOpenSuccesses {
+			b.state = BreakerClosed
+			b.failures = 0
+		}
+	case BreakerOpen:
+		// A straggler finishing after the circuit opened: a success is
+		// stale information, a failure just confirms the open state.
+	}
+}
+
+// open transitions to BreakerOpen (caller holds the lock).
+func (b *Breaker) open() {
+	b.state = BreakerOpen
+	b.openedAt = b.clock.Now()
+	b.failures = 0
+	b.successes = 0
+	b.probing = false
+	b.trips++
+}
+
+// State reports the current position (resolving an elapsed cooldown
+// lazily, on the next Allow).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Trips reports the lifetime number of closed/half-open → open
+// transitions; the obs counter fleetd exports on /healthz.
+func (b *Breaker) Trips() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}

@@ -1,0 +1,268 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+var errBoom = errors.New("boom")
+
+// step is one row of the breaker transition table: perform the action
+// and expect the resulting state.
+type step struct {
+	action string // "fail", "ok", "allow", "allow-denied", "advance"
+	want   BreakerState
+}
+
+// TestBreakerTransitionTable drives the state machine through its
+// full transition table on a fake clock.
+func TestBreakerTransitionTable(t *testing.T) {
+	clock := NewFakeClock(time.Unix(0, 0))
+	cfg := BreakerConfig{FailureThreshold: 3, Cooldown: 10 * time.Second, HalfOpenSuccesses: 2}
+	b := NewBreaker(cfg, clock)
+
+	steps := []step{
+		// Closed absorbs sub-threshold failures; a success resets.
+		{"fail", BreakerClosed},
+		{"fail", BreakerClosed},
+		{"ok", BreakerClosed},
+		{"fail", BreakerClosed},
+		{"fail", BreakerClosed},
+		// Third consecutive failure trips it open.
+		{"fail", BreakerOpen},
+		// Open fails fast during cooldown.
+		{"allow-denied", BreakerOpen},
+		// Cooldown elapses: next Allow admits a half-open probe.
+		{"advance", BreakerOpen},
+		{"allow", BreakerHalfOpen},
+		// A second caller is rejected while the probe is in flight.
+		{"allow-denied", BreakerHalfOpen},
+		// First probe success: still half-open (needs 2).
+		{"ok", BreakerHalfOpen},
+		{"allow", BreakerHalfOpen},
+		// Second probe success closes it.
+		{"ok", BreakerClosed},
+		// Re-open, then a failed probe re-opens immediately.
+		{"fail", BreakerClosed},
+		{"fail", BreakerClosed},
+		{"fail", BreakerOpen},
+		{"advance", BreakerOpen},
+		{"allow", BreakerHalfOpen},
+		{"fail", BreakerOpen},
+	}
+	for i, s := range steps {
+		switch s.action {
+		case "fail":
+			b.Record(errBoom)
+		case "ok":
+			b.Record(nil)
+		case "allow":
+			if err := b.Allow(); err != nil {
+				t.Fatalf("step %d: Allow denied: %v", i, err)
+			}
+		case "allow-denied":
+			err := b.Allow()
+			if err == nil {
+				t.Fatalf("step %d: Allow admitted, want denial", i)
+			}
+			if !errors.Is(err, ErrCircuitOpen) {
+				t.Fatalf("step %d: denial is not ErrCircuitOpen: %v", i, err)
+			}
+			if Classify(err) != ClassBusy {
+				t.Fatalf("step %d: open-circuit error not busy-classified", i)
+			}
+		case "advance":
+			clock.Advance(cfg.Cooldown)
+		}
+		if got := b.State(); got != s.want {
+			t.Fatalf("step %d (%s): state %v, want %v", i, s.action, got, s.want)
+		}
+	}
+	if got := b.Trips(); got != 3 {
+		t.Errorf("trips = %d, want 3", got)
+	}
+}
+
+// TestBreakerOpenCarriesRetryIn: the fail-fast error tells callers how
+// long until a probe is possible, and the hint shrinks as time passes.
+func TestBreakerOpenCarriesRetryIn(t *testing.T) {
+	clock := NewFakeClock(time.Unix(100, 0))
+	b := NewBreaker(BreakerConfig{FailureThreshold: 1, Cooldown: 8 * time.Second}, clock)
+	b.Record(errBoom)
+	if b.State() != BreakerOpen {
+		t.Fatal("threshold 1 did not open on first failure")
+	}
+	err := b.Allow()
+	if after, ok := RetryAfterHint(err); !ok || after != 8*time.Second {
+		t.Errorf("retry hint = %v, %v; want 8s", after, ok)
+	}
+	clock.Advance(5 * time.Second)
+	err = b.Allow()
+	if after, ok := RetryAfterHint(err); !ok || after != 3*time.Second {
+		t.Errorf("retry hint after 5s = %v, %v; want 3s", after, ok)
+	}
+}
+
+// TestBreakerStragglerRecord: outcomes arriving after the circuit
+// opened neither close nor re-trip it.
+func TestBreakerStragglerRecord(t *testing.T) {
+	clock := NewFakeClock(time.Unix(0, 0))
+	b := NewBreaker(BreakerConfig{FailureThreshold: 1, Cooldown: time.Minute}, clock)
+	b.Record(errBoom)
+	trips := b.Trips()
+	b.Record(nil)     // stale success
+	b.Record(errBoom) // stale failure
+	if b.State() != BreakerOpen || b.Trips() != trips {
+		t.Errorf("straggler records disturbed the open state: %v, trips %d", b.State(), b.Trips())
+	}
+}
+
+// TestRunnerRetriesThenSucceeds: the Do loop sleeps the policy
+// schedule through the clock and stops at first success.
+func TestRunnerRetriesThenSucceeds(t *testing.T) {
+	clock := NewFakeClock(time.Unix(0, 0))
+	calls := 0
+	var retried []int
+	r := Runner{
+		Policy:  Policy{MaxAttempts: 5, BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second, Multiplier: 2, Jitter: 0},
+		Seed:    7,
+		Clock:   clock,
+		OnRetry: func(attempt int, delay time.Duration, err error) { retried = append(retried, attempt) },
+	}
+	err := r.Do(context.Background(), func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return MarkRetryable(errBoom)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3", calls)
+	}
+	slept := clock.Slept()
+	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond}
+	if len(slept) != len(want) {
+		t.Fatalf("slept %v, want %v", slept, want)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Errorf("sleep[%d] = %v, want %v", i, slept[i], want[i])
+		}
+	}
+	if len(retried) != 2 || retried[0] != 1 || retried[1] != 2 {
+		t.Errorf("OnRetry attempts = %v", retried)
+	}
+}
+
+// TestRunnerFatalStopsImmediately: fatal classification short-circuits.
+func TestRunnerFatalStopsImmediately(t *testing.T) {
+	clock := NewFakeClock(time.Unix(0, 0))
+	calls := 0
+	err := Runner{Policy: Policy{MaxAttempts: 5}, Clock: clock}.Do(context.Background(), func(context.Context) error {
+		calls++
+		return errBoom // unknown ⇒ fatal
+	})
+	if !errors.Is(err, errBoom) || calls != 1 || len(clock.Slept()) != 0 {
+		t.Errorf("fatal error retried: calls=%d slept=%v err=%v", calls, clock.Slept(), err)
+	}
+}
+
+// TestRunnerHonorsRetryAfter: a busy error's hint extends the wait
+// beyond the policy backoff.
+func TestRunnerHonorsRetryAfter(t *testing.T) {
+	clock := NewFakeClock(time.Unix(0, 0))
+	calls := 0
+	err := Runner{
+		Policy: Policy{MaxAttempts: 3, BaseDelay: 10 * time.Millisecond, Jitter: 0},
+		Clock:  clock,
+	}.Do(context.Background(), func(context.Context) error {
+		calls++
+		if calls == 1 {
+			return MarkBusy(errBoom, 4*time.Second)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slept := clock.Slept()
+	if len(slept) != 1 || slept[0] != 4*time.Second {
+		t.Errorf("slept %v, want [4s]", slept)
+	}
+}
+
+// TestRunnerRespectsBudget: a wait that does not fit the remaining
+// deadline budget is not slept; the last error returns immediately.
+// The fake clock starts at real now so the context deadline (which the
+// runtime checks against wall time) stays in the future; durations are
+// in seconds so fake-time arithmetic dwarfs real elapsed time.
+func TestRunnerRespectsBudget(t *testing.T) {
+	//lint:allow determinism fake clock must start near real time for context deadlines
+	clock := NewFakeClock(time.Now())
+	ctx, cancel := Tighten(context.Background(), clock.Now(), 150*time.Second)
+	defer cancel()
+	calls := 0
+	err := Runner{
+		Policy: Policy{MaxAttempts: 10, BaseDelay: 100 * time.Second, MaxDelay: time.Hour, Multiplier: 2, Jitter: 0},
+		Clock:  clock,
+	}.Do(ctx, func(context.Context) error {
+		calls++
+		return MarkRetryable(errBoom)
+	})
+	if err == nil || Classify(err) != ClassRetryable {
+		t.Fatalf("want the retryable error back, got %v", err)
+	}
+	// First backoff (100s) fits the 150s budget; the second (200s)
+	// does not, so exactly two attempts run and one sleep happens.
+	if calls != 2 {
+		t.Errorf("calls = %d, want 2", calls)
+	}
+	if slept := clock.Slept(); len(slept) != 1 || slept[0] != 100*time.Second {
+		t.Errorf("slept %v, want [100s]", slept)
+	}
+}
+
+// TestRunnerBreakerIntegration: the breaker opens under repeated
+// failure and Do fails fast on it; busy outcomes do not feed it.
+func TestRunnerBreakerIntegration(t *testing.T) {
+	clock := NewFakeClock(time.Unix(0, 0))
+	b := NewBreaker(BreakerConfig{FailureThreshold: 2, Cooldown: time.Hour}, clock)
+	r := Runner{Policy: Policy{MaxAttempts: 6, BaseDelay: time.Millisecond, Jitter: 0}, Clock: clock, Breaker: b}
+	calls := 0
+	err := r.Do(context.Background(), func(context.Context) error {
+		calls++
+		return MarkRetryable(errBoom)
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	// Attempts 1-2 run op and trip the breaker. Attempt 3 is denied
+	// (busy, Retry-After = cooldown) and the fake clock sleeps the
+	// cooldown instantly, so attempt 4 runs a half-open probe that
+	// fails and re-opens; attempt 5 is denied; attempt 6 probes again.
+	// Net: op runs on attempts 1, 2, 4, 6 and the circuit trips three
+	// times (threshold, then each failed probe).
+	if calls != 4 {
+		t.Errorf("op calls = %d, want 4 (attempts 3 and 5 fail fast)", calls)
+	}
+	if b.State() != BreakerOpen {
+		t.Errorf("breaker state %v after a failed probe, want open", b.State())
+	}
+	if b.Trips() != 3 {
+		t.Errorf("trips = %d, want 3", b.Trips())
+	}
+
+	busyB := NewBreaker(BreakerConfig{FailureThreshold: 1, Cooldown: time.Hour}, clock)
+	busyR := Runner{Policy: Policy{MaxAttempts: 2, BaseDelay: time.Millisecond, Jitter: 0}, Clock: clock, Breaker: busyB}
+	_ = busyR.Do(context.Background(), func(context.Context) error {
+		return MarkBusy(errBoom, time.Millisecond)
+	})
+	if busyB.State() != BreakerClosed || busyB.Trips() != 0 {
+		t.Errorf("busy outcomes fed the breaker: %v trips=%d", busyB.State(), busyB.Trips())
+	}
+}

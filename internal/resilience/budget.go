@@ -1,0 +1,57 @@
+package resilience
+
+import (
+	"context"
+	"time"
+)
+
+// Deadline/budget propagation. A budget is just a context deadline
+// viewed as "time remaining": helpers here make the arithmetic at the
+// boundaries (no deadline, zero, expired, inherited-tighter) explicit
+// and testable, because that is exactly where ad-hoc deadline code
+// goes wrong.
+
+// Remaining reports the budget left before ctx's deadline at the given
+// instant. ok is false when ctx carries no deadline (the budget is
+// unbounded); an expired deadline reports a zero budget, never a
+// negative one.
+func Remaining(ctx context.Context, now time.Time) (time.Duration, bool) {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return 0, false
+	}
+	d := dl.Sub(now)
+	if d < 0 {
+		d = 0
+	}
+	return d, true
+}
+
+// Expired reports whether ctx's deadline has passed at now (false when
+// there is no deadline).
+func Expired(ctx context.Context, now time.Time) bool {
+	dl, ok := ctx.Deadline()
+	return ok && !now.Before(dl)
+}
+
+// Tighten derives a child context whose budget is the smaller of the
+// parent's and d measured from now: an inherited tighter deadline is
+// kept, a looser one is clipped. d <= 0 yields an already-expired
+// child (a spent budget must fail fast, not hang). The CancelFunc must
+// be called to release the child.
+func Tighten(ctx context.Context, now time.Time, d time.Duration) (context.Context, context.CancelFunc) {
+	if d < 0 {
+		d = 0
+	}
+	return context.WithDeadline(ctx, now.Add(d))
+}
+
+// Affordable reports whether a wait of d fits inside ctx's remaining
+// budget at now. With no deadline every wait is affordable.
+func Affordable(ctx context.Context, now time.Time, d time.Duration) bool {
+	rem, ok := Remaining(ctx, now)
+	if !ok {
+		return true
+	}
+	return d <= rem
+}

@@ -1,0 +1,153 @@
+package resilience
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestRemainingBoundaries: no deadline, future, exact-now, and past
+// deadlines.
+func TestRemainingBoundaries(t *testing.T) {
+	now := time.Unix(1000, 0)
+
+	if _, ok := Remaining(context.Background(), now); ok {
+		t.Error("background context reported a deadline")
+	}
+
+	ctx, cancel := context.WithDeadline(context.Background(), now.Add(2*time.Second))
+	defer cancel()
+	if rem, ok := Remaining(ctx, now); !ok || rem != 2*time.Second {
+		t.Errorf("Remaining = %v, %v; want 2s, true", rem, ok)
+	}
+
+	// Exactly at the deadline: zero budget, expired.
+	if rem, ok := Remaining(ctx, now.Add(2*time.Second)); !ok || rem != 0 {
+		t.Errorf("Remaining at deadline = %v, %v; want 0, true", rem, ok)
+	}
+	if !Expired(ctx, now.Add(2*time.Second)) {
+		t.Error("deadline instant not reported expired")
+	}
+	if Expired(ctx, now.Add(2*time.Second-time.Nanosecond)) {
+		t.Error("one ns before deadline reported expired")
+	}
+
+	// Past the deadline: clamped to zero, never negative.
+	if rem, _ := Remaining(ctx, now.Add(time.Minute)); rem != 0 {
+		t.Errorf("expired budget = %v, want 0", rem)
+	}
+
+	if Expired(context.Background(), now) {
+		t.Error("no-deadline context reported expired")
+	}
+}
+
+// TestTightenInherited: a tighter parent deadline survives Tighten; a
+// looser one is clipped.
+func TestTightenInherited(t *testing.T) {
+	now := time.Unix(0, 0)
+	parent, pcancel := context.WithDeadline(context.Background(), now.Add(time.Second))
+	defer pcancel()
+
+	// Looser child request: parent's 1s wins.
+	child, cancel := Tighten(parent, now, time.Minute)
+	defer cancel()
+	if rem, ok := Remaining(child, now); !ok || rem != time.Second {
+		t.Errorf("loose Tighten kept %v, want inherited 1s", rem)
+	}
+
+	// Tighter child request: child's 100ms wins.
+	child2, cancel2 := Tighten(parent, now, 100*time.Millisecond)
+	defer cancel2()
+	if rem, _ := Remaining(child2, now); rem != 100*time.Millisecond {
+		t.Errorf("tight Tighten kept %v, want 100ms", rem)
+	}
+
+	// No parent deadline: child gets exactly d.
+	child3, cancel3 := Tighten(context.Background(), now, 5*time.Second)
+	defer cancel3()
+	if rem, ok := Remaining(child3, now); !ok || rem != 5*time.Second {
+		t.Errorf("unbounded parent Tighten = %v, %v; want 5s", rem, ok)
+	}
+}
+
+// TestTightenZeroAndNegative: a spent budget yields an already-expired
+// child that fails fast.
+func TestTightenZeroAndNegative(t *testing.T) {
+	now := time.Unix(0, 0)
+	for _, d := range []time.Duration{0, -time.Second} {
+		ctx, cancel := Tighten(context.Background(), now, d)
+		if !Expired(ctx, now) {
+			t.Errorf("Tighten(%v) child not expired at now", d)
+		}
+		// The runtime also agrees once it observes the deadline.
+		select {
+		case <-ctx.Done():
+		case <-time.After(time.Second):
+			t.Fatalf("Tighten(%v) child never became Done", d)
+		}
+		cancel()
+	}
+}
+
+// TestAffordableBoundaries: exact fit is affordable, one ns over is
+// not, and no deadline affords everything.
+func TestAffordableBoundaries(t *testing.T) {
+	now := time.Unix(0, 0)
+	ctx, cancel := context.WithDeadline(context.Background(), now.Add(time.Second))
+	defer cancel()
+	if !Affordable(ctx, now, time.Second) {
+		t.Error("exact-fit wait reported unaffordable")
+	}
+	if Affordable(ctx, now, time.Second+time.Nanosecond) {
+		t.Error("over-budget wait reported affordable")
+	}
+	if !Affordable(context.Background(), now, 24*time.Hour) {
+		t.Error("no-deadline context refused a wait")
+	}
+	if Affordable(ctx, now.Add(2*time.Second), time.Nanosecond) {
+		t.Error("expired budget afforded a wait")
+	}
+	if !Affordable(ctx, now.Add(time.Second), 0) {
+		t.Error("zero wait should fit a zero budget")
+	}
+}
+
+// TestFakeClockSleep: the fake clock advances instantly, records the
+// request, and still honors context cancellation.
+func TestFakeClockSleep(t *testing.T) {
+	clock := NewFakeClock(time.Unix(0, 0))
+	if err := clock.Sleep(context.Background(), 3*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := clock.Now(); !got.Equal(time.Unix(3, 0)) {
+		t.Errorf("Now = %v after 3s sleep", got)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := clock.Sleep(ctx, time.Second); err == nil {
+		t.Error("sleep on cancelled ctx returned nil")
+	}
+	slept := clock.Slept()
+	if len(slept) != 1 || slept[0] != 3*time.Second {
+		t.Errorf("Slept() = %v, want [3s]", slept)
+	}
+}
+
+// TestRealClockSleepCancel: the real clock's sleep is ctx-aware.
+func TestRealClockSleepCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	//lint:allow determinism measures that a cancelled sleep returns promptly
+	start := time.Now()
+	if err := Real().Sleep(ctx, 10*time.Second); err == nil {
+		t.Fatal("sleep ignored cancelled context")
+	}
+	//lint:allow determinism measures that a cancelled sleep returns promptly
+	if time.Since(start) > time.Second {
+		t.Error("cancelled sleep blocked")
+	}
+	if err := Real().Sleep(context.Background(), 0); err != nil {
+		t.Errorf("zero sleep: %v", err)
+	}
+}

@@ -1,0 +1,99 @@
+package resilience
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Clock is the seam every delay in the service layer goes through.
+// Production code uses Real(); tests and the chaos harness substitute
+// a FakeClock so retry/backoff schedules run instantly and
+// deterministically. The arachnet-lint sleep-discipline check enforces
+// that internal/fleetd and its api package never call time.Sleep (or
+// time.After) directly — delays must be routed here, where they are
+// injectable.
+type Clock interface {
+	// Now reports the current time.
+	Now() time.Time
+	// Sleep blocks for d or until ctx is done, returning ctx.Err() in
+	// the latter case (nil otherwise). Non-positive d returns
+	// immediately.
+	Sleep(ctx context.Context, d time.Duration) error
+}
+
+// Real returns the wall-clock Clock.
+func Real() Clock { return realClock{} }
+
+type realClock struct{}
+
+// Now implements Clock.
+//
+//lint:allow determinism realClock is the production seam; tests use FakeClock
+func (realClock) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock with a context-aware timer.
+func (realClock) Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// FakeClock is a deterministic Clock for tests: Sleep returns
+// immediately, advancing the fake time by the requested duration and
+// recording it, so a retry schedule can be asserted without waiting
+// for it. Safe for concurrent use.
+type FakeClock struct {
+	mu    sync.Mutex
+	now   time.Time
+	slept []time.Duration
+}
+
+// NewFakeClock starts a fake clock at the given instant.
+func NewFakeClock(start time.Time) *FakeClock { return &FakeClock{now: start} }
+
+// Now implements Clock.
+func (f *FakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// Advance moves the fake time forward without recording a sleep.
+func (f *FakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.now = f.now.Add(d)
+	f.mu.Unlock()
+}
+
+// Sleep implements Clock: the requested duration is recorded and the
+// fake time advances, but the call never blocks (beyond an immediate
+// ctx check).
+func (f *FakeClock) Sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d <= 0 {
+		return nil
+	}
+	f.mu.Lock()
+	f.now = f.now.Add(d)
+	f.slept = append(f.slept, d)
+	f.mu.Unlock()
+	return nil
+}
+
+// Slept returns the recorded sleep durations in call order.
+func (f *FakeClock) Slept() []time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]time.Duration(nil), f.slept...)
+}

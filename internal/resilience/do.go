@@ -1,0 +1,89 @@
+package resilience
+
+import (
+	"context"
+	"time"
+)
+
+// Runner composes the kit into a retry loop: policy + seed fix the
+// schedule, the clock makes waits injectable, the optional breaker
+// fails fast during outages, and OnRetry feeds metrics.
+type Runner struct {
+	// Policy is the backoff schedule (zero value = defaults).
+	Policy Policy
+	// Seed drives the jitter stream; the schedule is a pure function
+	// of (Policy, Seed, attempt).
+	Seed uint64
+	// Clock provides Now/Sleep; nil means Real().
+	Clock Clock
+	// Breaker, when non-nil, gates every attempt.
+	Breaker *Breaker
+	// OnRetry is invoked before each backoff wait with the attempt
+	// number (1-based), the chosen delay, and the error that caused
+	// the retry; nil means no hook.
+	OnRetry func(attempt int, delay time.Duration, err error)
+}
+
+// Do runs op with retries. Retryable errors back off per the policy;
+// busy errors wait at least their Retry-After hint; fatal errors (and
+// exhausted budgets) return immediately. A wait that cannot fit in
+// ctx's remaining deadline budget is not slept: the last error returns
+// right away, so callers never burn their budget inside a doomed wait.
+func (r Runner) Do(ctx context.Context, op func(ctx context.Context) error) error {
+	clock := r.Clock
+	if clock == nil {
+		clock = Real()
+	}
+	p := r.Policy.withDefaults()
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			if lastErr != nil {
+				return lastErr
+			}
+			return err
+		}
+		err := r.attempt(ctx, op)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		class := Classify(err)
+		if class == ClassFatal || attempt >= p.MaxAttempts {
+			return err
+		}
+		delay := p.Backoff(r.Seed, attempt)
+		if hint, ok := RetryAfterHint(err); ok && hint > delay {
+			delay = hint
+		}
+		if !Affordable(ctx, clock.Now(), delay) {
+			return err
+		}
+		if r.OnRetry != nil {
+			r.OnRetry(attempt, delay, err)
+		}
+		if serr := clock.Sleep(ctx, delay); serr != nil {
+			return err
+		}
+	}
+}
+
+// attempt runs op once through the breaker gate (when present).
+func (r Runner) attempt(ctx context.Context, op func(ctx context.Context) error) error {
+	if r.Breaker != nil {
+		if err := r.Breaker.Allow(); err != nil {
+			return err
+		}
+	}
+	err := op(ctx)
+	if r.Breaker != nil {
+		// Backpressure is the server working as designed, not an
+		// outage signal: busy outcomes do not feed the breaker.
+		if err != nil && Classify(err) == ClassBusy {
+			r.Breaker.Record(nil)
+		} else {
+			r.Breaker.Record(err)
+		}
+	}
+	return err
+}

@@ -1,0 +1,191 @@
+// Package resilience is a small, deterministic, stdlib-only
+// reliability kit for the service layer: an error classifier
+// (retryable / fatal / busy), a capped-exponential retry policy with
+// seeded jitter, deadline/budget propagation helpers over context, a
+// half-open circuit breaker, and a retry runner that composes them.
+//
+// Everything time-dependent goes through the Clock seam, and every
+// randomized quantity (the jitter) is a pure function of (policy,
+// seed, attempt) — the same discipline internal/faults applies to
+// channel fades is applied here to sockets and disks, so a chaos run
+// with injected transport failures replays bit-identically from its
+// seed.
+//
+// The classifier convention survives flattening: layers that persist
+// errors as plain strings (fleet job outcomes, checkpoint records)
+// keep the class, because MarkRetryable renders with the stable
+// TransientPrefix and ClassifyMessage recovers it.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"time"
+)
+
+// Class partitions errors by how the caller should respond.
+type Class int
+
+const (
+	// ClassFatal errors must not be retried: the operation is invalid
+	// or the outcome would not change. Unknown errors default to fatal
+	// so a misclassification can never cause a retry storm.
+	ClassFatal Class = iota
+	// ClassRetryable errors are transient: retry after backoff.
+	ClassRetryable
+	// ClassBusy errors are explicit backpressure (HTTP 429, an open
+	// circuit): retry, but honor the server-suggested wait.
+	ClassBusy
+)
+
+// String names the class for logs and metrics.
+func (c Class) String() string {
+	switch c {
+	case ClassFatal:
+		return "fatal"
+	case ClassRetryable:
+		return "retryable"
+	case ClassBusy:
+		return "busy"
+	}
+	return "unknown"
+}
+
+// TransientPrefix is the stable rendering prefix of retryable errors.
+// It is part of the wire/persistence contract: an error that crossed a
+// string boundary (a fleet job outcome, a checkpoint record) is still
+// classifiable by ClassifyMessage.
+const TransientPrefix = "transient: "
+
+// Classifier is implemented by errors that carry their own class.
+type Classifier interface {
+	ResilienceClass() Class
+}
+
+// Waiter is implemented by busy errors that carry a suggested wait.
+type Waiter interface {
+	RetryAfter() time.Duration
+}
+
+// classified wraps an error with an explicit class (and, for busy
+// errors, a suggested wait).
+type classified struct {
+	err   error
+	class Class
+	after time.Duration
+}
+
+func (c *classified) Error() string {
+	if c.class == ClassRetryable {
+		return TransientPrefix + c.err.Error()
+	}
+	return c.err.Error()
+}
+
+func (c *classified) Unwrap() error             { return c.err }
+func (c *classified) ResilienceClass() Class    { return c.class }
+func (c *classified) RetryAfter() time.Duration { return c.after }
+
+// MarkRetryable wraps err as explicitly retryable. The wrapped error
+// renders with TransientPrefix so the class survives string
+// flattening. A nil err stays nil.
+func MarkRetryable(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &classified{err: err, class: ClassRetryable}
+}
+
+// MarkFatal wraps err as explicitly fatal (never retried), overriding
+// any class carried deeper in the chain. A nil err stays nil.
+func MarkFatal(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &classified{err: err, class: ClassFatal}
+}
+
+// MarkBusy wraps err as backpressure with a suggested wait. A nil err
+// stays nil.
+func MarkBusy(err error, retryAfter time.Duration) error {
+	if err == nil {
+		return nil
+	}
+	return &classified{err: err, class: ClassBusy, after: retryAfter}
+}
+
+// Unmark strips the outermost classification wrapper, returning the
+// error as it was before Mark*. Callers that classify internally (a
+// retrying client) use it so their public errors keep their original
+// types and messages. Non-wrapped errors pass through unchanged.
+func Unmark(err error) error {
+	if c, ok := err.(*classified); ok {
+		return c.err
+	}
+	return err
+}
+
+// Classify maps an error to its class. Explicit marks win (outermost
+// first), context cancellation and expiry are fatal (the caller's
+// budget is spent — retrying cannot help), and everything unknown is
+// fatal by default.
+func Classify(err error) Class {
+	if err == nil {
+		return ClassFatal
+	}
+	var c Classifier
+	if errors.As(err, &c) {
+		return c.ResilienceClass()
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return ClassFatal
+	}
+	return ClassFatal
+}
+
+// Retryable reports whether err should be retried (retryable or busy).
+func Retryable(err error) bool {
+	cl := Classify(err)
+	return cl == ClassRetryable || cl == ClassBusy
+}
+
+// RetryAfterHint extracts the suggested wait of a busy error; ok is
+// false when the chain carries none.
+func RetryAfterHint(err error) (time.Duration, bool) {
+	var w Waiter
+	if errors.As(err, &w) && w.RetryAfter() > 0 {
+		return w.RetryAfter(), true
+	}
+	return 0, false
+}
+
+// ClassifyMessage recovers the class of an error that was flattened to
+// a string by a persistence or wire layer. Only the TransientPrefix
+// convention survives flattening; everything else is fatal.
+func ClassifyMessage(msg string) Class {
+	if strings.HasPrefix(msg, TransientPrefix) {
+		return ClassRetryable
+	}
+	return ClassFatal
+}
+
+// mix64 is a SplitMix64 finalizer over the seed/counter pair: the same
+// construction internal/fleet derives job seeds with, so jitter
+// streams are well-mixed for adjacent attempts yet a pure function of
+// their inputs.
+func mix64(seed, n uint64) uint64 {
+	z := seed ^ (n+1)*0x9e3779b97f4a7c15
+	for i := 0; i < 2; i++ {
+		z += 0x9e3779b97f4a7c15
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+	}
+	return z
+}
+
+// unitFloat maps a mixed word onto [0, 1) with 53-bit resolution.
+func unitFloat(u uint64) float64 {
+	return float64(u>>11) / float64(1<<53)
+}

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
-# fleetd kill/restart determinism smoke.
+# fleetd kill/restart determinism + resilience smoke.
 #
 # Exercises the full fleet-as-a-service loop end to end, across real
-# processes and a real SIGTERM:
+# processes, a real SIGTERM, a flaky transport, and a torn checkpoint:
 #
 #   1. run the sweep through the batch CLI           -> reference fingerprint
 #   2. start arachnet-fleetd, submit the same spec
@@ -11,9 +11,14 @@
 #   5. attach with `arachnet-fleet -server -verify`  -> fingerprint must
 #      equal both a fresh local run and the batch reference
 #   6. resubmit the spec                             -> response cache hit
+#   7. submit through -flaky N -retries M            -> client retries
+#      through injected transport faults; same fingerprint contract
+#   8. tear one checkpoint's bytes, restart          -> the file is
+#      quarantined as *.corrupt, the rest of the fleet is unaffected,
+#      and a resubmission converges to the prior fingerprint
 #
-# Any divergence between the batch, interrupted-and-resumed, and cached
-# fingerprints fails the script.
+# Any divergence between the batch, interrupted-and-resumed, cached,
+# flaky-transport, and post-quarantine fingerprints fails the script.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -21,16 +26,18 @@ cd "$(dirname "$0")/.."
 workdir=$(mktemp -d)
 pid1=""
 pid2=""
+pid3=""
 cleanup() {
     [ -n "$pid1" ] && kill "$pid1" 2>/dev/null || true
     [ -n "$pid2" ] && kill "$pid2" 2>/dev/null || true
+    [ -n "$pid3" ] && kill "$pid3" 2>/dev/null || true
     rm -rf "$workdir"
 }
 trap cleanup EXIT
 
 fail() {
     echo "FAIL: $*" >&2
-    for log in d1.err d2.err c1.out c2.out c3.out; do
+    for log in d1.err d2.err d3.err c1.out c2.out c3.out c4.out c5.out c6.out h1.out h2.out; do
         if [ -s "$workdir/$log" ]; then
             echo "--- $log ---" >&2
             cat "$workdir/$log" >&2
@@ -130,8 +137,86 @@ grep -q "response cache hit (fingerprint $ref)" "$workdir/c3.out" ||
     fail "resubmission missed the response cache"
 echo "fleetd-smoke: cache hit returned the same fingerprint"
 
+# Flaky-transport leg: a quick spec submitted through a transport that
+# fails every 3rd request, with seeded retries. The client must retry
+# through the faults, -verify must still agree with a local run, and
+# the retry counter must be visibly non-zero.
+qspec="$workdir/quick.json"
+cat > "$qspec" <<'EOF'
+{"seed": 99, "workers": 2, "vehicles": [
+  {"name": "flaky", "engine": "slots", "pattern": "c1", "slots": 5000, "replicate": 4}
+]}
+EOF
+"$workdir/arachnet-fleet" -server "$url2" -retries 4 -flaky 3 -verify "$qspec" \
+    >"$workdir/c4.out" 2>&1 || fail "flaky-transport run failed despite retries"
+grep -q 'client retried' "$workdir/c4.out" ||
+    fail "flaky transport never forced a retry; the leg tested nothing"
+grep -q 'verified: local run fingerprint matches' "$workdir/c4.out" ||
+    fail "flaky-transport fingerprint diverged from the local run"
+qref=$(awk '$1 == "fingerprint" {print $2}' "$workdir/c4.out")
+[ -n "$qref" ] || fail "flaky-transport run printed no fingerprint"
+echo "fleetd-smoke: flaky transport retried and converged ($qref)"
+
+# Health must be clean before the fault, and -health must exit zero.
+"$workdir/arachnet-fleet" -server "$url2" -health >"$workdir/h1.out" 2>&1 ||
+    fail "healthy daemon reported unhealthy via -health"
+grep -q '"ok": true' "$workdir/h1.out" || fail "-health output missing ok flag"
+
 kill -TERM "$pid2"
 wait "$pid2" 2>/dev/null || true
 pid2=""
 
-echo "fleetd-smoke: OK (fingerprint $ref across batch, resume, and cache)"
+# Torn-write leg: corrupt the quick job's checkpoint on disk (a torn
+# write that survived a lying disk), restart, and require quarantine —
+# the corrupt file moves aside as *.corrupt, the other job's checkpoint
+# still warms the cache, and resubmitting the torn spec re-runs it to
+# the same fingerprint.
+# The cache-hit resubmission above registered job-000001, so the quick
+# job landed as job-000002.
+qck="$ckpt/job-000002.ckpt.json"
+[ -f "$qck" ] || fail "expected quick-job checkpoint $qck on disk"
+printf '{"version":2,"crc":"00000000","record":{"id":"job-0' > "$qck"
+
+"$workdir/arachnet-fleetd" -addr 127.0.0.1:0 -checkpoint-dir "$ckpt" \
+    -checkpoint-every 100ms -job-deadline 10m -job-retries 2 \
+    >"$workdir/d3.out" 2>"$workdir/d3.err" &
+pid3=$!
+url3=""
+for _ in $(seq 1 100); do
+    url3=$(sed -n 's/^fleetd listening on \(.*\)$/\1/p' "$workdir/d3.out")
+    [ -n "$url3" ] && break
+    kill -0 "$pid3" 2>/dev/null || fail "daemon 3 exited before listening"
+    sleep 0.1
+done
+[ -n "$url3" ] || fail "daemon 3 never reported its address"
+grep -q 'quarantined' "$workdir/d3.err" ||
+    fail "daemon 3 did not report the torn checkpoint quarantine"
+[ -f "$ckpt/job-000002.corrupt" ] ||
+    fail "torn checkpoint was not moved to job-000002.corrupt"
+echo "fleetd-smoke: daemon 3 quarantined the torn checkpoint"
+
+"$workdir/arachnet-fleet" -server "$url3" -health >"$workdir/h2.out" 2>&1 ||
+    fail "daemon 3 unhealthy after quarantine"
+grep -q '"ckpt_quarantined": 1' "$workdir/h2.out" ||
+    fail "quarantine not counted on /v1/healthz"
+
+# The untorn job's checkpoint still warms the cache across the restart.
+"$workdir/arachnet-fleet" -server "$url3" -quiet "$spec" \
+    >"$workdir/c5.out" 2>&1 || fail "post-quarantine cache hit failed"
+grep -q "response cache hit (fingerprint $ref)" "$workdir/c5.out" ||
+    fail "quarantine poisoned the surviving checkpoint's cache entry"
+
+# The torn spec re-runs from scratch and converges to its fingerprint.
+"$workdir/arachnet-fleet" -server "$url3" -quiet "$qspec" \
+    >"$workdir/c6.out" 2>&1 || fail "post-quarantine re-run failed"
+grep -q 'response cache hit' "$workdir/c6.out" &&
+    fail "torn job served from cache; quarantine should have dropped it"
+qfp=$(awk '$1 == "fingerprint" {print $2}' "$workdir/c6.out")
+[ "$qfp" = "$qref" ] || fail "post-quarantine fingerprint $qfp != $qref"
+echo "fleetd-smoke: post-quarantine re-run converged ($qfp)"
+
+kill -TERM "$pid3"
+wait "$pid3" 2>/dev/null || true
+pid3=""
+
+echo "fleetd-smoke: OK (fingerprint $ref across batch, resume, cache, flaky transport, and quarantine)"
