@@ -2,14 +2,15 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench bench-json bench-smoke vet lint race check cover experiments examples fuzz-smoke smoke-fleetd clean
+.PHONY: all build test test-short bench bench-json bench-smoke vet lint lint-alloc race check cover experiments examples fuzz-smoke smoke-fleetd clean
 
 all: vet test
 
 # Full verification gate: go vet + gofmt, the domain analyzers
-# (arachnet-lint), the race detector over every package (the fleet
-# pool and the dsp pipeline are the concurrent code paths this guards),
-# and the daemon kill/restart determinism smoke.
+# (arachnet-lint), the static zero-alloc gate, the race detector over
+# every package (the fleet pool and the dsp pipeline are the concurrent
+# code paths this guards), and the daemon kill/restart determinism
+# smoke. The zero-alloc gate rides inside `lint`.
 check: vet lint race smoke-fleetd
 
 # Fleet-as-a-service smoke: SIGTERM arachnet-fleetd mid-sweep, restart
@@ -19,11 +20,23 @@ check: vet lint race smoke-fleetd
 smoke-fleetd:
 	./scripts/fleetd-smoke.sh
 
-# Domain static analysis: determinism, rng-discipline, map-order,
-# units and panic-hygiene over the whole module (see README.md,
-# "Static analysis"). Any finding fails the build.
+# Domain static analysis: the module-wide v2 suite — determinism-taint
+# (call-graph reachability into fingerprint roots), rng-discipline,
+# map-order, units, panic-hygiene, sleep-discipline, lock-discipline,
+# goroutine-hygiene, alloc-discipline and the //lint:allow directive
+# audit (see README.md, "Static analysis", and DESIGN.md §10). Any
+# finding fails the build. Under GITHUB_ACTIONS=true findings are also
+# emitted as ::error workflow annotations.
 lint:
 	$(GO) run ./cmd/arachnet-lint ./...
+	$(GO) run ./cmd/arachnet-lint -alloc-gate ./...
+
+# Static zero-alloc gate alone: compile with -gcflags=-m and diff the
+# heap escapes inside //alloc:hot functions against
+# scripts/escape-baseline.txt. New escapes fail; review deliberate ones
+# with `go run ./cmd/arachnet-lint -alloc-update`.
+lint-alloc:
+	$(GO) run ./cmd/arachnet-lint -alloc-gate ./...
 
 race:
 	$(GO) test -race ./...

@@ -79,6 +79,8 @@ func (sn *NetworkSnapshot) Config() NetworkConfig { return sn.cfg }
 // — reader, tags in spec order, waveform noise — is replayed exactly),
 // but with the per-config work already paid. Each clone owns its
 // Channel and LinkModel copies, so per-trial fault fades stay local.
+//
+//alloc:hot per-trial construction; deliberate escapes are pinned by the baseline
 func (sn *NetworkSnapshot) Clone(seed uint64, trace *Tracer) (*Network, error) {
 	cfg := sn.cfg
 	cfg.Seed = seed

@@ -76,9 +76,9 @@ func fleetSerialBaseline(b *testing.B) time.Duration {
 	fleetSerialOnce.Do(func() {
 		specs := fleetBenchSpecs(b, true)
 		runFleetSerial(b, specs) // warm caches before timing
-		start := time.Now()      //lint:allow determinism wall-clock measurement of the serial baseline, not simulation state
+		start := time.Now()      //lint:allow determinism-taint wall-clock measurement of the serial baseline, not simulation state
 		runFleetSerial(b, specs)
-		fleetSerialTime = time.Since(start) //lint:allow determinism wall-clock measurement of the serial baseline, not simulation state
+		fleetSerialTime = time.Since(start) //lint:allow determinism-taint wall-clock measurement of the serial baseline, not simulation state
 	})
 	return fleetSerialTime
 }
@@ -127,7 +127,7 @@ func BenchmarkFleetThroughput(b *testing.B) {
 			runtime.GC()
 			runtime.ReadMemStats(&m0)
 			b.ResetTimer()
-			start := time.Now() //lint:allow determinism benchmark timing for the speedup-vs-serial metric
+			start := time.Now() //lint:allow determinism-taint benchmark timing for the speedup-vs-serial metric
 			for i := 0; i < b.N; i++ {
 				rep, err := fleet.Run(context.Background(), fleet.Config{Workers: workers, Seed: 1}, specs)
 				if err != nil {
@@ -137,7 +137,7 @@ func BenchmarkFleetThroughput(b *testing.B) {
 					b.Fatal(rep.FirstError())
 				}
 			}
-			perFleet := time.Since(start) / time.Duration(b.N) //lint:allow determinism benchmark timing for the speedup-vs-serial metric
+			perFleet := time.Since(start) / time.Duration(b.N) //lint:allow determinism-taint benchmark timing for the speedup-vs-serial metric
 			b.StopTimer()
 			runtime.ReadMemStats(&m1)
 			if perFleet > 0 {

@@ -99,6 +99,9 @@ func main() {
 	srv.Start()
 	hs := &http.Server{Handler: srv.Handler()}
 	serveErr := make(chan error, 1)
+	// Serve blocks until the listener closes; the select below reaps the
+	// error, and process exit reaps the goroutine.
+	//lint:allow goroutine-hygiene Serve goroutine ends when the listener closes at shutdown
 	go func() { serveErr <- hs.Serve(ln) }()
 
 	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -1,41 +1,67 @@
 // Command arachnet-lint runs the repository's domain analyzers
-// (determinism, rng-discipline, map-order, units, panic-hygiene) over
-// the module and prints one "file:line:col: [check] message" line per
-// finding. It exits 0 on a clean tree, 1 when there are findings, and
-// 2 on a loading failure.
+// (determinism-taint, rng-discipline, map-order, units, panic-hygiene,
+// sleep-discipline, lock-discipline, goroutine-hygiene,
+// alloc-discipline) over the module and prints one
+// "file:line:col: [check] message" line per finding. It exits 0 on a
+// clean tree, 1 when there are findings, and 2 on a loading failure.
 //
 // Usage:
 //
 //	go run ./cmd/arachnet-lint ./...
+//	go run ./cmd/arachnet-lint -json ./...
+//	go run ./cmd/arachnet-lint -fix-stale
+//	go run ./cmd/arachnet-lint -alloc-gate
 //
 // The package pattern is accepted for familiarity but the whole module
-// is always analyzed: the invariants are module-wide (a stale
+// is always analyzed: the invariants are module-wide (a determinism
+// taint can enter a fingerprint from another package, and a stale
 // //lint:allow in one package is a finding even when "only" another
 // package changed). Findings are suppressed in line with
 //
 //	//lint:allow <check> <reason>
 //
 // on the offending line or the line above it; see README.md
-// ("Static analysis").
+// ("Static analysis") and DESIGN.md §10.
+//
+// Under GitHub Actions (GITHUB_ACTIONS=true) findings are additionally
+// emitted as ::error workflow commands so they surface as inline PR
+// annotations.
+//
+// The -alloc-* flags drive the static zero-alloc gate: -alloc-manifest
+// lists the //alloc:hot functions, -alloc-gate compiles their packages
+// with -gcflags=-m and diffs the escapes against
+// scripts/escape-baseline.txt (new escapes fail), -alloc-update rewrites
+// the baseline.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"repro/internal/lint"
 )
 
+// baselinePath is the checked-in escape baseline, relative to the
+// module root.
+const baselinePath = "scripts/escape-baseline.txt"
+
 func main() {
 	root := flag.String("root", "", "module root (default: walk up from cwd to go.mod)")
 	list := flag.Bool("list", false, "list the registered analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array instead of text")
+	fixStale := flag.Bool("fix-stale", false, "delete //lint:allow directives that no longer suppress anything, then exit")
+	allocManifest := flag.Bool("alloc-manifest", false, "list the //alloc:hot annotated functions and exit")
+	allocGate := flag.Bool("alloc-gate", false, "run the escape-analysis gate against "+baselinePath)
+	allocUpdate := flag.Bool("alloc-update", false, "rewrite "+baselinePath+" from the current escape analysis")
 	flag.Parse()
 
 	if *list {
 		for _, a := range lint.Analyzers() {
-			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
@@ -45,23 +71,141 @@ func main() {
 		var err error
 		dir, err = findModuleRoot()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "arachnet-lint:", err)
-			os.Exit(2)
+			fail(err)
 		}
 	}
 
+	switch {
+	case *fixStale:
+		runFixStale(dir)
+	case *allocManifest, *allocGate, *allocUpdate:
+		runAllocGate(dir, *allocManifest, *allocUpdate)
+	default:
+		runSuite(dir, *jsonOut)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "arachnet-lint:", err)
+	os.Exit(2)
+}
+
+// runSuite is the default mode: the full analyzer suite over the module.
+func runSuite(dir string, jsonOut bool) {
 	diags, err := lint.Run(dir)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "arachnet-lint:", err)
-		os.Exit(2)
+		fail(err)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	github := os.Getenv("GITHUB_ACTIONS") == "true"
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fail(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if github {
+		for _, d := range diags {
+			// ::error workflow command — GitHub renders these as inline
+			// annotations on the PR diff.
+			fmt.Printf("::error file=%s,line=%d,col=%d,title=arachnet-lint %s::%s\n",
+				d.File, d.Line, d.Col, d.Check, escapeWorkflowData(d.Message))
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "arachnet-lint: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+// escapeWorkflowData applies the GitHub workflow-command data escaping
+// rules (%, CR, LF).
+func escapeWorkflowData(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
+}
+
+func runFixStale(dir string) {
+	fixes, err := lint.FixStale(dir)
+	if err != nil {
+		fail(err)
+	}
+	for _, f := range fixes {
+		fmt.Printf("removed stale //lint:allow at %s:%d\n", f.File, f.Line)
+	}
+	fmt.Fprintf(os.Stderr, "arachnet-lint: removed %d stale directive(s)\n", len(fixes))
+}
+
+// runAllocGate drives the static zero-alloc gate.
+func runAllocGate(dir string, manifestOnly, update bool) {
+	mod, err := lint.LoadModule(dir)
+	if err != nil {
+		fail(err)
+	}
+	manifest := lint.AllocManifest(mod)
+	if manifestOnly {
+		for _, fn := range manifest {
+			fmt.Printf("%s:%d-%d %s (%s)\n", fn.File, fn.StartLine, fn.EndLine, fn.Func, fn.Note)
+		}
+		fmt.Fprintf(os.Stderr, "arachnet-lint: %d //alloc:hot function(s)\n", len(manifest))
+		return
+	}
+	entries, err := lint.RunEscapeGate(dir, manifest)
+	if err != nil {
+		fail(err)
+	}
+	basePath := filepath.Join(dir, filepath.FromSlash(baselinePath))
+	if update {
+		var b strings.Builder
+		b.WriteString("# Escape-analysis baseline for //alloc:hot functions.\n")
+		b.WriteString("# One \"file:Func: message\" per accepted heap escape; regenerate\n")
+		b.WriteString("# with `go run ./cmd/arachnet-lint -alloc-update` and review the diff.\n")
+		for _, e := range entries {
+			b.WriteString(e)
+			b.WriteByte('\n')
+		}
+		if err := os.WriteFile(basePath, []byte(b.String()), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "arachnet-lint: wrote %s (%d entr%s)\n", baselinePath, len(entries), plural(len(entries), "y", "ies"))
+		return
+	}
+	baseData, err := os.ReadFile(basePath)
+	if err != nil {
+		fail(fmt.Errorf("%w (run with -alloc-update to create the baseline)", err))
+	}
+	added, removed := lint.DiffEscapeBaseline(entries, lint.ParseBaseline(string(baseData)))
+	github := os.Getenv("GITHUB_ACTIONS") == "true"
+	for _, e := range removed {
+		fmt.Printf("stale baseline entry (escape no longer present): %s\n", e)
+	}
+	for _, e := range added {
+		fmt.Printf("new heap escape in //alloc:hot function: %s\n", e)
+		if github {
+			fmt.Printf("::error title=arachnet-lint alloc-gate::%s\n", escapeWorkflowData("new heap escape in //alloc:hot function: "+e))
+		}
+	}
+	if len(added) > 0 {
+		fmt.Fprintf(os.Stderr, "arachnet-lint: alloc gate FAILED: %d new escape(s); fix them or review and run -alloc-update\n", len(added))
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "arachnet-lint: alloc gate ok (%d baseline escape(s), %d //alloc:hot function(s))\n", len(entries), len(manifest))
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }
 
 // findModuleRoot walks up from the working directory to the nearest

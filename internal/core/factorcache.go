@@ -41,6 +41,8 @@ func factorKey(periods []mac.Period, nackThreshold int) string {
 // reuse one factorization (and its memoized solve) instead of
 // re-enumerating the chain every time. Build failures are returned and
 // not cached. Safe for concurrent use.
+//
+//alloc:hot sweep-loop cache hit must stay key-build plus map lookup
 func ForConfig(periods []mac.Period, nackThreshold int) (*Factorization, error) {
 	key := factorKey(periods, nackThreshold)
 	factorCache.Lock()

@@ -101,6 +101,8 @@ func (d *DownConverter) Process(block []float64) []IQ {
 // not be interleaved with this one on the same instance (Reset starts a
 // fresh capture). With sufficient dst capacity the steady state
 // performs no allocations.
+//
+//alloc:hot per-block decimating kernel; error path is the only deliberate escape
 func (d *DownConverter) ProcessBlockDecim(dst []IQ, block []float64, factor int) ([]IQ, error) {
 	if factor < 1 {
 		return nil, fmt.Errorf("dsp: decimation factor %d < 1", factor)

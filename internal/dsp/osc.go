@@ -63,6 +63,8 @@ func (o *QuadOsc) Next() (cos, sin float64) {
 
 // Block fills cos[i], sin[i] for the next len(cos) samples. The two
 // slices must have equal length; either may be nil to skip that phase.
+//
+//alloc:hot steady-state mixer kernel; writes only into caller-provided slices
 func (o *QuadOsc) Block(cos, sin []float64) {
 	n := len(cos)
 	if cos == nil {

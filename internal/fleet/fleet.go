@@ -271,7 +271,7 @@ func (p *Pool) Run(ctx context.Context) (*Report, error) {
 	if workers > len(p.specs) {
 		workers = len(p.specs)
 	}
-	start := time.Now() //lint:allow determinism wall-clock fleet timing; excluded from the deterministic fingerprint
+	start := time.Now() //lint:allow determinism-taint wall-clock fleet timing; excluded from the deterministic fingerprint
 
 	queue := make(chan int)
 	go func() {
@@ -323,7 +323,7 @@ func (p *Pool) Run(ctx context.Context) (*Report, error) {
 		}
 	}
 
-	rep := p.buildReport(workers, time.Since(start)) //lint:allow determinism wall-clock fleet timing; excluded from the deterministic fingerprint
+	rep := p.buildReport(workers, time.Since(start)) //lint:allow determinism-taint wall-clock fleet timing; excluded from the deterministic fingerprint
 	return rep, ctx.Err()
 }
 
@@ -351,14 +351,14 @@ func (p *Pool) runJob(ctx context.Context, idx int) JobOutcome {
 		p.cfg.Observer.JobStarted(info)
 	}
 
-	start := time.Now() //lint:allow determinism per-job wall latency for operator reporting only
+	start := time.Now() //lint:allow determinism-taint per-job wall latency for operator reporting only
 	if p.cfg.JobTimeout <= 0 {
 		// Fast path: with no deadline to enforce, the job runs inline on
 		// the worker goroutine — no per-job goroutine, channel or timer.
 		// Panic isolation is a deferred recover, so the steady-state
 		// control-plane cost of a job is zero allocations.
 		res, err, panicked := p.callJob(ctx, idx, info)
-		out.Elapsed = time.Since(start) //lint:allow determinism per-job wall latency for operator reporting only
+		out.Elapsed = time.Since(start) //lint:allow determinism-taint per-job wall latency for operator reporting only
 		p.classify(&out, res, err, panicked)
 		return out
 	}
@@ -372,6 +372,9 @@ func (p *Pool) runJob(ctx context.Context, idx int) JobOutcome {
 		panicked bool
 	}
 	done := make(chan jobReturn, 1)
+	// Deliberately abandoned on timeout: the buffered channel lets the
+	// late result be dropped without blocking the stuck job forever.
+	//lint:allow goroutine-hygiene abandoned on timeout by design; buffered done never blocks it
 	go func() {
 		res, err, panicked := p.callJob(jctx, idx, info)
 		done <- jobReturn{res: res, err: err, panicked: panicked}
@@ -379,13 +382,13 @@ func (p *Pool) runJob(ctx context.Context, idx int) JobOutcome {
 
 	select {
 	case ret := <-done:
-		out.Elapsed = time.Since(start) //lint:allow determinism per-job wall latency for operator reporting only
+		out.Elapsed = time.Since(start) //lint:allow determinism-taint per-job wall latency for operator reporting only
 		p.classify(&out, ret.res, ret.err, ret.panicked)
 	case <-jctx.Done():
 		// The job ignored its context; abandon its goroutine (the
 		// buffered channel lets it finish and be collected) and
 		// classify by which context fired.
-		out.Elapsed = time.Since(start) //lint:allow determinism per-job wall latency for operator reporting only
+		out.Elapsed = time.Since(start) //lint:allow determinism-taint per-job wall latency for operator reporting only
 		if err := ctx.Err(); err != nil {
 			out.Status = parentStopStatus(err)
 			out.Err = err.Error()
@@ -409,6 +412,8 @@ func parentStopStatus(err error) Status {
 }
 
 // callJob invokes the job function with panic recovery.
+//
+//alloc:hot per-job dispatch; the recovery closure is the only deliberate escape
 func (p *Pool) callJob(ctx context.Context, idx int, info JobInfo) (res Result, err error, panicked bool) {
 	defer func() {
 		if r := recover(); r != nil {

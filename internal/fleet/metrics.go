@@ -87,7 +87,7 @@ type aggregator struct {
 
 func newAggregator(total int) *aggregator {
 	return &aggregator{
-		start:    time.Now(), //lint:allow determinism live progress view elapsed time; not part of any fingerprint
+		start:    time.Now(), //lint:allow determinism-taint live progress view elapsed time; not part of any fingerprint
 		total:    total,
 		samples:  make(map[string][]float64),
 		counters: make(map[string]uint64),
@@ -123,7 +123,7 @@ func (a *aggregator) snapshot() Snapshot {
 		Cancelled: a.counts[StatusCancelled],
 		Metrics:   make(map[string]Distribution, len(a.samples)),
 		Counters:  make(map[string]uint64, len(a.counters)),
-		Elapsed:   time.Since(a.start), //lint:allow determinism live progress view elapsed time; not part of any fingerprint
+		Elapsed:   time.Since(a.start), //lint:allow determinism-taint live progress view elapsed time; not part of any fingerprint
 	}
 	sn.Done = sn.Completed + sn.Failed + sn.Panicked + sn.TimedOut + sn.Cancelled
 	for name, s := range a.samples {

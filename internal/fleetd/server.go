@@ -297,6 +297,9 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Unlock()
 	s.runCancel()
 	done := make(chan struct{})
+	// Forwards the WaitGroup join onto a channel so the drain can race it
+	// against ctx; if ctx wins, the waiter exits when the runners do.
+	//lint:allow goroutine-hygiene wait-forwarder exits when the joined runners finish
 	go func() {
 		s.wg.Wait()
 		close(done)
@@ -498,7 +501,7 @@ func (s *Server) runJob(j *job) {
 	jctx := base
 	dcancel := context.CancelFunc(func() {})
 	if s.cfg.JobDeadline > 0 {
-		//lint:allow determinism job deadlines are wall-clock budgets, not simulation state
+		//lint:allow determinism-taint job deadlines are wall-clock budgets, not simulation state
 		jctx, dcancel = resilience.Tighten(base, time.Now(), s.cfg.JobDeadline)
 	}
 	j.state = api.StateRunning
@@ -842,20 +845,30 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	j := s.newJob(raw, key, len(specs))
 	j.state = api.StateQueued
+	// Publish the job (registry + in-flight dedupe entry) BEFORE it can
+	// reach a runner. Enqueue-first had an admission race: a runner could
+	// dequeue and finalize the job before the inflight entry existed, so
+	// finalize's conditional delete was a no-op and the terminal job
+	// stayed registered as "in flight" — later submits of the same spec
+	// then deduped against a finished job forever (with caching disabled
+	// the spec could never run again). Registering first means finalize
+	// always observes the entry it must clear.
+	s.registerJob(j)
+	s.mu.Lock()
+	s.inflight[key] = j.id
+	s.mu.Unlock()
 	select {
 	case s.queue <- j:
 	default:
 		// Backpressure: the queue is full. 429 + Retry-After instead of
-		// unbounded buffering.
+		// unbounded buffering. Roll the admission back so the rejected
+		// job leaves no ghost registry or dedupe entries behind.
+		s.unregisterJob(j)
 		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
 		writeError(w, http.StatusTooManyRequests,
 			fmt.Sprintf("job queue full (%d deep); retry later", s.cfg.QueueDepth))
 		return
 	}
-	s.registerJob(j)
-	s.mu.Lock()
-	s.inflight[key] = j.id
-	s.mu.Unlock()
 	// Checkpoint at admission so a daemon killed with the job still
 	// queued re-runs it after restart.
 	if err := s.checkpointWrite(Record{ID: j.id, State: StateQueuedCkpt, Spec: j.spec}); err != nil {
@@ -881,6 +894,24 @@ func (s *Server) registerJob(j *job) {
 	s.mu.Lock()
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
+	s.mu.Unlock()
+}
+
+// unregisterJob rolls back an admission whose enqueue was refused: the
+// job vanishes from the registry, listing order and in-flight dedupe
+// map as if the submit never happened.
+func (s *Server) unregisterJob(j *job) {
+	s.mu.Lock()
+	delete(s.jobs, j.id)
+	for i, id := range s.order {
+		if id == j.id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	if s.inflight[j.key] == j.id {
+		delete(s.inflight, j.key)
+	}
 	s.mu.Unlock()
 }
 

@@ -344,3 +344,105 @@ func TestDrainRejectsSubmits(t *testing.T) {
 		t.Error("draining daemon accepted a submission")
 	}
 }
+
+// TestAdmissionPublishBeforeEnqueue pins the submit admission ordering:
+// the job must be registered and entered into the in-flight dedupe map
+// before it can reach a runner. The enqueue-first ordering had a race —
+// a runner could finalize the job before the inflight entry existed,
+// leaving a stale entry that made every later submit of the same spec
+// dedupe against the finished job (with caching disabled the spec could
+// never run again). Sequential resubmits of one spec must therefore
+// each queue a fresh run, and the dedupe map must be empty whenever no
+// job is active.
+func TestAdmissionPublishBeforeEnqueue(t *testing.T) {
+	s, c := startServer(t, Config{CacheEntries: -1, Runners: 1})
+	ctx := context.Background()
+	spec := `{"seed": 7, "vehicles": [{"name": "q", "engine": "slots", "pattern": "c1", "slots": 1000}]}`
+
+	seen := make(map[string]bool)
+	for i := 0; i < 20; i++ {
+		sub, err := c.Submit(ctx, []byte(spec))
+		if err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		if sub.Cached || sub.State != api.StateQueued {
+			t.Fatalf("iteration %d: submit deduped against a terminal job: %+v", i, sub)
+		}
+		if seen[sub.ID] {
+			t.Fatalf("iteration %d: job ID %s reused", i, sub.ID)
+		}
+		seen[sub.ID] = true
+		st, err := c.Wait(ctx, sub.ID, 2*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != api.StateDone {
+			t.Fatalf("iteration %d: state %s: %s", i, st.State, st.Error)
+		}
+		s.mu.Lock()
+		stale := len(s.inflight)
+		s.mu.Unlock()
+		if stale != 0 {
+			t.Fatalf("iteration %d: %d stale inflight entr(ies) after job finished", i, stale)
+		}
+	}
+}
+
+// TestBackpressureRollback pins the 429 path: a submit refused by a
+// full queue must leave no ghost state behind — no registry entry, no
+// listing slot, no in-flight dedupe entry — and the same spec must be
+// admissible again once the queue has room.
+func TestBackpressureRollback(t *testing.T) {
+	s, c := startServer(t, Config{QueueDepth: 1, Runners: 1})
+	ctx := context.Background()
+	slow := `{"seed": 5, "workers": 1, "vehicles": [
+		{"name": "slow", "engine": "slots", "pattern": "c1", "slots": 400000, "replicate": 4}
+	]}`
+	quick := `{"seed": 6, "vehicles": [{"name": "q", "engine": "slots", "pattern": "c1", "slots": 1000}]}`
+	overflow := `{"seed": 9, "vehicles": [{"name": "x", "engine": "slots", "pattern": "c1", "slots": 1000}]}`
+
+	first, err := c.Submit(ctx, []byte(slow))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for try := 0; ; try++ {
+		if _, err = c.Submit(ctx, []byte(quick)); err == nil {
+			break // occupied the single queue slot
+		}
+		if try >= 1000 {
+			t.Fatalf("never managed to queue the second job: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := c.Submit(ctx, []byte(overflow)); err == nil {
+		t.Fatal("overflow submit accepted, want 429")
+	}
+	s.mu.Lock()
+	jobs, order, inflight := len(s.jobs), len(s.order), len(s.inflight)
+	s.mu.Unlock()
+	if jobs != 2 || order != 2 || inflight != 2 {
+		t.Fatalf("rejected submit left ghost state: jobs=%d order=%d inflight=%d, want 2/2/2", jobs, order, inflight)
+	}
+
+	// Free the queue and prove the bounced spec is admissible again.
+	if err := c.Cancel(ctx, first.ID); err != nil {
+		t.Fatal(err)
+	}
+	var retry api.SubmitResponse
+	for try := 0; ; try++ {
+		if retry, err = c.Submit(ctx, []byte(overflow)); err == nil {
+			break
+		}
+		if try >= 1000 {
+			t.Fatalf("bounced spec never admitted after queue freed: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	st, err := c.Wait(ctx, retry.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != api.StateDone {
+		t.Errorf("readmitted job ended %s: %s", st.State, st.Error)
+	}
+}

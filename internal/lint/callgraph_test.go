@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixtureModule loads the fixture once per test (cheap: a few files).
+func fixtureModule(t *testing.T) *Module {
+	t.Helper()
+	mod, err := LoadModule(filepath.Join("testdata", "src", "fixture"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mod
+}
+
+// TestCallGraphCrossPackageEdge checks the load-bearing edge of the
+// taint analyzer: experiments.RunTable1 -> seeds.DefaultSeed crosses a
+// package boundary and must be resolved through the dependency-ordered
+// type information.
+func TestCallGraphCrossPackageEdge(t *testing.T) {
+	g := fixtureModule(t).CallGraph()
+	var run *FuncNode
+	for _, n := range g.Nodes {
+		if n.Name == "experiments.RunTable1" {
+			run = n
+		}
+	}
+	if run == nil {
+		t.Fatal("experiments.RunTable1 not in the call graph")
+	}
+	for _, callee := range run.Callees {
+		if callee.Name == "seeds.DefaultSeed" {
+			return
+		}
+	}
+	t.Fatalf("RunTable1 callees %v missing cross-package edge to seeds.DefaultSeed", nodeNames(run.Callees))
+}
+
+// TestCallGraphMethodEdge checks same-package method resolution
+// (Registry.WaitsViaHelper -> Registry.drain), which lock-discipline's
+// transitive-blocking propagation rides on.
+func TestCallGraphMethodEdge(t *testing.T) {
+	g := fixtureModule(t).CallGraph()
+	for _, n := range g.Nodes {
+		if n.Name != "fleetd.Registry.WaitsViaHelper" {
+			continue
+		}
+		for _, callee := range n.Callees {
+			if callee.Name == "fleetd.Registry.drain" {
+				return
+			}
+		}
+		t.Fatalf("WaitsViaHelper callees %v missing method edge to drain", nodeNames(n.Callees))
+	}
+	t.Fatal("fleetd.Registry.WaitsViaHelper not in the call graph")
+}
+
+// TestReachableFromPath checks BFS predecessor bookkeeping: the path
+// from a root to a reached node reconstructs in call order.
+func TestReachableFromPath(t *testing.T) {
+	g := fixtureModule(t).CallGraph()
+	pred := g.ReachableFrom(fingerprintRoots(g))
+	for _, n := range g.Nodes {
+		if n.Name != "seeds.DefaultSeed" {
+			continue
+		}
+		if _, ok := pred[n]; !ok {
+			t.Fatal("seeds.DefaultSeed not reached from the fingerprint roots")
+		}
+		path := PathTo(pred, n)
+		want := "experiments.RunTable1 -> seeds.DefaultSeed"
+		if got := strings.Join(path, " -> "); got != want {
+			t.Errorf("path = %q, want %q", got, want)
+		}
+		return
+	}
+	t.Fatal("seeds.DefaultSeed not in the call graph")
+}
+
+// TestReachabilityExcludesUnreachable pins the negative: a source with
+// no inbound path from a root stays untainted.
+func TestReachabilityExcludesUnreachable(t *testing.T) {
+	g := fixtureModule(t).CallGraph()
+	pred := g.ReachableFrom(fingerprintRoots(g))
+	for _, n := range g.Nodes {
+		if n.Name == "seeds.UnreachableNow" {
+			if _, ok := pred[n]; ok {
+				t.Error("seeds.UnreachableNow is reached, but nothing calls it")
+			}
+			return
+		}
+	}
+	t.Fatal("seeds.UnreachableNow not in the call graph")
+}
+
+// TestDependencyOrder checks the loader's topological ordering:
+// examples/seeds must be type-checked before experiments, which
+// imports it.
+func TestDependencyOrder(t *testing.T) {
+	mod := fixtureModule(t)
+	order := mod.dependencyOrder()
+	pos := make(map[string]int)
+	for i, pkg := range order {
+		pos[pkg.Path] = i
+	}
+	if len(pos) != len(mod.Pkgs) {
+		t.Fatalf("dependency order covers %d packages, module has %d", len(pos), len(mod.Pkgs))
+	}
+	if pos["fixture/examples/seeds"] > pos["fixture/experiments"] {
+		t.Errorf("importee fixture/examples/seeds ordered after its importer fixture/experiments")
+	}
+}
+
+func nodeNames(nodes []*FuncNode) []string {
+	out := make([]string, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.Name
+	}
+	return out
+}

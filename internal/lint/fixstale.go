@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// StaleFix records one //lint:allow directive removed by FixStale.
+type StaleFix struct {
+	File string // module-relative path
+	Line int
+}
+
+// FixStale runs the analyzer suite over the module at root and deletes
+// every stale //lint:allow directive — one that is well-formed but no
+// longer suppresses any finding. A directive alone on its line is
+// removed with the line; a trailing directive is stripped, keeping the
+// code. Malformed directives (unknown check, missing reason) are left
+// in place: they need a human, not deletion. Returns the fixes applied,
+// sorted by file then line.
+func FixStale(root string) ([]StaleFix, error) {
+	mod, err := LoadModule(root)
+	if err != nil {
+		return nil, err
+	}
+	byFile := make(map[string][]int)
+	for _, d := range RunModule(mod) {
+		if d.Check == DirectiveCheck && strings.HasPrefix(d.Message, "stale") {
+			byFile[d.File] = append(byFile[d.File], d.Line)
+		}
+	}
+	var fixes []StaleFix
+	for file, lineNos := range byFile {
+		// Edit bottom-up so earlier line numbers stay valid.
+		sort.Sort(sort.Reverse(sort.IntSlice(lineNos)))
+		abs := filepath.Join(mod.Root, filepath.FromSlash(file))
+		data, err := os.ReadFile(abs)
+		if err != nil {
+			return nil, err
+		}
+		lines := strings.Split(string(data), "\n")
+		for _, n := range lineNos {
+			if n < 1 || n > len(lines) {
+				continue
+			}
+			src := lines[n-1]
+			idx := strings.Index(src, directivePrefix)
+			if idx < 0 {
+				continue
+			}
+			if strings.TrimSpace(src[:idx]) == "" {
+				lines = append(lines[:n-1], lines[n:]...)
+			} else {
+				lines[n-1] = strings.TrimRight(src[:idx], " \t")
+			}
+			fixes = append(fixes, StaleFix{File: file, Line: n})
+		}
+		if err := os.WriteFile(abs, []byte(strings.Join(lines, "\n")), 0o644); err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(fixes, func(i, j int) bool {
+		if fixes[i].File != fixes[j].File {
+			return fixes[i].File < fixes[j].File
+		}
+		return fixes[i].Line < fixes[j].Line
+	})
+	return fixes, nil
+}

@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestFixStale builds a throwaway module with one stale directive on
+// its own line, one stale trailing directive, one live directive and
+// one malformed directive, then checks FixStale removes exactly the
+// stale two.
+func TestFixStale(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module fixme\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src := `// Package fixme exercises -fix-stale.
+package fixme
+
+//lint:allow map-order stale, on its own line
+func A() {}
+
+func B(x int) {
+	if x < 0 {
+		panic("impossible") //lint:allow panic-hygiene live directive stays
+	}
+}
+
+func C() {} //lint:allow rng-discipline stale trailing directive
+
+//lint:allow nosuch malformed stays for a human
+func D() {}
+`
+	path := filepath.Join(dir, "fixme.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	fixes, err := FixStale(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fixes) != 2 {
+		t.Fatalf("fixes = %+v, want 2", fixes)
+	}
+	out, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(out)
+	if strings.Contains(got, "map-order") || strings.Contains(got, "rng-discipline") {
+		t.Errorf("stale directives survive:\n%s", got)
+	}
+	if !strings.Contains(got, "panic-hygiene live directive stays") {
+		t.Errorf("live directive removed:\n%s", got)
+	}
+	if !strings.Contains(got, "nosuch malformed stays") {
+		t.Errorf("malformed directive removed (needs a human):\n%s", got)
+	}
+	if !strings.Contains(got, "func C() {}") {
+		t.Errorf("code stripped along with trailing directive:\n%s", got)
+	}
+	// The cleaned file must now be free of stale reports (only the
+	// malformed one remains).
+	diags, err := Run(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if strings.Contains(d.Message, "stale") {
+			t.Errorf("stale finding survives the fix: %s", d)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerGoroutineHygiene requires every goroutine launched in
+// production code to be either joined or cancellable. A `go` statement
+// passes when its function literal body shows one of the accepted
+// lifecycle seams:
+//
+//   - a join: `defer wg.Done()` (WaitGroup / errgroup-style counting);
+//   - a cancellation seam: a channel receive — `<-ctx.Done()`, a done
+//     channel, a select over either — so closing the channel or
+//     cancelling the context terminates the goroutine;
+//   - a drain seam: `for x := range ch` over a channel, so closing the
+//     queue ends the loop.
+//
+// A `go` statement with none of these is a leak: nothing can wait for
+// it and nothing can stop it, so shutdown becomes racy (the fleetd
+// drain path and -race chaos runs depend on goroutine counts reaching
+// zero). Launching a named function is flagged too — the lifecycle
+// contract should be visible at the launch site. Intentional
+// fire-and-forget sites state their case with
+// //lint:allow goroutine-hygiene <why>.
+//
+// Scope: every production (non-test) file except the examples/ tree;
+// tests may spawn freely, the test binary's exit reaps them.
+var AnalyzerGoroutineHygiene = &Analyzer{
+	Name: "goroutine-hygiene",
+	Doc:  "every production go statement must be joined (defer wg.Done) or tied to a cancellation/drain seam, or carry //lint:allow",
+	Run:  runGoroutineHygiene,
+}
+
+func runGoroutineHygiene(p *Pass) {
+	if hasPathSegment(p.Pkg.Path, "examples") {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := gs.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				p.Reportf(gs.Pos(), "go statement launches a named function; the lifecycle seam (join or cancellation) must be visible at the launch site — wrap it in a managed literal or annotate //lint:allow goroutine-hygiene")
+				return true
+			}
+			if !hasLifecycleSeam(p, lit.Body) {
+				p.Reportf(gs.Pos(), "goroutine is neither joined (defer wg.Done) nor tied to a cancellation/drain seam (ctx.Done, done channel, range over a closable channel); shutdown cannot account for it — add a seam or //lint:allow goroutine-hygiene")
+			}
+			return true
+		})
+	}
+}
+
+// hasLifecycleSeam scans one goroutine body (excluding nested function
+// literals, which belong to other goroutines or deferred calls) for a
+// join or cancellation seam.
+func hasLifecycleSeam(p *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt:
+			return false
+		case *ast.DeferStmt:
+			// defer wg.Done() — a WaitGroup join.
+			if sel, ok := n.Call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+				found = true
+			}
+			return false
+		case *ast.UnaryExpr:
+			// Any channel receive is a seam: the launcher can unblock the
+			// goroutine by sending or closing (covers <-ctx.Done()).
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			// Draining a closable channel: close(queue) ends the loop.
+			if p.Pkg.Info != nil {
+				if t := p.Pkg.Info.TypeOf(n.X); t != nil {
+					if _, isChan := t.Underlying().(*types.Chan); isChan {
+						found = true
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

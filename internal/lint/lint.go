@@ -41,14 +41,19 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Check, d.Message)
 }
 
-// Analyzer is one named invariant check over a single package.
+// Analyzer is one named invariant check. Exactly one of Run and
+// RunModule is set: Run is invoked once per package (the v1 shape),
+// RunModule once per module with Pass.Pkg == nil (the v2 shape — these
+// analyzers see the whole call graph and cross-package types).
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass)
+	Name      string
+	Doc       string
+	Run       func(*Pass)
+	RunModule func(*Pass)
 }
 
-// Pass carries one (analyzer, package) unit of work.
+// Pass carries one (analyzer, package) unit of work. For module-level
+// analyzers Pkg is nil and the pass spans every package in Mod.
 type Pass struct {
 	Mod   *Module
 	Pkg   *Package
@@ -71,12 +76,15 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // Analyzers returns the registered analyzer suite in a fixed order.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
-		AnalyzerDeterminism,
+		AnalyzerDeterminismTaint,
 		AnalyzerRNGDiscipline,
 		AnalyzerMapOrder,
 		AnalyzerUnits,
 		AnalyzerPanicHygiene,
 		AnalyzerSleepDiscipline,
+		AnalyzerLockDiscipline,
+		AnalyzerGoroutineHygiene,
+		AnalyzerAllocDiscipline,
 	}
 }
 

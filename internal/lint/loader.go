@@ -33,11 +33,12 @@ func (p *Package) AllFiles() []*ast.File {
 
 // Module is a fully loaded Go module.
 type Module struct {
-	Root   string // absolute directory containing go.mod
-	Path   string // module path from go.mod
-	Fset   *token.FileSet
-	Pkgs   []*Package // sorted by import path
-	byPath map[string]*Package
+	Root      string // absolute directory containing go.mod
+	Path      string // module path from go.mod
+	Fset      *token.FileSet
+	Pkgs      []*Package // sorted by import path
+	byPath    map[string]*Package
+	callgraph *CallGraph // lazily built by CallGraph()
 }
 
 // relPath renders an absolute file name relative to the module root
@@ -79,10 +80,55 @@ func LoadModule(root string) (*Module, error) {
 		stubs:    make(map[string]*types.Package),
 		checking: make(map[*Package]bool),
 	}
-	for _, pkg := range m.Pkgs {
+	// Type-check in dependency order so every module-internal import is
+	// already a real (non-stub) *types.Package by the time its importers
+	// are checked: cross-package selections, method sets and interface
+	// satisfaction then resolve exactly, which the call-graph analyzers
+	// depend on. The importer still resolves on demand as a fallback, so
+	// an accidental cycle degrades to a stub instead of an error.
+	for _, pkg := range m.dependencyOrder() {
 		im.check(pkg)
 	}
 	return m, nil
+}
+
+// dependencyOrder topologically sorts the module packages so that every
+// package appears after all module-internal packages it imports. Ties
+// and (impossible in a buildable module) cycles fall back to import-path
+// order, keeping the result deterministic.
+func (m *Module) dependencyOrder() []*Package {
+	deps := make(map[*Package][]*Package, len(m.Pkgs))
+	for _, pkg := range m.Pkgs {
+		seen := make(map[*Package]bool)
+		for _, f := range pkg.Files {
+			for _, imp := range f.Imports {
+				path := strings.Trim(imp.Path.Value, `"`)
+				if dep, ok := m.byPath[path]; ok && dep != pkg && !seen[dep] {
+					seen[dep] = true
+					deps[pkg] = append(deps[pkg], dep)
+				}
+			}
+		}
+		sort.Slice(deps[pkg], func(i, j int) bool { return deps[pkg][i].Path < deps[pkg][j].Path })
+	}
+	order := make([]*Package, 0, len(m.Pkgs))
+	state := make(map[*Package]int, len(m.Pkgs)) // 0 unvisited, 1 visiting, 2 done
+	var visit func(*Package)
+	visit = func(pkg *Package) {
+		if state[pkg] != 0 {
+			return // done, or a cycle — either way stop descending
+		}
+		state[pkg] = 1
+		for _, dep := range deps[pkg] {
+			visit(dep)
+		}
+		state[pkg] = 2
+		order = append(order, pkg)
+	}
+	for _, pkg := range m.Pkgs {
+		visit(pkg)
+	}
+	return order
 }
 
 // readModulePath extracts the module path from a go.mod file.

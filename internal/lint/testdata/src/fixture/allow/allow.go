@@ -17,5 +17,5 @@ func Stale() {}
 //lint:allow nosuch bogus check name
 func Unknown() {}
 
-//lint:allow determinism
+//lint:allow determinism-taint
 func NoReason() {}

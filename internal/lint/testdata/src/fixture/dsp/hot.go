@@ -1,0 +1,36 @@
+// Hot-path fixtures for the alloc-discipline annotation grammar.
+package dsp
+
+// Accumulate is a compliant hot kernel: annotated in its doc comment
+// with a note.
+//
+//alloc:hot steady-state kernel; scratch is caller-provided
+func Accumulate(dst, src []float64) {
+	for i := range src {
+		dst[i] += src[i]
+	}
+}
+
+// MissingNote is annotated without saying why it must stay clean.
+//
+//alloc:hot
+func MissingNote(x []float64) {
+	for i := range x {
+		x[i] = 0
+	}
+}
+
+// SpawnsInHot launches a goroutine from inside a hot function, which
+// allocates and schedules.
+//
+//alloc:hot but spawns anyway
+func SpawnsInHot(done chan struct{}) {
+	go func() {
+		<-done
+	}()
+}
+
+func floating() {
+	//alloc:hot this annotation is attached to nothing
+	_ = 0
+}

@@ -1,0 +1,8 @@
+package dsp
+
+// BenchHelper carries an //alloc:hot annotation in a test file; the
+// escape gate only compiles production packages, so this gates nothing
+// and the analyzer flags it.
+//
+//alloc:hot test files are not gated
+func BenchHelper() {}

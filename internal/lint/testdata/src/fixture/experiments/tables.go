@@ -1,0 +1,34 @@
+// Package experiments mirrors the repo's driver-layer table writers:
+// exported Run*/Fig*/Table*/Appendix* functions are fingerprint roots
+// for the determinism-taint analyzer.
+package experiments
+
+import (
+	"fmt"
+
+	"fixture/examples/seeds"
+)
+
+// RunTable1 is a fingerprint root reaching seeds.DefaultSeed in another
+// driver package; the wall-clock read there taints this table. The old
+// per-package determinism check skipped driver paths wholesale, so it
+// could not see either side of this edge.
+func RunTable1() {
+	seed := seeds.DefaultSeed()
+	fmt.Println("table", seed)
+}
+
+// RunTable2 leaks randomized map iteration order straight into the
+// emitted table.
+func RunTable2(rows map[string]float64) {
+	for name, v := range rows {
+		fmt.Printf("%s %v\n", name, v)
+	}
+}
+
+// RunTable3 is the compliant shape: sorted keys, fixed seed.
+func RunTable3(rows map[string]float64, keys []string) {
+	for _, k := range keys {
+		fmt.Printf("%s %v\n", k, rows[k])
+	}
+}

@@ -1,0 +1,69 @@
+// Lock fixtures for the lock-discipline analyzer: leaks on return
+// paths, blocking operations under a held mutex (direct and through a
+// transitively-blocking helper), and the compliant shapes that must
+// stay quiet.
+package fleetd
+
+import "sync"
+
+// Registry mimics the daemon's mutex-guarded job table.
+type Registry struct {
+	mu    sync.Mutex
+	ch    chan int
+	items map[string]int
+}
+
+// LeakOnError returns with the mutex still held on the miss path.
+func (r *Registry) LeakOnError(key string) bool {
+	r.mu.Lock()
+	if _, ok := r.items[key]; !ok {
+		return false
+	}
+	r.mu.Unlock()
+	return true
+}
+
+// SendWhileLocked blocks on a channel send with the mutex held.
+func (r *Registry) SendWhileLocked(v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ch <- v
+}
+
+// SyncWhileLocked holds the mutex across an fsync.
+func (r *Registry) SyncWhileLocked(f interface{ Sync() error }) {
+	r.mu.Lock()
+	_ = f.Sync()
+	r.mu.Unlock()
+}
+
+// WaitsViaHelper blocks transitively: drain receives from the channel,
+// and the call graph propagates that back to the locked caller.
+func (r *Registry) WaitsViaHelper() {
+	r.mu.Lock()
+	r.drain()
+	r.mu.Unlock()
+}
+
+func (r *Registry) drain() {
+	<-r.ch
+}
+
+// TryPublish is the compliant non-blocking fan-out: a select with a
+// default case never blocks, so holding the mutex is fine.
+func (r *Registry) TryPublish(v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	select {
+	case r.ch <- v:
+	default:
+	}
+}
+
+// Balanced unlocks on every path.
+func (r *Registry) Balanced(key string) bool {
+	r.mu.Lock()
+	_, ok := r.items[key]
+	r.mu.Unlock()
+	return ok
+}

@@ -1,0 +1,62 @@
+// Goroutine fixtures for the goroutine-hygiene analyzer: leaked
+// goroutines (no join, no seam), named launches, and the three accepted
+// lifecycle shapes.
+package obs
+
+import (
+	"context"
+	"sync"
+)
+
+// FireAndForget leaks a goroutine: nothing joins it, nothing stops it.
+func FireAndForget(work func()) {
+	go func() {
+		work()
+	}()
+}
+
+// Worker drains a job channel.
+type Worker struct{ jobs chan int }
+
+func (w *Worker) loop() {
+	for range w.jobs {
+	}
+}
+
+// NamedLaunch hides the lifecycle behind a named method; the seam must
+// be visible at the launch site.
+func NamedLaunch(w *Worker) {
+	go w.loop()
+}
+
+// Joined counts the goroutine into a WaitGroup.
+func Joined(wg *sync.WaitGroup, work func()) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// Cancellable ties the goroutine to ctx cancellation.
+func Cancellable(ctx context.Context, tick func()) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				tick()
+			}
+		}
+	}()
+}
+
+// Drainer ends when the queue channel closes.
+func Drainer(jobs chan int, handle func(int)) {
+	go func() {
+		for j := range jobs {
+			handle(j)
+		}
+	}()
+}

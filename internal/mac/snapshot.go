@@ -65,6 +65,8 @@ func (sn *SlotSimSnapshot) Config() SlotSimConfig { return sn.cfg }
 // Acquire returns a clone reset to the given seed with the trial's
 // observers attached: bit-identical to NewSlotSim with the same config
 // and seed. Pass the clone to Release when the trial ends.
+//
+//alloc:hot pool hit serves a recycled clone; the reset path allocates nothing
 func (sn *SlotSimSnapshot) Acquire(seed uint64, trace *obs.Tracer, faults FaultSource) *SlotSim {
 	s := sn.pool.Get().(*SlotSim)
 	s.AttachObservers(trace, faults)
@@ -74,6 +76,8 @@ func (sn *SlotSimSnapshot) Acquire(seed uint64, trace *obs.Tracer, faults FaultS
 
 // Release detaches the trial's observers and parks the clone for reuse.
 // The caller must not touch s afterwards.
+//
+//alloc:hot parks the clone back into the pool without copying
 func (sn *SlotSimSnapshot) Release(s *SlotSim) {
 	if s == nil {
 		return

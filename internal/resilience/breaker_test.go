@@ -202,7 +202,7 @@ func TestRunnerHonorsRetryAfter(t *testing.T) {
 // runtime checks against wall time) stays in the future; durations are
 // in seconds so fake-time arithmetic dwarfs real elapsed time.
 func TestRunnerRespectsBudget(t *testing.T) {
-	//lint:allow determinism fake clock must start near real time for context deadlines
+	//lint:allow determinism-taint fake clock must start near real time for context deadlines
 	clock := NewFakeClock(time.Now())
 	ctx, cancel := Tighten(context.Background(), clock.Now(), 150*time.Second)
 	defer cancel()

@@ -138,12 +138,12 @@ func TestFakeClockSleep(t *testing.T) {
 func TestRealClockSleepCancel(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	//lint:allow determinism measures that a cancelled sleep returns promptly
+	//lint:allow determinism-taint measures that a cancelled sleep returns promptly
 	start := time.Now()
 	if err := Real().Sleep(ctx, 10*time.Second); err == nil {
 		t.Fatal("sleep ignored cancelled context")
 	}
-	//lint:allow determinism measures that a cancelled sleep returns promptly
+	//lint:allow determinism-taint measures that a cancelled sleep returns promptly
 	if time.Since(start) > time.Second {
 		t.Error("cancelled sleep blocked")
 	}

@@ -29,7 +29,7 @@ type realClock struct{}
 
 // Now implements Clock.
 //
-//lint:allow determinism realClock is the production seam; tests use FakeClock
+//lint:allow determinism-taint realClock is the production seam; tests use FakeClock
 func (realClock) Now() time.Time { return time.Now() }
 
 // Sleep implements Clock with a context-aware timer.

@@ -24,6 +24,8 @@ func NewRand(seed uint64) *Rand {
 // Seed reinitializes the generator in place, bit-identically to
 // NewRand(seed). Pooled simulation state uses it to rewind an existing
 // stream to a fresh trial without allocating a new generator.
+//
+//alloc:hot in-place rewind for pooled simulation state
 func (r *Rand) Seed(seed uint64) {
 	sm := seed
 	for i := range r.s {
@@ -48,6 +50,8 @@ func (r *Rand) Fork(id uint64) *Rand {
 // resulting stream is bit-identical to parent.Fork(id). This is the
 // allocation-free reset path for clone pools that must replay a
 // construction-time fork sequence.
+//
+//alloc:hot allocation-free fork-replay reset for clone pools
 func (r *Rand) ReseedFork(parent *Rand, id uint64) {
 	r.Seed(parent.Uint64() ^ (id * 0x9e3779b97f4a7c15) ^ 0xa0761d6478bd642f)
 }
@@ -55,6 +59,8 @@ func (r *Rand) ReseedFork(parent *Rand, id uint64) {
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 pseudo-random bits.
+//
+//alloc:hot core PRNG step on every simulated slot
 func (r *Rand) Uint64() uint64 {
 	result := rotl(r.s[1]*5, 7) * 9
 	t := r.s[1] << 17
