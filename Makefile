@@ -60,16 +60,19 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Perf trajectory: run the fleet-scaling, experiment and Markov-kernel
-# benchmarks and record (or merge) their results into BENCH_6.json. Use
-# BENCH_LABEL=before on the pre-change tree and BENCH_LABEL=after on
-# the optimized one; both labels live in the same committed file.
+# Perf trajectory: run the fleet-scaling, experiment, trace-encoding
+# and traced-fleet benchmarks and record (or merge) their results into
+# BENCH_7.json. Use BENCH_LABEL=before on the pre-change tree and
+# BENCH_LABEL=after on the optimized one; both labels live in the same
+# committed file.
 BENCH_LABEL ?= after
-BENCH_JSON ?= BENCH_6.json
-BENCH_PATTERN ?= 'FleetThroughput|CrossValidation|AppendixCVerification'
+BENCH_JSON ?= BENCH_7.json
+BENCH_PATTERN ?= 'FleetThroughput|CrossValidation|AppendixCVerification|TracedFleet'
 bench-json:
 	$(GO) run ./cmd/arachnet-benchjson -out $(BENCH_JSON) -label $(BENCH_LABEL) \
 		-bench $(BENCH_PATTERN) -benchtime 3x .
+	$(GO) run ./cmd/arachnet-benchjson -out $(BENCH_JSON) -label $(BENCH_LABEL) \
+		-bench TraceEncode -benchtime 2000x ./internal/obs
 
 # Scaling smoke for CI: re-run the fleet throughput benchmark into a
 # scratch file and assert workers=8 clears the configurable
@@ -78,21 +81,40 @@ bench-json:
 # see BENCH_6.json "before"): even a single-core runner must stay near
 # parity. Multi-core hosts should raise the floor (e.g.
 # BENCH_SPEEDUP_FLOOR=2.0) to assert real parallel speedup.
+# The wire-format gates ride along: the binary trace codec must encode
+# at least 5x faster than the JSONL path, and a binary-traced fleet
+# must stay within 1.5x of the untraced wall clock.
 BENCH_SPEEDUP_FLOOR ?= 0.8
 bench-smoke:
 	$(GO) run ./cmd/arachnet-benchjson -out /tmp/bench-smoke.json -label smoke \
 		-bench FleetThroughput -benchtime 2x \
 		-assert 'BenchmarkFleetThroughput/workers=8:speedup-vs-serial>=$(BENCH_SPEEDUP_FLOOR)' \
 		-assert 'BenchmarkFleetThroughput/workers=8:allocs/job<=100' .
+	$(GO) run ./cmd/arachnet-benchjson -out /tmp/bench-smoke-wire.json -label smoke \
+		-bench TraceEncode -benchtime 2000x \
+		-assert 'BenchmarkTraceEncode/binary:speedup-vs-jsonl>=5' ./internal/obs
+	$(GO) run ./cmd/arachnet-benchjson -out /tmp/bench-smoke-traced.json -label smoke \
+		-bench TracedFleet -benchtime 2x \
+		-assert 'BenchmarkTracedFleet/binary:overhead-vs-untraced<=1.5' .
 
 # Coverage-guided fuzzing smoke: 10 s on each native fuzz target in the
-# phy codecs (go fuzzing allows one -fuzz pattern per invocation, hence
-# the loop). CI runs this on every push; longer local sessions just
-# raise FUZZTIME.
+# phy codecs and the binary wire codecs (go fuzzing allows one -fuzz
+# pattern per invocation, hence the pkg:target loop). CI runs this on
+# every push; longer local sessions just raise FUZZTIME.
 FUZZTIME ?= 10s
+FUZZ_TARGETS = \
+	./internal/phy:FuzzUnmarshalUL \
+	./internal/phy:FuzzUnmarshalDL \
+	./internal/phy:FuzzPIEDecode \
+	./internal/phy:FuzzFM0Decode \
+	./internal/wire:FuzzUnmarshalSpec \
+	./internal/obs:FuzzUnmarshalEvent \
+	./internal/fleet:FuzzUnmarshalJobOutcome \
+	./internal/fleetd:FuzzUnmarshalCheckpoint
 fuzz-smoke:
-	for target in FuzzUnmarshalUL FuzzUnmarshalDL FuzzPIEDecode FuzzFM0Decode; do \
-		$(GO) test ./internal/phy -run '^$$' -fuzz "^$$target$$" -fuzztime $(FUZZTIME) || exit 1; \
+	for pt in $(FUZZ_TARGETS); do \
+		pkg=$${pt%%:*}; target=$${pt##*:}; \
+		$(GO) test $$pkg -run '^$$' -fuzz "^$$target$$" -fuzztime $(FUZZTIME) || exit 1; \
 	done
 
 # Regenerate every table and figure of the paper's evaluation.

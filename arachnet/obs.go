@@ -1,6 +1,7 @@
 package arachnet
 
 import (
+	"fmt"
 	"io"
 
 	"repro/internal/fleet"
@@ -20,12 +21,46 @@ type (
 	TraceKind         = obs.Kind
 	TraceSink         = obs.Sink
 	JSONLSink         = obs.JSONLSink
+	BinarySink        = obs.BinarySink
+	TraceEventReader  = obs.EventReader
 	MemorySink        = obs.MemorySink
 	TraceMetrics      = obs.Metrics
 	MetricsSnapshot   = obs.Snapshot
 	CounterSnapshot   = obs.CounterSnapshot
 	HistogramSnapshot = obs.HistogramSnapshot
 )
+
+// Trace stream encodings, as selected by the CLI -trace-format flags.
+// JSONL is the debug-friendly default; binary is the length-prefixed
+// wire format (internal/wire, DESIGN.md §11) — the two are lossless
+// views of the same stream, bridged by ConvertTrace.
+const (
+	TraceFormatJSONL  = "jsonl"
+	TraceFormatBinary = "binary"
+)
+
+// TraceFileSink is the shared surface of the buffered file sinks:
+// writes are batched, so callers must Close (or Flush) before closing
+// the underlying file; Close reports the first write error.
+type TraceFileSink interface {
+	TraceSink
+	Flush() error
+	Close() error
+	Err() error
+}
+
+// NewTraceFileSink builds the sink for a -trace-format value: "" or
+// TraceFormatJSONL selects JSONL, TraceFormatBinary the wire format.
+func NewTraceFileSink(w io.Writer, format string) (TraceFileSink, error) {
+	switch format {
+	case "", TraceFormatJSONL:
+		return obs.NewJSONLSink(w), nil
+	case TraceFormatBinary:
+		return obs.NewBinarySink(w), nil
+	default:
+		return nil, fmt.Errorf("unknown trace format %q (want %s or %s)", format, TraceFormatJSONL, TraceFormatBinary)
+	}
+}
 
 // Trace event kinds, re-exported.
 const (
@@ -49,9 +84,32 @@ const (
 // NewTracer builds a tracer over the given sinks.
 func NewTracer(sinks ...TraceSink) *Tracer { return obs.New(sinks...) }
 
-// NewJSONLSink writes one JSON object per event to w; check Err() when
-// the run completes.
+// NewJSONLSink writes one JSON object per event to w. Writes are
+// buffered: call Close (or Flush) when the run completes and check its
+// error before closing the underlying file.
 func NewJSONLSink(w io.Writer) *JSONLSink { return obs.NewJSONLSink(w) }
+
+// NewBinarySink writes the length-prefixed binary trace stream to w —
+// the same events as JSONL at a fraction of the encode cost. Call
+// Close (or Flush) when the run completes, as with NewJSONLSink.
+func NewBinarySink(w io.Writer) *BinarySink { return obs.NewBinarySink(w) }
+
+// NewTraceEventReader decodes a binary trace stream written by a
+// BinarySink.
+func NewTraceEventReader(r io.Reader) *TraceEventReader { return obs.NewEventReader(r) }
+
+// ConvertTraceBinaryToJSONL rewrites a binary trace stream as JSONL;
+// the output is byte-identical to what a JSONLSink attached to the
+// same run would have produced.
+func ConvertTraceBinaryToJSONL(r io.Reader, w io.Writer) error {
+	return obs.ConvertBinaryToJSONL(r, w)
+}
+
+// ConvertTraceJSONLToBinary rewrites a JSONL trace stream in the
+// binary wire format; converting back yields the original JSONL.
+func ConvertTraceJSONLToBinary(r io.Reader, w io.Writer) error {
+	return obs.ConvertJSONLToBinary(r, w)
+}
 
 // NewMemorySink buffers events in memory (Drain bounds the growth).
 func NewMemorySink() *MemorySink { return obs.NewMemorySink() }

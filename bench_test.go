@@ -12,6 +12,7 @@ package repro
 import (
 	"context"
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 	"testing"
@@ -145,6 +146,84 @@ func BenchmarkFleetThroughput(b *testing.B) {
 				b.ReportMetric(fleetBenchJobs/perFleet.Seconds(), "jobs/s")
 			}
 			reportAllocsPerJob(b, &m0, &m1)
+		})
+	}
+}
+
+var (
+	untracedFleetOnce sync.Once
+	untracedFleetTime time.Duration
+)
+
+// untracedFleetBaseline times one pooled, observer-free pass over the
+// benchmark fleet at the same worker count the traced sub-benchmarks
+// use, cached so every trace encoding reports overhead against the
+// same number.
+func untracedFleetBaseline(b *testing.B) time.Duration {
+	b.Helper()
+	untracedFleetOnce.Do(func() {
+		specs := fleetBenchSpecs(b, false)
+		cfg := fleet.Config{Workers: 4, Seed: 1}
+		if rep, err := fleet.Run(context.Background(), cfg, specs); err != nil || !rep.Ok() {
+			b.Fatalf("warmup: %v %s", err, rep.FirstError())
+		}
+		start := time.Now() //lint:allow determinism-taint wall-clock measurement of the untraced baseline, not simulation state
+		if rep, err := fleet.Run(context.Background(), cfg, specs); err != nil || !rep.Ok() {
+			b.Fatalf("baseline: %v %s", err, rep.FirstError())
+		}
+		untracedFleetTime = time.Since(start) //lint:allow determinism-taint wall-clock measurement of the untraced baseline, not simulation state
+	})
+	return untracedFleetTime
+}
+
+// BenchmarkTracedFleet measures what lifecycle tracing costs a 64-job
+// fleet run: "untraced" is the floor, "jsonl" and "binary" attach the
+// respective file sink (writing to io.Discard, so the metric isolates
+// encoding from disk). The traced encodings report
+// "overhead-vs-untraced" (1.0 = free); bench-smoke gates the binary
+// encoding at <= 1.5x.
+func BenchmarkTracedFleet(b *testing.B) {
+	for _, mode := range []string{"untraced", arachnet.TraceFormatJSONL, arachnet.TraceFormatBinary} {
+		b.Run(mode, func(b *testing.B) {
+			specs := fleetBenchSpecs(b, false)
+			cfg := fleet.Config{Workers: 4, Seed: 1}
+			var sink arachnet.TraceFileSink
+			if mode != "untraced" {
+				var err error
+				sink, err = arachnet.NewTraceFileSink(io.Discard, mode)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cfg.Observer = fleet.NewTracerObserver(arachnet.NewTracer(sink))
+			}
+			base := untracedFleetBaseline(b)
+			if rep, err := fleet.Run(context.Background(), cfg, specs); err != nil || !rep.Ok() {
+				b.Fatalf("warmup: %v %s", err, rep.FirstError())
+			}
+			b.ResetTimer()
+			start := time.Now() //lint:allow determinism-taint benchmark timing for the overhead-vs-untraced metric
+			for i := 0; i < b.N; i++ {
+				rep, err := fleet.Run(context.Background(), cfg, specs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !rep.Ok() {
+					b.Fatal(rep.FirstError())
+				}
+			}
+			perFleet := time.Since(start) / time.Duration(b.N) //lint:allow determinism-taint benchmark timing for the overhead-vs-untraced metric
+			b.StopTimer()
+			if sink != nil {
+				if err := sink.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if perFleet > 0 {
+				b.ReportMetric(fleetBenchJobs/perFleet.Seconds(), "jobs/s")
+				if mode != "untraced" && base > 0 {
+					b.ReportMetric(float64(perFleet)/float64(base), "overhead-vs-untraced")
+				}
+			}
 		})
 	}
 }

@@ -7,8 +7,11 @@
 //	arachnet-benchjson -out BENCH_5.json -label before \
 //	    -bench 'Fig12a|Fig12b' -benchtime 3x . ./internal/dsp
 //
-// Runs merge: an existing output file is loaded first and entries under
-// the same label are replaced, so "before" survives the "after" run.
+// Runs merge: an existing output file is loaded first and only the
+// entries under the same label whose benchmark name matches -bench are
+// replaced, so "before" survives the "after" run and several
+// invocations with different -bench patterns (e.g. fleet benchmarks at
+// 3x, codec microbenchmarks at 2000x) accumulate under one label.
 // The schema is a flat map from "<label>/<benchmark>" to ns/op, B/op,
 // allocs/op and every b.ReportMetric custom metric the benchmark
 // emitted.
@@ -29,6 +32,7 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -75,9 +79,15 @@ func main() {
 		}
 		doc.Benchtime = *benchtime
 	}
-	// Replace any previous entries under this label.
+	// Replace previous entries under this label that this run's -bench
+	// pattern covers; entries recorded by other patterns survive so
+	// multiple invocations accumulate under one label.
+	benchRe, err := regexp.Compile(*bench)
+	if err != nil {
+		fatal(fmt.Errorf("-bench %q: %w", *bench, err))
+	}
 	for k := range doc.Entries {
-		if strings.HasPrefix(k, *label+"/") {
+		if name, ok := strings.CutPrefix(k, *label+"/"); ok && benchRe.MatchString(name) {
 			delete(doc.Entries, k)
 		}
 	}

@@ -11,10 +11,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
 
+	"repro/arachnet"
 	"repro/experiments"
 	"repro/internal/prof"
 )
@@ -29,11 +31,42 @@ func run() int {
 	list := flag.Bool("list", false, "list experiment names and exit")
 	format := flag.String("format", "table", "output format: table or csv")
 	workers := flag.Int("workers", 0, "Monte Carlo trial fan-out (0 = GOMAXPROCS; results are identical for any width)")
+	tracePath := flag.String("trace", "", `write fleet-sweep lifecycle events to this file ("-" = stderr)`)
+	traceFormat := flag.String("trace-format", "jsonl", "trace encoding: jsonl or binary")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 
 	experiments.SetWorkers(*workers)
+	if *tracePath != "" {
+		out := io.Writer(os.Stderr)
+		var traceFile *os.File
+		if *tracePath != "-" {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			traceFile = f
+			out = f
+		}
+		sink, err := arachnet.NewTraceFileSink(out, *traceFormat)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		experiments.SetTrace(arachnet.NewTracer(sink))
+		defer func() {
+			experiments.SetTrace(nil)
+			if err := sink.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "trace:", err)
+			} else if traceFile != nil {
+				if err := traceFile.Close(); err != nil {
+					fmt.Fprintln(os.Stderr, "trace:", err)
+				}
+			}
+		}()
+	}
 	stopProf, err := prof.Start(*cpuProfile, *memProfile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

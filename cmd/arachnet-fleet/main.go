@@ -44,6 +44,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/signal"
@@ -68,7 +69,8 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-job wall-clock timeout (overrides the spec)")
 	seed := flag.Uint64("seed", 0, "fleet master seed (overrides the spec)")
 	jsonOut := flag.Bool("json", false, "write the full report as JSON on stdout")
-	tracePath := flag.String("trace", "", `write job lifecycle events as JSONL to this file ("-" = stderr)`)
+	tracePath := flag.String("trace", "", `write job lifecycle events to this file ("-" = stderr)`)
+	traceFormat := flag.String("trace-format", "jsonl", "trace encoding: jsonl or binary (convert either way with arachnet-trace -convert)")
 	traceText := flag.Bool("trace-text", false, "trace job lifecycle events as text to stderr")
 	metrics := flag.Bool("metrics", false, "print aggregated event metrics to stderr at exit")
 	writeSpec := flag.String("write-spec", "", "write the effective fleet spec as JSON to this file and exit")
@@ -77,6 +79,7 @@ func main() {
 	jobID := flag.String("job", "", "with -server: attach to this existing job instead of submitting")
 	verify := flag.Bool("verify", false, "with -server: also run the fleet locally and cross-check the fingerprints")
 	quiet := flag.Bool("quiet", false, "with -server: suppress the streamed per-job progress lines")
+	streamFormat := flag.String("stream-format", "jsonl", "with -server: progress stream encoding, jsonl or binary")
 	retries := flag.Int("retries", 0, "with -server: retry transient transport/5xx failures up to this many attempts per call, honoring Retry-After (0 = one attempt)")
 	flakyEvery := flag.Int("flaky", 0, "with -server: fault-injection aid — fail every Nth client request at the transport, exercising -retries (0 = off)")
 	healthOnly := flag.Bool("health", false, "with -server: print the daemon's /v1/healthz JSON and exit")
@@ -156,7 +159,7 @@ func main() {
 		// replays bit-identically.
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
-		c := newServerClient(*serverURL, *retries, *flakyEvery, f.Seed)
+		c := newServerClient(*serverURL, *streamFormat, *retries, *flakyEvery, f.Seed)
 		var code int
 		if *healthOnly {
 			code = printHealth(ctx, c)
@@ -169,15 +172,16 @@ func main() {
 		os.Exit(code)
 	}
 
-	// Lifecycle observability: JSONL and/or metrics ride the obs event
-	// types; -trace-text keeps the human-readable stderr stream.
-	var jsonl *arachnet.JSONLSink
+	// Lifecycle observability: a JSONL or binary stream and/or metrics
+	// ride the obs event types; -trace-text keeps the human-readable
+	// stderr stream.
+	var trace arachnet.TraceFileSink
 	var traceFile *os.File
 	var tr *arachnet.Tracer
 	if *tracePath != "" || *metrics {
 		var sinks []arachnet.TraceSink
 		if *tracePath != "" {
-			out := os.Stderr
+			out := io.Writer(os.Stderr)
 			if *tracePath != "-" {
 				file, err := os.Create(*tracePath)
 				if err != nil {
@@ -186,8 +190,12 @@ func main() {
 				traceFile = file
 				out = file
 			}
-			jsonl = arachnet.NewJSONLSink(out)
-			sinks = append(sinks, jsonl)
+			var err error
+			trace, err = arachnet.NewTraceFileSink(out, *traceFormat)
+			if err != nil {
+				fatal(err)
+			}
+			sinks = append(sinks, trace)
 		}
 		tr = arachnet.NewTracer(sinks...)
 		if *metrics {
@@ -229,8 +237,8 @@ func main() {
 	} else {
 		printReport(rep)
 	}
-	if jsonl != nil {
-		if err := jsonl.Err(); err != nil {
+	if trace != nil {
+		if err := trace.Close(); err != nil {
 			fatal(fmt.Errorf("trace: %w", err))
 		}
 	}
@@ -295,11 +303,18 @@ func (t *flakyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 	return t.next.RoundTrip(req)
 }
 
-// newServerClient assembles the fleetd client from the resilience
-// flags: -retries enables seeded-backoff retries, -flaky injects a
+// newServerClient assembles the fleetd client from the resilience and
+// transfer flags: -stream-format selects the progress encoding,
+// -retries enables seeded-backoff retries, -flaky injects a
 // deterministic transport fault schedule under them.
-func newServerClient(base string, retries, flakyEvery int, seed uint64) *api.Client {
+func newServerClient(base, streamFormat string, retries, flakyEvery int, seed uint64) *api.Client {
 	var opts []api.Option
+	switch streamFormat {
+	case "", api.StreamFormatJSONL, api.StreamFormatBinary:
+		opts = append(opts, api.WithStreamFormat(streamFormat))
+	default:
+		fatal(fmt.Errorf("unknown stream format %q (want %s or %s)", streamFormat, api.StreamFormatJSONL, api.StreamFormatBinary))
+	}
 	if flakyEvery > 0 {
 		opts = append(opts, api.WithTransport(&flakyTransport{next: http.DefaultTransport, every: uint64(flakyEvery)}))
 	}

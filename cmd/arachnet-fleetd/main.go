@@ -61,6 +61,7 @@ func main() {
 	cacheEntries := flag.Int("cache", 128, "response cache entries keyed on (canonical spec, seed); negative disables")
 	ckptDir := flag.String("checkpoint-dir", "", "persist job checkpoints here for resume after restart (empty = disabled)")
 	ckptEvery := flag.Duration("checkpoint-every", 2*time.Second, "snapshot interval for running jobs")
+	ckptFormat := flag.String("checkpoint-format", "json", "checkpoint encoding: json or binary (restart reads both)")
 	jobDeadline := flag.Duration("job-deadline", 0, "per-job wall-clock deadline; an overrunning job fails (0 = unlimited)")
 	jobRetries := flag.Int("job-retries", 0, "re-execution rounds for shards that failed with transient errors (panics never re-run)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for checkpoint-and-exit on SIGINT/SIGTERM")
@@ -74,15 +75,16 @@ func main() {
 	}
 
 	srv, err := fleetd.New(fleetd.Config{
-		QueueDepth:      *queueDepth,
-		Runners:         *runners,
-		WorkerCap:       *workerCap,
-		CacheEntries:    *cacheEntries,
-		CheckpointDir:   *ckptDir,
-		CheckpointEvery: *ckptEvery,
-		JobDeadline:     *jobDeadline,
-		JobRetries:      *jobRetries,
-		Logf:            logf,
+		QueueDepth:       *queueDepth,
+		Runners:          *runners,
+		WorkerCap:        *workerCap,
+		CacheEntries:     *cacheEntries,
+		CheckpointDir:    *ckptDir,
+		CheckpointFormat: *ckptFormat,
+		CheckpointEvery:  *ckptEvery,
+		JobDeadline:      *jobDeadline,
+		JobRetries:       *jobRetries,
+		Logf:             logf,
 	})
 	if err != nil {
 		fatal(err)

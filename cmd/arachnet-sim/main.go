@@ -11,6 +11,7 @@
 //	arachnet-sim -engine slots -slots 100000 -pattern c5 -seed 7
 //	arachnet-sim -pattern c2 -charge   # tags charge from empty
 //	arachnet-sim -pattern c3 -trace events.jsonl -metrics
+//	arachnet-sim -pattern c3 -trace events.bin -trace-format binary
 //	arachnet-sim -engine slots -pattern c7 -faults plan.json
 //
 // -faults injects the deterministic fault plan (see internal/faults)
@@ -25,6 +26,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"syscall"
@@ -42,7 +44,8 @@ func main() {
 	report := flag.Int("report", 100, "progress report interval (seconds or slots)")
 	configPath := flag.String("config", "", "JSON deployment description (network engine; overrides -pattern/-charge)")
 	waveform := flag.Bool("waveform", false, "network engine: decode uplinks with full DSP instead of the link model")
-	tracePath := flag.String("trace", "", `write the JSONL observability event stream to this file ("-" = stderr)`)
+	tracePath := flag.String("trace", "", `write the observability event stream to this file ("-" = stderr)`)
+	traceFormat := flag.String("trace-format", "jsonl", "trace encoding: jsonl or binary (convert either way with arachnet-trace -convert)")
 	metrics := flag.Bool("metrics", false, "print aggregated event metrics to stderr at exit")
 	simEvents := flag.Bool("sim-events", false, "include engine-level sim_event records in the trace (very verbose)")
 	faultsPath := flag.String("faults", "", "JSON fault plan to inject (see internal/faults); prints the recovery report at exit")
@@ -59,7 +62,7 @@ func main() {
 		recSink = arachnet.NewMemorySink()
 	}
 
-	tr, finishTrace, err := setupTrace(*tracePath, *metrics, recSink)
+	tr, finishTrace, err := setupTrace(*tracePath, *traceFormat, *metrics, recSink)
 	if err != nil {
 		fatal(err)
 	}
@@ -137,19 +140,20 @@ func (s recoverySink) Emit(ev arachnet.TraceEvent) {
 	s.mem.Emit(ev)
 }
 
-// setupTrace builds the tracer for the -trace / -metrics flags, plus
-// the recovery sink when a fault plan is loaded. The returned finish
-// function checks for trailing write errors, closes the trace file, and
-// prints the metrics snapshot; it exits non-zero on a truncated trace.
-func setupTrace(path string, metrics bool, recSink *arachnet.MemorySink) (*arachnet.Tracer, func(), error) {
+// setupTrace builds the tracer for the -trace / -trace-format /
+// -metrics flags, plus the recovery sink when a fault plan is loaded.
+// The returned finish function flushes the (buffered) trace sink,
+// closes the trace file, and prints the metrics snapshot; it exits
+// non-zero on a truncated trace.
+func setupTrace(path, format string, metrics bool, recSink *arachnet.MemorySink) (*arachnet.Tracer, func(), error) {
 	if path == "" && !metrics && recSink == nil {
 		return nil, func() {}, nil
 	}
 	var sinks []arachnet.TraceSink
-	var jsonl *arachnet.JSONLSink
+	var trace arachnet.TraceFileSink
 	var file *os.File
 	if path != "" {
-		out := os.Stderr
+		out := io.Writer(os.Stderr)
 		if path != "-" {
 			f, err := os.Create(path)
 			if err != nil {
@@ -158,8 +162,15 @@ func setupTrace(path string, metrics bool, recSink *arachnet.MemorySink) (*arach
 			file = f
 			out = f
 		}
-		jsonl = arachnet.NewJSONLSink(out)
-		sinks = append(sinks, jsonl)
+		var err error
+		trace, err = arachnet.NewTraceFileSink(out, format)
+		if err != nil {
+			if file != nil {
+				file.Close()
+			}
+			return nil, nil, err
+		}
+		sinks = append(sinks, trace)
 	}
 	if recSink != nil {
 		sinks = append(sinks, recoverySink{recSink})
@@ -169,8 +180,8 @@ func setupTrace(path string, metrics bool, recSink *arachnet.MemorySink) (*arach
 		tr.AttachMetrics(arachnet.NewTraceMetrics())
 	}
 	finish := func() {
-		if jsonl != nil {
-			if err := jsonl.Err(); err != nil {
+		if trace != nil {
+			if err := trace.Close(); err != nil {
 				fmt.Fprintln(os.Stderr, "trace:", err)
 				os.Exit(1)
 			}

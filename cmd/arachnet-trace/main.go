@@ -10,17 +10,28 @@
 //
 //	arachnet-trace -pattern c3 -slots 500 > trace.csv
 //	arachnet-trace -pattern c5 -seed 9 -loss 0.001 -trace events.jsonl
+//	arachnet-trace -pattern c5 -trace events.bin -trace-format binary
 //	arachnet-trace -pattern c3 -metrics
 //	arachnet-trace -pattern c7 -slots 20000 -faults plan.json
+//	arachnet-trace -convert events.bin -o events.jsonl
 //
 // -faults injects a deterministic fault plan (see internal/faults);
 // the recovery report is printed to stderr after the CSV completes.
+//
+// -convert bridges the two trace encodings without running anything:
+// the input's format is detected from its bytes (binary streams open
+// with the wire magic) and the file is rewritten in the other format.
+// A binary trace converts to exactly the JSONL a JSONL sink would
+// have written for the same run, and vice versa.
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/csv"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -34,10 +45,21 @@ func main() {
 	slots := flag.Int("slots", 500, "slots to trace")
 	loss := flag.Float64("loss", 0, "per-tag beacon loss probability")
 	capture := flag.Float64("capture", 0.5, "capture-effect decode probability")
-	tracePath := flag.String("trace", "", `write the JSONL event stream to this file ("-" = stderr)`)
+	tracePath := flag.String("trace", "", `write the event stream to this file ("-" = stderr)`)
+	traceFormat := flag.String("trace-format", "jsonl", "trace encoding: jsonl or binary")
 	metrics := flag.Bool("metrics", false, "print aggregated event metrics to stderr at exit")
 	faultsPath := flag.String("faults", "", "JSON fault plan to inject; prints the recovery report to stderr at exit")
+	convertPath := flag.String("convert", "", `convert this trace file between JSONL and binary (format auto-detected; "-" = stdin) and exit`)
+	outPath := flag.String("o", "", `with -convert: output file (default stdout)`)
 	flag.Parse()
+
+	if *convertPath != "" {
+		if err := convertTrace(*convertPath, *outPath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var pattern arachnet.Pattern
 	found := false
@@ -52,14 +74,14 @@ func main() {
 		os.Exit(2)
 	}
 
-	// The memory sink feeds the CSV; the optional JSONL sink shares the
+	// The memory sink feeds the CSV; the optional stream sink shares the
 	// same tracer so both views see the identical event sequence.
 	mem := arachnet.NewMemorySink()
 	sinks := []arachnet.TraceSink{mem}
-	var jsonl *arachnet.JSONLSink
+	var trace arachnet.TraceFileSink
 	var traceFile *os.File
 	if *tracePath != "" {
-		out := os.Stderr
+		out := io.Writer(os.Stderr)
 		if *tracePath != "-" {
 			f, err := os.Create(*tracePath)
 			if err != nil {
@@ -69,8 +91,13 @@ func main() {
 			traceFile = f
 			out = f
 		}
-		jsonl = arachnet.NewJSONLSink(out)
-		sinks = append(sinks, jsonl)
+		var err error
+		trace, err = arachnet.NewTraceFileSink(out, *traceFormat)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		sinks = append(sinks, trace)
 	}
 	tr := arachnet.NewTracer(sinks...)
 	if *metrics {
@@ -163,8 +190,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "csv:", err)
 		os.Exit(1)
 	}
-	if jsonl != nil {
-		if err := jsonl.Err(); err != nil {
+	if trace != nil {
+		if err := trace.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, "trace:", err)
 			os.Exit(1)
 		}
@@ -181,6 +208,54 @@ func main() {
 	if faulted {
 		fmt.Fprintln(os.Stderr, arachnet.AnalyzeRecovery(recEvents).String())
 	}
+}
+
+// convertTrace rewrites one trace file in the other encoding. The
+// input format is sniffed from the first bytes — binary streams open
+// with the wire magic — so the flag needs no format argument, and a
+// round trip (binary → JSONL → binary) reproduces the original bytes.
+func convertTrace(inPath, outPath string) error {
+	in := io.Reader(os.Stdin)
+	if inPath != "-" {
+		f, err := os.Open(inPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	br := bufio.NewReaderSize(in, 64<<10)
+	magic, _ := br.Peek(4)
+
+	out := io.Writer(os.Stdout)
+	var outFile *os.File
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		outFile = f
+		out = f
+	}
+	bw := bufio.NewWriterSize(out, 64<<10)
+	var err error
+	if bytes.Equal(magic, []byte("ARWB")) {
+		err = arachnet.ConvertTraceBinaryToJSONL(br, bw)
+	} else {
+		err = arachnet.ConvertTraceJSONLToBinary(br, bw)
+	}
+	if err == nil {
+		err = bw.Flush()
+	}
+	if outFile != nil {
+		if cerr := outFile.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("convert %s: %w", inPath, err)
+	}
+	return nil
 }
 
 func joinInts(xs []int) string {

@@ -5,7 +5,22 @@ import (
 	"fmt"
 
 	"repro/internal/fleet"
+	"repro/internal/obs"
 )
+
+// experimentTrace, when set, receives job lifecycle events from every
+// fleetSweep — the CLI's -trace flag hooks its JSONL or binary sink
+// here. Trial results are unaffected: the tracer only observes.
+var experimentTrace *obs.Tracer
+
+// SetTrace installs (or, with nil, removes) the tracer that observes
+// experiment fleet sweeps, returning the previous one. Call it before
+// running experiments; it is not synchronized against running sweeps.
+func SetTrace(tr *obs.Tracer) *obs.Tracer {
+	prev := experimentTrace
+	experimentTrace = tr
+	return prev
+}
 
 // fleetSweep runs n seed-indexed Monte Carlo trials through the
 // internal/fleet worker pool and returns each trial's metrics in seed
@@ -26,7 +41,11 @@ func fleetSweep(name string, n int, trial func(ctx context.Context, seed uint64)
 			},
 		}
 	}
-	rep, err := fleet.Run(context.Background(), fleet.Config{}, specs)
+	cfg := fleet.Config{}
+	if experimentTrace != nil {
+		cfg.Observer = fleet.NewTracerObserver(experimentTrace)
+	}
+	rep, err := fleet.Run(context.Background(), cfg, specs)
 	if err != nil {
 		return nil, err
 	}

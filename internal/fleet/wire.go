@@ -1,0 +1,270 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Binary wire codecs (internal/wire format, DESIGN.md §11) for the two
+// fleet records that cross process boundaries: the job descriptor
+// (JDS1) and the job outcome (JOC1) the fleetd checkpoint store
+// persists. Both use fixed field order rather than presence bitmaps —
+// they are envelope records, not hot-path trace events — and encode
+// Result maps in strictly ascending key order, so the encoding is
+// canonical: byte-identical bytes in means byte-identical bytes out,
+// which is what lets checkpoint CRCs and fingerprints survive a round
+// trip through the binary store.
+
+// MarshalJobInfoSize returns the encoded size of info's frame.
+func MarshalJobInfoSize(info *JobInfo) int {
+	return wire.FrameHeaderSize + wire.VarintSize(int64(info.Index)) +
+		wire.StringSize(info.Name) + 8
+}
+
+// AppendJobInfo appends info as one JDS1 frame.
+func AppendJobInfo(dst []byte, info *JobInfo) []byte {
+	start := len(dst)
+	dst = wire.BeginFrame(dst, wire.TagJobDescriptor)
+	dst = appendJobInfoFields(dst, info)
+	return wire.EndFrame(dst, start)
+}
+
+func appendJobInfoFields(dst []byte, info *JobInfo) []byte {
+	dst = wire.AppendVarint(dst, int64(info.Index))
+	dst = wire.AppendString(dst, info.Name)
+	return wire.AppendU64(dst, info.Seed)
+}
+
+// MarshalJobInfo encodes info into buf, which must be at least
+// MarshalJobInfoSize(info) long; it returns the bytes written.
+func MarshalJobInfo(buf []byte, info *JobInfo) (int, error) {
+	size := MarshalJobInfoSize(info)
+	if len(buf) < size {
+		return 0, fmt.Errorf("%w: job descriptor needs %d bytes, buffer holds %d", wire.ErrShortBuffer, size, len(buf))
+	}
+	return len(AppendJobInfo(buf[:0], info)), nil
+}
+
+// UnmarshalJobInfo parses a JDS1 frame from the front of buf into info
+// and returns the bytes consumed.
+func UnmarshalJobInfo(buf []byte, info *JobInfo) (int, error) {
+	tag, payload, n, err := wire.ConsumeFrame(buf)
+	if err != nil {
+		return 0, err
+	}
+	if tag != wire.TagJobDescriptor {
+		return 0, fmt.Errorf("%w: %s, want %s", wire.ErrUnknownTag, tag, wire.TagJobDescriptor)
+	}
+	off, err := consumeJobInfoFields(payload, info)
+	if err != nil {
+		return 0, err
+	}
+	if off != len(payload) {
+		return 0, fmt.Errorf("%w: %d trailing bytes in job descriptor", wire.ErrMalformed, len(payload)-off)
+	}
+	return n, nil
+}
+
+func consumeJobInfoFields(payload []byte, info *JobInfo) (int, error) {
+	idx, off, err := wire.ConsumeVarint(payload)
+	if err != nil {
+		return 0, err
+	}
+	name, m, err := wire.ConsumeString(payload[off:])
+	if err != nil {
+		return 0, err
+	}
+	off += m
+	seed, m, err := wire.ConsumeU64(payload[off:])
+	if err != nil {
+		return 0, err
+	}
+	off += m
+	*info = JobInfo{Index: int(idx), Name: name, Seed: seed}
+	return off, nil
+}
+
+// sortedKeys returns m's keys in ascending order (the canonical wire
+// order; also the order the deterministic fingerprint walks).
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func resultSize(r *Result) int {
+	n := wire.UvarintSize(uint64(len(r.Metrics)))
+	for k := range r.Metrics {
+		n += wire.StringSize(k) + 8
+	}
+	n += wire.UvarintSize(uint64(len(r.Counters)))
+	for k := range r.Counters {
+		n += wire.StringSize(k) + 8
+	}
+	return n
+}
+
+func appendResult(dst []byte, r *Result) []byte {
+	dst = wire.AppendUvarint(dst, uint64(len(r.Metrics)))
+	for _, k := range sortedKeys(r.Metrics) {
+		dst = wire.AppendString(dst, k)
+		dst = wire.AppendF64Bits(dst, r.Metrics[k])
+	}
+	dst = wire.AppendUvarint(dst, uint64(len(r.Counters)))
+	for _, k := range sortedKeys(r.Counters) {
+		dst = wire.AppendString(dst, k)
+		dst = wire.AppendU64(dst, r.Counters[k])
+	}
+	return dst
+}
+
+// consumeResult parses a Result, requiring strictly ascending keys (the
+// canonical order appendResult writes) so duplicates and shuffled
+// re-encodings are rejected rather than silently normalized.
+func consumeResult(payload []byte, r *Result) (int, error) {
+	*r = Result{}
+	nMetrics, off, err := wire.ConsumeUvarint(payload)
+	if err != nil {
+		return 0, err
+	}
+	if nMetrics > uint64(len(payload)-off) { // each entry is ≥ 9 bytes
+		return 0, fmt.Errorf("%w: %d metrics with %d bytes remaining", wire.ErrTruncated, nMetrics, len(payload)-off)
+	}
+	var prev string
+	for i := uint64(0); i < nMetrics; i++ {
+		k, m, err := wire.ConsumeString(payload[off:])
+		if err != nil {
+			return 0, err
+		}
+		off += m
+		v, m, err := wire.ConsumeF64Bits(payload[off:])
+		if err != nil {
+			return 0, err
+		}
+		off += m
+		if i > 0 && k <= prev {
+			return 0, fmt.Errorf("%w: metric key %q out of order after %q", wire.ErrMalformed, k, prev)
+		}
+		prev = k
+		if r.Metrics == nil {
+			r.Metrics = make(map[string]float64, nMetrics)
+		}
+		r.Metrics[k] = v
+	}
+	nCounters, m, err := wire.ConsumeUvarint(payload[off:])
+	if err != nil {
+		return 0, err
+	}
+	off += m
+	if nCounters > uint64(len(payload)-off) {
+		return 0, fmt.Errorf("%w: %d counters with %d bytes remaining", wire.ErrTruncated, nCounters, len(payload)-off)
+	}
+	prev = ""
+	for i := uint64(0); i < nCounters; i++ {
+		k, m, err := wire.ConsumeString(payload[off:])
+		if err != nil {
+			return 0, err
+		}
+		off += m
+		v, m, err := wire.ConsumeU64(payload[off:])
+		if err != nil {
+			return 0, err
+		}
+		off += m
+		if i > 0 && k <= prev {
+			return 0, fmt.Errorf("%w: counter key %q out of order after %q", wire.ErrMalformed, k, prev)
+		}
+		prev = k
+		if r.Counters == nil {
+			r.Counters = make(map[string]uint64, nCounters)
+		}
+		r.Counters[k] = v
+	}
+	return off, nil
+}
+
+// MarshalJobOutcomeSize returns the encoded size of o's frame.
+func MarshalJobOutcomeSize(o *JobOutcome) int {
+	return wire.FrameHeaderSize +
+		wire.VarintSize(int64(o.Index)) + wire.StringSize(o.Name) + 8 +
+		wire.UvarintSize(uint64(o.Status)) +
+		resultSize(&o.Result) +
+		wire.StringSize(o.Err) +
+		wire.VarintSize(int64(o.Elapsed))
+}
+
+// AppendJobOutcome appends o as one JOC1 frame.
+func AppendJobOutcome(dst []byte, o *JobOutcome) []byte {
+	start := len(dst)
+	dst = wire.BeginFrame(dst, wire.TagJobOutcome)
+	dst = appendJobInfoFields(dst, &o.JobInfo)
+	dst = wire.AppendUvarint(dst, uint64(o.Status))
+	dst = appendResult(dst, &o.Result)
+	dst = wire.AppendString(dst, o.Err)
+	dst = wire.AppendVarint(dst, int64(o.Elapsed))
+	return wire.EndFrame(dst, start)
+}
+
+// MarshalJobOutcome encodes o into buf, which must be at least
+// MarshalJobOutcomeSize(o) long; it returns the bytes written.
+func MarshalJobOutcome(buf []byte, o *JobOutcome) (int, error) {
+	size := MarshalJobOutcomeSize(o)
+	if len(buf) < size {
+		return 0, fmt.Errorf("%w: job outcome needs %d bytes, buffer holds %d", wire.ErrShortBuffer, size, len(buf))
+	}
+	return len(AppendJobOutcome(buf[:0], o)), nil
+}
+
+// UnmarshalJobOutcome parses a JOC1 frame from the front of buf into o
+// (overwriting it completely) and returns the bytes consumed. Hostile
+// input returns wire-sentinel errors; it never panics.
+func UnmarshalJobOutcome(buf []byte, o *JobOutcome) (int, error) {
+	tag, payload, n, err := wire.ConsumeFrame(buf)
+	if err != nil {
+		return 0, err
+	}
+	if tag != wire.TagJobOutcome {
+		return 0, fmt.Errorf("%w: %s, want %s", wire.ErrUnknownTag, tag, wire.TagJobOutcome)
+	}
+	*o = JobOutcome{}
+	off, err := consumeJobInfoFields(payload, &o.JobInfo)
+	if err != nil {
+		return 0, err
+	}
+	status, m, err := wire.ConsumeUvarint(payload[off:])
+	if err != nil {
+		return 0, err
+	}
+	off += m
+	if status > uint64(StatusCancelled) {
+		return 0, fmt.Errorf("%w: job status %d out of range", wire.ErrMalformed, status)
+	}
+	o.Status = Status(status)
+	m, err = consumeResult(payload[off:], &o.Result)
+	if err != nil {
+		return 0, err
+	}
+	off += m
+	errText, m, err := wire.ConsumeString(payload[off:])
+	if err != nil {
+		return 0, err
+	}
+	off += m
+	o.Err = errText
+	elapsed, m, err := wire.ConsumeVarint(payload[off:])
+	if err != nil {
+		return 0, err
+	}
+	off += m
+	o.Elapsed = time.Duration(elapsed)
+	if off != len(payload) {
+		return 0, fmt.Errorf("%w: %d trailing bytes in job outcome", wire.ErrMalformed, len(payload)-off)
+	}
+	return n, nil
+}

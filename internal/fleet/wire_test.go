@@ -1,0 +1,228 @@
+package fleet
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden wire-format fixtures")
+
+func outcomeFixtures() []JobOutcome {
+	return []JobOutcome{
+		{
+			JobInfo: JobInfo{Index: 0, Name: "veh-0", Seed: 0x9e3779b97f4a7c15},
+			Status:  StatusOK,
+			Result: Result{
+				Metrics:  map[string]float64{"convergence_s": 12.5, "collision_ratio": 0.0625, "abs": -3},
+				Counters: map[string]uint64{"decoded": 4096, "beacons": 3000},
+			},
+			Elapsed: 1500 * time.Millisecond,
+		},
+		{
+			JobInfo: JobInfo{Index: 63, Name: "veh-63", Seed: 1},
+			Status:  StatusFailed,
+			Err:     "simulate: supercap under-volt",
+			Elapsed: -1, // hostile clock skew must still round-trip
+		},
+		{
+			JobInfo: JobInfo{Index: -2, Name: ""},
+			Status:  StatusCancelled,
+		},
+	}
+}
+
+func TestJobInfoRoundTrip(t *testing.T) {
+	want := JobInfo{Index: 7, Name: "sweep-7", Seed: 0xcafef00d}
+	frame := AppendJobInfo(nil, &want)
+	if len(frame) != MarshalJobInfoSize(&want) {
+		t.Fatalf("frame is %d bytes, MarshalJobInfoSize says %d", len(frame), MarshalJobInfoSize(&want))
+	}
+	exact := make([]byte, MarshalJobInfoSize(&want))
+	if n, err := MarshalJobInfo(exact, &want); err != nil || n != len(exact) {
+		t.Fatalf("MarshalJobInfo: %d, %v", n, err)
+	}
+	if !bytes.Equal(exact, frame) {
+		t.Fatal("MarshalJobInfo bytes differ from AppendJobInfo")
+	}
+	if _, err := MarshalJobInfo(make([]byte, 3), &want); !errors.Is(err, wire.ErrShortBuffer) {
+		t.Fatalf("short buffer: %v", err)
+	}
+	var got JobInfo
+	n, err := UnmarshalJobInfo(frame, &got)
+	if err != nil || n != len(frame) || got != want {
+		t.Fatalf("round trip: %+v, %d, %v", got, n, err)
+	}
+	for cut := 0; cut < len(frame); cut++ {
+		if _, err := UnmarshalJobInfo(frame[:cut], &got); err == nil {
+			t.Fatalf("cut at %d decoded successfully", cut)
+		}
+	}
+	wrong := wire.AppendFrame(nil, wire.TagJobOutcome, frame[wire.FrameHeaderSize:])
+	if _, err := UnmarshalJobInfo(wrong, &got); !errors.Is(err, wire.ErrUnknownTag) {
+		t.Fatalf("wrong tag: %v", err)
+	}
+}
+
+func TestJobOutcomeRoundTrip(t *testing.T) {
+	for _, want := range outcomeFixtures() {
+		want := want
+		frame := AppendJobOutcome(nil, &want)
+		if len(frame) != MarshalJobOutcomeSize(&want) {
+			t.Fatalf("job %d: frame is %d bytes, MarshalJobOutcomeSize says %d", want.Index, len(frame), MarshalJobOutcomeSize(&want))
+		}
+		exact := make([]byte, MarshalJobOutcomeSize(&want))
+		if n, err := MarshalJobOutcome(exact, &want); err != nil || n != len(exact) {
+			t.Fatalf("job %d: MarshalJobOutcome: %d, %v", want.Index, n, err)
+		}
+		if !bytes.Equal(exact, frame) {
+			t.Fatalf("job %d: MarshalJobOutcome bytes differ from AppendJobOutcome", want.Index)
+		}
+		var got JobOutcome
+		n, err := UnmarshalJobOutcome(frame, &got)
+		if err != nil || n != len(frame) {
+			t.Fatalf("job %d: UnmarshalJobOutcome: %d, %v", want.Index, n, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("job %d round trip mangled outcome:\n got %+v\nwant %+v", want.Index, got, want)
+		}
+		for cut := 0; cut < len(frame); cut++ {
+			if _, err := UnmarshalJobOutcome(frame[:cut], &got); err == nil {
+				t.Fatalf("job %d cut at %d decoded successfully", want.Index, cut)
+			}
+		}
+	}
+}
+
+func TestJobOutcomeEncodingDeterministic(t *testing.T) {
+	// Map iteration order must never leak into the encoding: the wire
+	// order is sorted keys, so repeated encodes are byte-identical (the
+	// checkpoint CRC depends on this).
+	o := outcomeFixtures()[0]
+	first := AppendJobOutcome(nil, &o)
+	for i := 0; i < 20; i++ {
+		if again := AppendJobOutcome(nil, &o); !bytes.Equal(again, first) {
+			t.Fatalf("encode %d differs from first encode", i)
+		}
+	}
+}
+
+func TestJobOutcomeHostileInput(t *testing.T) {
+	var got JobOutcome
+
+	// An out-of-range status is refused.
+	o := JobOutcome{JobInfo: JobInfo{Index: 1, Name: "x"}, Status: StatusOK}
+	frame := AppendJobOutcome(nil, &o)
+	// The status byte sits right after index varint (1 byte), name
+	// (1+1 bytes) and seed (8 bytes) in the payload.
+	statusAt := wire.FrameHeaderSize + 1 + 2 + 8
+	bad := append([]byte(nil), frame...)
+	bad[statusAt] = 99
+	if _, err := UnmarshalJobOutcome(bad, &got); !errors.Is(err, wire.ErrMalformed) {
+		t.Fatalf("bogus status: %v, want ErrMalformed", err)
+	}
+
+	// Unsorted (or duplicate) result keys are refused, keeping the
+	// encoding canonical.
+	shuffled := outcomeFixtures()[0]
+	frame = AppendJobOutcome(nil, &shuffled)
+	// Swap the first two metric key initials to break the ordering.
+	i := bytes.Index(frame, []byte("abs"))
+	j := bytes.Index(frame, []byte("collision_ratio"))
+	if i < 0 || j < 0 {
+		t.Fatal("fixture keys not found in encoding")
+	}
+	frame[i], frame[j] = frame[j], frame[i]
+	if _, err := UnmarshalJobOutcome(frame, &got); !errors.Is(err, wire.ErrMalformed) {
+		t.Fatalf("shuffled keys: %v, want ErrMalformed", err)
+	}
+
+	// A hostile element count is refused before allocation.
+	hostile := wire.AppendVarint(nil, 0)
+	hostile = wire.AppendString(hostile, "n")
+	hostile = wire.AppendU64(hostile, 0)
+	hostile = wire.AppendUvarint(hostile, 0)     // status
+	hostile = wire.AppendUvarint(hostile, 1<<40) // metric count
+	f := wire.AppendFrame(nil, wire.TagJobOutcome, hostile)
+	if _, err := UnmarshalJobOutcome(f, &got); !errors.Is(err, wire.ErrTruncated) {
+		t.Fatalf("hostile metric count: %v, want ErrTruncated", err)
+	}
+}
+
+// TestGoldenJobOutcomeV1 freezes the version-1 JOC1 encoding: the
+// committed fixture must decode forever. Regenerate with -update only
+// alongside a tag version bump.
+func TestGoldenJobOutcomeV1(t *testing.T) {
+	path := filepath.Join("testdata", "outcomes_v1.bin")
+	var stream []byte
+	for _, o := range outcomeFixtures() {
+		o := o
+		stream = AppendJobOutcome(stream, &o)
+	}
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, stream, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	golden, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with go test ./internal/fleet -run TestGoldenJobOutcomeV1 -update)", err)
+	}
+	if !bytes.Equal(stream, golden) {
+		t.Fatal("current encoder no longer reproduces the golden v1 outcomes")
+	}
+	off := 0
+	for i := range outcomeFixtures() {
+		var got JobOutcome
+		n, err := UnmarshalJobOutcome(golden[off:], &got)
+		if err != nil {
+			t.Fatalf("outcome %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, outcomeFixtures()[i]) {
+			t.Fatalf("outcome %d decodes differently from the fixture: %+v", i, got)
+		}
+		off += n
+	}
+	if off != len(golden) {
+		t.Fatalf("golden stream has %d trailing bytes", len(golden)-off)
+	}
+}
+
+func FuzzUnmarshalJobOutcome(f *testing.F) {
+	for _, o := range outcomeFixtures() {
+		o := o
+		f.Add(AppendJobOutcome(nil, &o))
+	}
+	f.Add([]byte("JOC1\x00\x00\x00\x00"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var o JobOutcome
+		n, err := UnmarshalJobOutcome(data, &o)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d", n, len(data))
+		}
+		// Decode-encode must be a byte-level fixed point (sorted-key
+		// canonical form is enforced on decode; floats travel as bits).
+		canon := AppendJobOutcome(nil, &o)
+		var o2 JobOutcome
+		m, err := UnmarshalJobOutcome(canon, &o2)
+		if err != nil || m != len(canon) {
+			t.Fatalf("re-decode of re-encoded outcome failed: %d, %v", m, err)
+		}
+		if again := AppendJobOutcome(nil, &o2); !bytes.Equal(again, canon) {
+			t.Fatal("decode/encode not a fixed point")
+		}
+	})
+}

@@ -31,6 +31,8 @@ type Client struct {
 	policy  *resilience.Policy
 	seed    uint64
 	breaker *resilience.Breaker
+	// streamFormat selects the /stream encoding ("" means JSONL).
+	streamFormat string
 
 	retries atomic.Uint64
 }
@@ -73,6 +75,19 @@ func WithRetry(p resilience.Policy, seed uint64) Option {
 // meaningful together with WithRetry; a bare call still consults it).
 func WithBreaker(cfg resilience.BreakerConfig) Option {
 	return func(c *Client) { c.breaker = resilience.NewBreaker(cfg, c.clock) }
+}
+
+// WithStreamFormat selects the /stream transfer encoding:
+// StreamFormatJSONL (the default) or StreamFormatBinary. The callback
+// surface is identical either way — Stream still delivers StreamLine
+// values — only the bytes on the wire change.
+func WithStreamFormat(format string) Option {
+	return func(c *Client) {
+		if format == StreamFormatJSONL {
+			format = "" // the default; keep URLs minimal
+		}
+		c.streamFormat = format
+	}
 }
 
 // NewClient returns a client for the daemon at base (e.g.
@@ -399,11 +414,50 @@ func (c *Client) Stream(ctx context.Context, id string, fn func(StreamLine) erro
 	return last, err
 }
 
+// deliver folds one received line into the resume state and hands it
+// to fn — the dedupe/resume bookkeeping shared by the JSONL and binary
+// stream decoders. It returns the terminal line (non-nil) once the
+// stream is complete; a nil terminal with nil error means keep
+// reading.
+func (st *streamState) deliver(line StreamLine, fn func(StreamLine) error) (*StreamLine, error) {
+	switch line.Type {
+	case StreamStatus:
+		// Reconnects open with a fresh status snapshot; fn sees only
+		// the first so its line sequence reads like one uninterrupted
+		// stream.
+		if st.sawStatus {
+			return nil, nil
+		}
+		st.sawStatus = true
+	case StreamEvent:
+		if line.Seq != 0 {
+			if line.Seq <= st.lastSeq {
+				return nil, nil // replayed duplicate
+			}
+			st.lastSeq = line.Seq
+		}
+	case StreamDone:
+		// Fold drops accumulated on earlier connections into the
+		// terminal line the caller keeps.
+		line.Dropped += st.dropped
+		return &line, fn(line)
+	}
+	if line.Dropped > 0 {
+		st.dropped += line.Dropped
+	}
+	return nil, fn(line)
+}
+
 // streamOnce runs one stream connection, resuming after st.lastSeq.
 func (c *Client) streamOnce(ctx context.Context, id string, st *streamState, fn func(StreamLine) error) (StreamLine, error) {
 	path := c.base + "/v1/jobs/" + id + "/stream"
+	sep := "?"
 	if st.lastSeq > 0 {
-		path += "?after=" + strconv.FormatUint(st.lastSeq, 10)
+		path += sep + "after=" + strconv.FormatUint(st.lastSeq, 10)
+		sep = "&"
+	}
+	if c.streamFormat != "" {
+		path += sep + "format=" + c.streamFormat
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, path, nil)
 	if err != nil {
@@ -417,6 +471,27 @@ func (c *Client) streamOnce(ctx context.Context, id string, st *streamState, fn 
 	if resp.StatusCode != http.StatusOK {
 		return StreamLine{}, decodeError(resp)
 	}
+
+	if c.streamFormat == StreamFormatBinary {
+		sr := NewStreamLineReader(resp.Body)
+		for {
+			var line StreamLine
+			if err := sr.Read(&line); err != nil {
+				if err == io.EOF {
+					return StreamLine{}, errors.New("fleetd: stream ended without a done line")
+				}
+				return StreamLine{}, err
+			}
+			terminal, err := st.deliver(line, fn)
+			if terminal != nil {
+				return *terminal, err
+			}
+			if err != nil {
+				return StreamLine{}, err
+			}
+		}
+	}
+
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	for sc.Scan() {
@@ -428,35 +503,11 @@ func (c *Client) streamOnce(ctx context.Context, id string, st *streamState, fn 
 		if err := json.Unmarshal(raw, &line); err != nil {
 			return StreamLine{}, fmt.Errorf("fleetd: decode stream line: %w", err)
 		}
-		switch line.Type {
-		case StreamStatus:
-			// Reconnects open with a fresh status snapshot; fn sees
-			// only the first so its line sequence reads like one
-			// uninterrupted stream.
-			if st.sawStatus {
-				continue
-			}
-			st.sawStatus = true
-		case StreamEvent:
-			if line.Seq != 0 {
-				if line.Seq <= st.lastSeq {
-					continue // replayed duplicate
-				}
-				st.lastSeq = line.Seq
-			}
-		case StreamDone:
-			// Fold drops accumulated on earlier connections into the
-			// terminal line the caller keeps.
-			line.Dropped += st.dropped
-			if err := fn(line); err != nil {
-				return line, err
-			}
-			return line, nil
+		terminal, err := st.deliver(line, fn)
+		if terminal != nil {
+			return *terminal, err
 		}
-		if line.Dropped > 0 {
-			st.dropped += line.Dropped
-		}
-		if err := fn(line); err != nil {
+		if err != nil {
 			return StreamLine{}, err
 		}
 	}

@@ -1,0 +1,229 @@
+package api
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+// Binary stream encoding (internal/wire format, DESIGN.md §11) for
+// GET /v1/jobs/{id}/stream?format=binary. The stream is the 8-byte
+// wire header followed by one frame per line: SST1 for the opening
+// status snapshot, SEV1 per sequenced event (the obs event rides as a
+// nested frame), SDN1 for the terminal line. Sequence numbers are the
+// same 1-based event-log positions the JSONL stream carries, so
+// ?after=<seq> resume works identically in both formats.
+
+// MarshalStreamLineSize returns the encoded size of line's frame.
+func MarshalStreamLineSize(line *StreamLine) (int, error) {
+	switch line.Type {
+	case StreamStatus:
+		st := line.Status
+		if st == nil {
+			return 0, fmt.Errorf("%w: status line without status", wire.ErrMalformed)
+		}
+		return wire.FrameHeaderSize + wire.StringSize(st.ID) + wire.StringSize(st.State) +
+			wire.VarintSize(int64(st.Done)) + wire.VarintSize(int64(st.Total)) +
+			wire.VarintSize(int64(st.Resumed)) + wire.VarintSize(int64(st.Reruns)) +
+			1 + wire.StringSize(st.Fingerprint) + wire.StringSize(st.Error), nil
+	case StreamEvent:
+		if line.Event == nil {
+			return 0, fmt.Errorf("%w: event line without event", wire.ErrMalformed)
+		}
+		return wire.FrameHeaderSize + wire.UvarintSize(line.Seq) + obs.MarshalEventSize(line.Event), nil
+	case StreamDone:
+		return wire.FrameHeaderSize + wire.UvarintSize(line.Seq) +
+			wire.StringSize(line.State) + wire.StringSize(line.Fingerprint) +
+			wire.StringSize(line.Error) + wire.UvarintSize(line.Dropped), nil
+	default:
+		return 0, fmt.Errorf("%w: stream line type %q", wire.ErrMalformed, line.Type)
+	}
+}
+
+// AppendStreamLine appends line as one wire frame.
+func AppendStreamLine(dst []byte, line *StreamLine) ([]byte, error) {
+	switch line.Type {
+	case StreamStatus:
+		st := line.Status
+		if st == nil {
+			return dst, fmt.Errorf("%w: status line without status", wire.ErrMalformed)
+		}
+		start := len(dst)
+		dst = wire.BeginFrame(dst, wire.TagStreamStatus)
+		dst = wire.AppendString(dst, st.ID)
+		dst = wire.AppendString(dst, st.State)
+		dst = wire.AppendVarint(dst, int64(st.Done))
+		dst = wire.AppendVarint(dst, int64(st.Total))
+		dst = wire.AppendVarint(dst, int64(st.Resumed))
+		dst = wire.AppendVarint(dst, int64(st.Reruns))
+		if st.Cached {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+		dst = wire.AppendString(dst, st.Fingerprint)
+		dst = wire.AppendString(dst, st.Error)
+		return wire.EndFrame(dst, start), nil
+	case StreamEvent:
+		if line.Event == nil {
+			return dst, fmt.Errorf("%w: event line without event", wire.ErrMalformed)
+		}
+		start := len(dst)
+		dst = wire.BeginFrame(dst, wire.TagStreamEvent)
+		dst = wire.AppendUvarint(dst, line.Seq)
+		dst = obs.AppendEvent(dst, line.Event)
+		return wire.EndFrame(dst, start), nil
+	case StreamDone:
+		start := len(dst)
+		dst = wire.BeginFrame(dst, wire.TagStreamDone)
+		dst = wire.AppendUvarint(dst, line.Seq)
+		dst = wire.AppendString(dst, line.State)
+		dst = wire.AppendString(dst, line.Fingerprint)
+		dst = wire.AppendString(dst, line.Error)
+		dst = wire.AppendUvarint(dst, line.Dropped)
+		return wire.EndFrame(dst, start), nil
+	default:
+		return dst, fmt.Errorf("%w: stream line type %q", wire.ErrMalformed, line.Type)
+	}
+}
+
+// MarshalStreamLine encodes line into buf, which must be at least
+// MarshalStreamLineSize(line) long; it returns the bytes written.
+func MarshalStreamLine(buf []byte, line *StreamLine) (int, error) {
+	size, err := MarshalStreamLineSize(line)
+	if err != nil {
+		return 0, err
+	}
+	if len(buf) < size {
+		return 0, fmt.Errorf("%w: stream line needs %d bytes, buffer holds %d", wire.ErrShortBuffer, size, len(buf))
+	}
+	out, err := AppendStreamLine(buf[:0], line)
+	if err != nil {
+		return 0, err
+	}
+	return len(out), nil
+}
+
+// UnmarshalStreamLine parses one stream-line frame from the front of
+// buf into line (overwriting it completely) and returns the bytes
+// consumed. Hostile input returns wire-sentinel errors; never panics.
+func UnmarshalStreamLine(buf []byte, line *StreamLine) (int, error) {
+	tag, payload, n, err := wire.ConsumeFrame(buf)
+	if err != nil {
+		return 0, err
+	}
+	*line = StreamLine{}
+	off := 0
+	switch tag {
+	case wire.TagStreamStatus:
+		line.Type = StreamStatus
+		var st StatusResponse
+		var m int
+		if st.ID, m, err = wire.ConsumeString(payload[off:]); err != nil {
+			return 0, err
+		}
+		off += m
+		if st.State, m, err = wire.ConsumeString(payload[off:]); err != nil {
+			return 0, err
+		}
+		off += m
+		fields := []*int{&st.Done, &st.Total, &st.Resumed, &st.Reruns}
+		for _, f := range fields {
+			v, m, err := wire.ConsumeVarint(payload[off:])
+			if err != nil {
+				return 0, err
+			}
+			*f, off = int(v), off+m
+		}
+		if off >= len(payload) {
+			return 0, fmt.Errorf("%w: status cached flag", wire.ErrTruncated)
+		}
+		switch payload[off] {
+		case 0:
+		case 1:
+			st.Cached = true
+		default:
+			return 0, fmt.Errorf("%w: status cached flag %d", wire.ErrMalformed, payload[off])
+		}
+		off++
+		if st.Fingerprint, m, err = wire.ConsumeString(payload[off:]); err != nil {
+			return 0, err
+		}
+		off += m
+		if st.Error, m, err = wire.ConsumeString(payload[off:]); err != nil {
+			return 0, err
+		}
+		off += m
+		line.Status = &st
+	case wire.TagStreamEvent:
+		line.Type = StreamEvent
+		seq, m, err := wire.ConsumeUvarint(payload)
+		if err != nil {
+			return 0, err
+		}
+		off = m
+		line.Seq = seq
+		var ev obs.Event
+		if m, err = obs.UnmarshalEvent(payload[off:], &ev); err != nil {
+			return 0, err
+		}
+		off += m
+		line.Event = &ev
+	case wire.TagStreamDone:
+		line.Type = StreamDone
+		seq, m, err := wire.ConsumeUvarint(payload)
+		if err != nil {
+			return 0, err
+		}
+		off = m
+		line.Seq = seq
+		if line.State, m, err = wire.ConsumeString(payload[off:]); err != nil {
+			return 0, err
+		}
+		off += m
+		if line.Fingerprint, m, err = wire.ConsumeString(payload[off:]); err != nil {
+			return 0, err
+		}
+		off += m
+		if line.Error, m, err = wire.ConsumeString(payload[off:]); err != nil {
+			return 0, err
+		}
+		off += m
+		var dropped uint64
+		if dropped, m, err = wire.ConsumeUvarint(payload[off:]); err != nil {
+			return 0, err
+		}
+		off += m
+		line.Dropped = dropped
+	default:
+		return 0, fmt.Errorf("%w: %s is not a stream line tag", wire.ErrUnknownTag, tag)
+	}
+	if off != len(payload) {
+		return 0, fmt.Errorf("%w: %d trailing bytes in %s stream line", wire.ErrMalformed, len(payload)-off, line.Type)
+	}
+	return n, nil
+}
+
+// StreamLineReader decodes a binary progress stream: the wire header,
+// then one frame per line.
+type StreamLineReader struct {
+	fr *wire.FrameReader
+}
+
+// NewStreamLineReader reads the binary stream from r.
+func NewStreamLineReader(r io.Reader) *StreamLineReader {
+	return &StreamLineReader{fr: wire.NewFrameReader(r)}
+}
+
+// Read parses the next stream line into line. It returns io.EOF at a
+// clean stream end and a wire error for truncated or malformed input.
+func (sr *StreamLineReader) Read(line *StreamLine) error {
+	_, frame, err := sr.fr.Next()
+	if err != nil {
+		return err
+	}
+	_, err = UnmarshalStreamLine(frame, line)
+	return err
+}

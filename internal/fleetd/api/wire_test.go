@@ -1,0 +1,199 @@
+package api
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+// streamFixtures is one line of each type, fields populated the way
+// the server emits them.
+func streamFixtures() []StreamLine {
+	return []StreamLine{
+		{
+			Type: StreamStatus,
+			Status: &StatusResponse{
+				ID: "job-7", State: StateRunning, Done: 3, Total: 8,
+				Resumed: 2, Reruns: 1, Cached: true,
+				Fingerprint: "sha256:abc", Error: "",
+			},
+		},
+		{
+			Type: StreamEvent,
+			Seq:  41,
+			Event: &obs.Event{
+				Kind: obs.KindJobStart, Job: 3, Seed: 42, Name: "sweep[3]",
+			},
+		},
+		{
+			Type: StreamDone, Seq: 97, State: StateDone,
+			Fingerprint: "sha256:abc", Dropped: 5,
+		},
+		{
+			Type: StreamDone, State: StateFailed, Error: "phy: carrier lost",
+		},
+	}
+}
+
+func TestStreamLineRoundTrip(t *testing.T) {
+	for _, line := range streamFixtures() {
+		line := line
+		size, err := MarshalStreamLineSize(&line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := AppendStreamLine(nil, &line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) != size {
+			t.Fatalf("%s: size %d, wrote %d", line.Type, size, len(data))
+		}
+
+		buf := make([]byte, size)
+		n, err := MarshalStreamLine(buf, &line)
+		if err != nil || n != size {
+			t.Fatalf("%s: MarshalStreamLine = (%d, %v)", line.Type, n, err)
+		}
+		if !bytes.Equal(buf, data) {
+			t.Fatalf("%s: marshal image differs from append image", line.Type)
+		}
+		if _, err := MarshalStreamLine(make([]byte, size-1), &line); !errors.Is(err, wire.ErrShortBuffer) {
+			t.Fatalf("%s: short buffer gave %v", line.Type, err)
+		}
+
+		var got StreamLine
+		m, err := UnmarshalStreamLine(data, &got)
+		if err != nil {
+			t.Fatalf("%s: %v", line.Type, err)
+		}
+		if m != len(data) {
+			t.Fatalf("%s: consumed %d of %d bytes", line.Type, m, len(data))
+		}
+		if !reflect.DeepEqual(got, line) {
+			t.Fatalf("%s round trip mismatch:\n got %+v\nwant %+v", line.Type, got, line)
+		}
+	}
+}
+
+func TestStreamLineHostileInput(t *testing.T) {
+	// Encoding refuses inconsistent lines rather than writing garbage.
+	for _, bad := range []StreamLine{
+		{Type: StreamStatus},        // status line without status
+		{Type: StreamEvent, Seq: 1}, // event line without event
+		{Type: "telepathy"},         // unknown type
+	} {
+		if _, err := MarshalStreamLineSize(&bad); !errors.Is(err, wire.ErrMalformed) {
+			t.Fatalf("size of %+v: got %v, want ErrMalformed", bad, err)
+		}
+		if _, err := AppendStreamLine(nil, &bad); !errors.Is(err, wire.ErrMalformed) {
+			t.Fatalf("append of %+v: got %v, want ErrMalformed", bad, err)
+		}
+	}
+
+	for _, line := range streamFixtures() {
+		line := line
+		data, err := AppendStreamLine(nil, &line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Every truncation point errors, never panics.
+		var got StreamLine
+		for cut := 0; cut < len(data); cut++ {
+			if _, err := UnmarshalStreamLine(data[:cut], &got); err == nil {
+				t.Fatalf("%s truncated at %d/%d decoded successfully", line.Type, cut, len(data))
+			}
+		}
+		// Junk inside the frame: bump the declared length and append a
+		// byte — the payload now has trailing garbage.
+		junk := append([]byte(nil), data...)
+		junk[4]++ // low byte of the u32 frame length
+		junk = append(junk, 0xFF)
+		if _, err := UnmarshalStreamLine(junk, &got); err == nil {
+			t.Fatalf("%s with in-frame trailing junk decoded successfully", line.Type)
+		}
+	}
+
+	// A non-stream tag refuses with ErrUnknownTag.
+	var got StreamLine
+	ckpt := wire.AppendFrame(nil, wire.TagCheckpoint, []byte("nope"))
+	if _, err := UnmarshalStreamLine(ckpt, &got); !errors.Is(err, wire.ErrUnknownTag) {
+		t.Fatalf("checkpoint tag: got %v, want ErrUnknownTag", err)
+	}
+
+	// A cached flag that is neither 0 nor 1 is malformed. The flag
+	// sits after ID, State and the four varint counters.
+	status := streamFixtures()[0]
+	data, err := AppendStreamLine(nil, &status)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := status.Status
+	flagAt := wire.FrameHeaderSize + wire.StringSize(st.ID) + wire.StringSize(st.State) +
+		wire.VarintSize(int64(st.Done)) + wire.VarintSize(int64(st.Total)) +
+		wire.VarintSize(int64(st.Resumed)) + wire.VarintSize(int64(st.Reruns))
+	if data[flagAt] != 1 {
+		t.Fatalf("fixture layout changed: byte at %d is %d, want cached flag 1", flagAt, data[flagAt])
+	}
+	data[flagAt] = 99
+	if _, err := UnmarshalStreamLine(data, &got); !errors.Is(err, wire.ErrMalformed) {
+		t.Fatalf("cached flag 99: got %v, want ErrMalformed", err)
+	}
+}
+
+// TestStreamLineReader decodes a whole binary stream — header then one
+// frame per line — and checks clean-EOF vs truncation behavior.
+func TestStreamLineReader(t *testing.T) {
+	lines := streamFixtures()[:3]
+	stream := wire.AppendHeader(nil)
+	for i := range lines {
+		var err error
+		stream, err = AppendStreamLine(stream, &lines[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	sr := NewStreamLineReader(bytes.NewReader(stream))
+	var got []StreamLine
+	for {
+		var line StreamLine
+		err := sr.Read(&line)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, line)
+	}
+	if !reflect.DeepEqual(got, lines) {
+		t.Fatalf("stream decode mismatch:\n got %+v\nwant %+v", got, lines)
+	}
+
+	// A stream cut mid-frame must surface an error, not silent EOF.
+	sr = NewStreamLineReader(bytes.NewReader(stream[:len(stream)-3]))
+	var sawErr error
+	for {
+		var line StreamLine
+		if err := sr.Read(&line); err != nil {
+			sawErr = err
+			break
+		}
+	}
+	if sawErr == io.EOF || !errors.Is(sawErr, wire.ErrTruncated) {
+		t.Fatalf("truncated stream gave %v, want ErrTruncated", sawErr)
+	}
+
+	// Garbage in place of the header refuses immediately.
+	sr = NewStreamLineReader(bytes.NewReader([]byte("HTTP/1.1 200 OK\r\n")))
+	var line StreamLine
+	if err := sr.Read(&line); !errors.Is(err, wire.ErrBadHeader) {
+		t.Fatalf("garbage stream gave %v, want ErrBadHeader", err)
+	}
+}

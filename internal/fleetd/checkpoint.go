@@ -36,9 +36,23 @@ import (
 // are still read.
 const checkpointVersion = 2
 
-// ckptSuffix names checkpoint files; anything else in the directory is
+// ckptSuffix names JSON checkpoint files and ckptBinSuffix their
+// binary wire-format siblings; anything else in the directory is
 // ignored.
-const ckptSuffix = ".ckpt.json"
+const (
+	ckptSuffix    = ".ckpt.json"
+	ckptBinSuffix = ".ckpt.bin"
+)
+
+// Checkpoint store formats. JSON is the default debug-friendly store;
+// binary is the wire-format store (same CRC protection, a fraction of
+// the encode cost for outcome-heavy snapshots). Load reads both
+// regardless of the configured write format, so a daemon can switch
+// formats across a restart without losing resume state.
+const (
+	CheckpointJSON   = "json"
+	CheckpointBinary = "binary"
+)
 
 // corruptSuffix is where Load quarantines files it cannot trust.
 const corruptSuffix = ".corrupt"
@@ -134,6 +148,9 @@ func (r RecoveryReport) String() string {
 type CheckpointStore struct {
 	dir string
 	fs  FS
+	// format selects the write encoding (CheckpointJSON when empty);
+	// Load always reads both.
+	format string
 	// tmpSeq makes each write's staging file unique, so concurrent
 	// writes for the same job (admission racing the first periodic
 	// flush) never rename each other's temp file out from under them.
@@ -162,9 +179,28 @@ func NewCheckpointStoreFS(dir string, fsys FS) (*CheckpointStore, error) {
 	return &CheckpointStore{dir: dir, fs: fsys}, nil
 }
 
-// path returns the checkpoint file for a job id.
-func (s *CheckpointStore) path(id string) string {
-	return filepath.Join(s.dir, id+ckptSuffix)
+// SetFormat selects the write encoding; "" means CheckpointJSON. Safe
+// on a nil (disabled) store.
+func (s *CheckpointStore) SetFormat(format string) error {
+	switch format {
+	case "", CheckpointJSON, CheckpointBinary:
+	default:
+		return fmt.Errorf("fleetd: unknown checkpoint format %q (want %s or %s)", format, CheckpointJSON, CheckpointBinary)
+	}
+	if s != nil {
+		s.format = format
+	}
+	return nil
+}
+
+// path returns the checkpoint file the configured format writes for a
+// job id; sibling is the other format's file, which Write retires so a
+// format switch never leaves two records for one job.
+func (s *CheckpointStore) path(id string) (path, sibling string) {
+	if s.format == CheckpointBinary {
+		return filepath.Join(s.dir, id+ckptBinSuffix), filepath.Join(s.dir, id+ckptSuffix)
+	}
+	return filepath.Join(s.dir, id+ckptSuffix), filepath.Join(s.dir, id+ckptBinSuffix)
 }
 
 // Write persists a record crash-safely: marshal into the CRC envelope,
@@ -177,20 +213,27 @@ func (s *CheckpointStore) Write(rec Record) error {
 		return nil
 	}
 	rec.Version = checkpointVersion
-	raw, err := json.Marshal(rec)
-	if err != nil {
-		return fmt.Errorf("fleetd: marshal checkpoint %s: %w", rec.ID, err)
+	var data []byte
+	if s.format == CheckpointBinary {
+		data = AppendCheckpoint(make([]byte, 0, MarshalCheckpointSize(&rec)), &rec)
+	} else {
+		raw, err := json.Marshal(rec)
+		if err != nil {
+			return fmt.Errorf("fleetd: marshal checkpoint %s: %w", rec.ID, err)
+		}
+		env, err := json.Marshal(envelope{Version: checkpointVersion, CRC: crcHex(raw), Record: raw})
+		if err != nil {
+			return fmt.Errorf("fleetd: marshal checkpoint envelope %s: %w", rec.ID, err)
+		}
+		data = append(env, '\n')
 	}
-	data, err := json.Marshal(envelope{Version: checkpointVersion, CRC: crcHex(raw), Record: raw})
-	if err != nil {
-		return fmt.Errorf("fleetd: marshal checkpoint envelope %s: %w", rec.ID, err)
-	}
-	tmp := fmt.Sprintf("%s.%d.tmp", s.path(rec.ID), s.tmpSeq.Add(1))
+	target, sibling := s.path(rec.ID)
+	tmp := fmt.Sprintf("%s.%d.tmp", target, s.tmpSeq.Add(1))
 	f, err := s.fs.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("fleetd: stage checkpoint %s: %w", rec.ID, err)
 	}
-	if _, err := f.Write(append(data, '\n')); err != nil {
+	if _, err := f.Write(data); err != nil {
 		f.Close()
 		return fmt.Errorf("fleetd: write checkpoint %s: %w", rec.ID, err)
 	}
@@ -201,23 +244,31 @@ func (s *CheckpointStore) Write(rec Record) error {
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("fleetd: close checkpoint %s: %w", rec.ID, err)
 	}
-	if err := s.fs.Rename(tmp, s.path(rec.ID)); err != nil {
+	if err := s.fs.Rename(tmp, target); err != nil {
 		return fmt.Errorf("fleetd: commit checkpoint %s: %w", rec.ID, err)
 	}
 	if err := s.fs.SyncDir(s.dir); err != nil {
 		return fmt.Errorf("fleetd: sync checkpoint dir for %s: %w", rec.ID, err)
 	}
+	// Retire the other format's file (best-effort) so a format switch
+	// never leaves two live records for one job.
+	_ = s.fs.Remove(sibling)
 	return nil
 }
 
-// Remove deletes a job's checkpoint (used when a job is cancelled).
+// Remove deletes a job's checkpoint in both formats (used when a job
+// is cancelled).
 func (s *CheckpointStore) Remove(id string) error {
 	if s == nil {
 		return nil
 	}
-	err := s.fs.Remove(s.path(id))
+	target, sibling := s.path(id)
+	err := s.fs.Remove(target)
 	if os.IsNotExist(err) {
-		return nil
+		err = nil
+	}
+	if serr := s.fs.Remove(sibling); serr != nil && !os.IsNotExist(serr) && err == nil {
+		err = serr
 	}
 	return err
 }
@@ -239,9 +290,10 @@ func (s *CheckpointStore) Load() ([]Record, RecoveryReport) {
 		return nil, report
 	}
 	var recs []Record
+	seen := make(map[string]string) // job id -> file it loaded from
 	for _, ent := range entries {
 		name := ent.Name()
-		if ent.IsDir() || !strings.HasSuffix(name, ckptSuffix) {
+		if ent.IsDir() || (!strings.HasSuffix(name, ckptSuffix) && !strings.HasSuffix(name, ckptBinSuffix)) {
 			continue
 		}
 		data, err := s.fs.ReadFile(filepath.Join(s.dir, name))
@@ -254,6 +306,14 @@ func (s *CheckpointStore) Load() ([]Record, RecoveryReport) {
 			report.Quarantined = append(report.Quarantined, s.quarantine(name, reason))
 			continue
 		}
+		if prev, dup := seen[rec.ID]; dup {
+			// Both formats present for one job (a crash between Write's
+			// rename and its sibling cleanup): keep the first, flag the
+			// other so operators know which file won.
+			report.Errors = append(report.Errors, fmt.Sprintf("duplicate checkpoint for %s: kept %s, ignored %s", rec.ID, prev, name))
+			continue
+		}
+		seen[rec.ID] = name
 		recs = append(recs, rec)
 		report.Loaded++
 	}
@@ -263,7 +323,19 @@ func (s *CheckpointStore) Load() ([]Record, RecoveryReport) {
 
 // decodeCheckpoint parses one checkpoint file. An empty reason means
 // the record is trustworthy; otherwise reason says why it is not.
+// Format dispatch is by content: binary files open with the wire
+// magic, everything else parses as the JSON envelope.
 func decodeCheckpoint(data []byte) (Record, string) {
+	if binaryCheckpoint(data) {
+		rec, err := UnmarshalCheckpoint(data)
+		if err != nil {
+			return Record{}, fmt.Sprintf("binary record undecodable: %v", err)
+		}
+		if rec.ID == "" {
+			return Record{}, "binary record missing job id"
+		}
+		return rec, ""
+	}
 	var env envelope
 	if err := json.Unmarshal(data, &env); err != nil {
 		return Record{}, fmt.Sprintf("undecodable: %v", err)
@@ -302,7 +374,8 @@ func decodeCheckpoint(data []byte) (Record, string) {
 // post-mortem. If the rename fails the file stays put and is skipped.
 func (s *CheckpointStore) quarantine(name, reason string) Quarantine {
 	q := Quarantine{File: name, Reason: reason}
-	dest := strings.TrimSuffix(name, ckptSuffix) + corruptSuffix
+	base := strings.TrimSuffix(strings.TrimSuffix(name, ckptSuffix), ckptBinSuffix)
+	dest := base + corruptSuffix
 	if err := s.fs.Rename(filepath.Join(s.dir, name), filepath.Join(s.dir, dest)); err == nil {
 		q.MovedTo = dest
 	}

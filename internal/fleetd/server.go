@@ -42,6 +42,7 @@ import (
 	"repro/internal/fleetd/api"
 	"repro/internal/obs"
 	"repro/internal/resilience"
+	"repro/internal/wire"
 )
 
 // Config parameterizes a daemon.
@@ -61,6 +62,11 @@ type Config struct {
 	// CheckpointDir persists job checkpoints for resume-after-restart;
 	// empty disables checkpointing.
 	CheckpointDir string
+	// CheckpointFormat selects the checkpoint write encoding:
+	// CheckpointJSON (the default) or CheckpointBinary (the wire
+	// format, internal/wire). Load reads both, so the format can change
+	// across restarts without losing resume state.
+	CheckpointFormat string
 	// CheckpointEvery is the snapshot interval for running jobs;
 	// <= 0 means the default 2s. The drain path always writes a final
 	// snapshot regardless.
@@ -206,6 +212,9 @@ func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	store, err := NewCheckpointStoreFS(cfg.CheckpointDir, cfg.FS)
 	if err != nil {
+		return nil, err
+	}
+	if err := store.SetFormat(cfg.CheckpointFormat); err != nil {
 		return nil, err
 	}
 	ctx, cancel := context.WithCancel(context.Background())
@@ -1008,13 +1017,16 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleStream serves the JSONL progress stream: an opening status
-// line, one sequenced line per lifecycle event, and a closing done
-// line carrying the fingerprint. Event lines carry their position in
-// the job's event log, and ?after=<seq> resumes from that position —
-// a client whose connection died reconnects and receives exactly the
-// events it missed. An offset that has fallen behind the retained
-// window reports the gap on the done line's drop count.
+// handleStream serves the progress stream: an opening status line, one
+// sequenced line per lifecycle event, and a closing done line carrying
+// the fingerprint. Event lines carry their position in the job's event
+// log, and ?after=<seq> resumes from that position — a client whose
+// connection died reconnects and receives exactly the events it
+// missed. An offset that has fallen behind the retained window reports
+// the gap on the done line's drop count. ?format=binary switches the
+// encoding from JSONL to the wire format (internal/wire, DESIGN.md
+// §11) with identical sequence numbers, so resume offsets are
+// interchangeable between formats.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	j := s.lookup(w, r)
 	if j == nil {
@@ -1035,11 +1047,36 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		after = n
 	}
 
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	w.WriteHeader(http.StatusOK)
-	enc := json.NewEncoder(w)
+	var encode func(api.StreamLine) error
+	switch format := r.URL.Query().Get("format"); format {
+	case "", api.StreamFormatJSONL:
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		enc := json.NewEncoder(w)
+		encode = func(line api.StreamLine) error { return enc.Encode(line) }
+	case api.StreamFormatBinary:
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.WriteHeader(http.StatusOK)
+		if _, err := w.Write(wire.AppendHeader(nil)); err != nil {
+			return
+		}
+		var buf []byte // reused frame scratch across lines
+		encode = func(line api.StreamLine) error {
+			out, err := api.AppendStreamLine(buf[:0], &line)
+			if err != nil {
+				return err
+			}
+			buf = out
+			_, err = w.Write(out)
+			return err
+		}
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad stream format %q (want %s or %s)", format, api.StreamFormatJSONL, api.StreamFormatBinary))
+		return
+	}
+
 	st := j.status()
-	if err := enc.Encode(api.StreamLine{Type: api.StreamStatus, Status: &st}); err != nil {
+	if err := encode(api.StreamLine{Type: api.StreamStatus, Status: &st}); err != nil {
 		return
 	}
 	flusher.Flush()
@@ -1051,7 +1088,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		after += gap
 		for i := range evs {
 			seq := first + uint64(i)
-			if err := enc.Encode(api.StreamLine{Type: api.StreamEvent, Seq: seq, Event: &evs[i]}); err != nil {
+			if err := encode(api.StreamLine{Type: api.StreamEvent, Seq: seq, Event: &evs[i]}); err != nil {
 				return
 			}
 			after = seq
@@ -1061,7 +1098,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		}
 		if closed && len(evs) == 0 {
 			st := j.status()
-			_ = enc.Encode(api.StreamLine{
+			_ = encode(api.StreamLine{
 				Type: api.StreamDone, Seq: after, State: st.State,
 				Fingerprint: st.Fingerprint, Error: st.Error,
 				Dropped: dropped,

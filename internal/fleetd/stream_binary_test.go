@@ -1,0 +1,139 @@
+package fleetd
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"reflect"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/fleetd/api"
+)
+
+// collectStream replays a job's stream through a client and returns
+// the event lines plus the terminal line.
+func collectStream(t *testing.T, c *api.Client, id string) ([]api.StreamLine, api.StreamLine) {
+	t.Helper()
+	var events []api.StreamLine
+	done, err := c.Stream(context.Background(), id, func(line api.StreamLine) error {
+		if line.Type == api.StreamEvent {
+			events = append(events, line)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return events, done
+}
+
+// TestStreamBinaryMatchesJSONL replays one finished job's stream in
+// both encodings: the binary stream must deliver the same events with
+// the same sequence numbers and close with the same fingerprint — the
+// two formats are transfer encodings of one log, not two logs.
+func TestStreamBinaryMatchesJSONL(t *testing.T) {
+	_, c := startServer(t, Config{})
+	ctx := context.Background()
+
+	sub, err := c.Submit(ctx, []byte(testSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(ctx, sub.ID, 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+
+	jsonlEvents, jsonlDone := collectStream(t, c, sub.ID)
+	bc := api.NewClient(c.Base(), api.WithStreamFormat(api.StreamFormatBinary))
+	binEvents, binDone := collectStream(t, bc, sub.ID)
+
+	if len(jsonlEvents) == 0 {
+		t.Fatal("finished job replayed no events")
+	}
+	if !reflect.DeepEqual(binEvents, jsonlEvents) {
+		t.Fatalf("binary stream events differ from JSONL:\n bin %+v\njson %+v", binEvents, jsonlEvents)
+	}
+	if binDone.State != jsonlDone.State || binDone.Fingerprint != jsonlDone.Fingerprint {
+		t.Fatalf("terminal lines differ: binary %+v vs jsonl %+v", binDone, jsonlDone)
+	}
+	if binDone.Fingerprint == "" {
+		t.Error("binary done line missing fingerprint")
+	}
+}
+
+// TestStreamBinaryRawProtocol hits the endpoint without the client:
+// the response must open with the wire header, carry the same
+// sequence numbers the JSONL stream uses (so an ?after= offset
+// learned over JSONL resumes a binary stream), and an unknown format
+// must be refused with a 400 before any stream bytes.
+func TestStreamBinaryRawProtocol(t *testing.T) {
+	_, c := startServer(t, Config{})
+	ctx := context.Background()
+
+	sub, err := c.Submit(ctx, []byte(testSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(ctx, sub.ID, 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	jsonlEvents, _ := collectStream(t, c, sub.ID)
+	if len(jsonlEvents) < 2 {
+		t.Fatalf("need at least 2 events to test resume, got %d", len(jsonlEvents))
+	}
+	after := jsonlEvents[len(jsonlEvents)/2].Seq
+
+	get := func(query string) *http.Response {
+		t.Helper()
+		resp, err := http.Get(c.Base() + "/v1/jobs/" + sub.ID + "/stream" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
+	resp := get("?format=binary&after=" + strconv.FormatUint(after, 10))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("binary stream status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Fatalf("binary stream content type %q", ct)
+	}
+	sr := api.NewStreamLineReader(resp.Body)
+	var lines []api.StreamLine
+	for {
+		var line api.StreamLine
+		err := sr.Read(&line)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, line)
+	}
+	if len(lines) < 2 || lines[0].Type != api.StreamStatus || lines[len(lines)-1].Type != api.StreamDone {
+		t.Fatalf("stream shape wrong: %+v", lines)
+	}
+	var resumed []api.StreamLine
+	for _, line := range lines[1 : len(lines)-1] {
+		if line.Type != api.StreamEvent {
+			t.Fatalf("unexpected mid-stream line %+v", line)
+		}
+		if line.Seq <= after {
+			t.Fatalf("resume replayed seq %d, asked for after=%d", line.Seq, after)
+		}
+		resumed = append(resumed, line)
+	}
+	want := jsonlEvents[len(jsonlEvents)/2+1:]
+	if !reflect.DeepEqual(resumed, want) {
+		t.Fatalf("cross-format resume mismatch:\n got %+v\nwant %+v", resumed, want)
+	}
+
+	if resp := get("?format=morse"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown format answered %d, want 400", resp.StatusCode)
+	}
+}

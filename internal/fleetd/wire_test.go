@@ -1,0 +1,331 @@
+package fleetd
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/wire"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden wire fixtures")
+
+// checkpointFixture is a mid-run record with every field populated:
+// two deterministic shard outcomes, a verbatim spec, and the
+// finished-job fields so the done-state shape is covered too.
+func checkpointFixture() Record {
+	return Record{
+		ID:    "job-000042",
+		State: StateRunningCkpt,
+		Spec:  []byte(`{"seed":42,"vehicles":[{"name":"sweep","slots":2000}]}`),
+		Outcomes: []fleet.JobOutcome{
+			{
+				JobInfo: fleet.JobInfo{Index: 0, Name: "sweep[0]", Seed: 42},
+				Status:  fleet.StatusOK,
+				Result: fleet.Result{
+					Metrics:  map[string]float64{"collision_ratio": 0.125, "settle_slots": 1834},
+					Counters: map[string]uint64{"decoded": 1997, "collisions": 3},
+				},
+				Elapsed: 1234567 * time.Nanosecond,
+			},
+			{
+				JobInfo: fleet.JobInfo{Index: 1, Name: "sweep[1]", Seed: 43},
+				Status:  fleet.StatusFailed,
+				Err:     "phy: carrier lost",
+				Elapsed: -1,
+			},
+		},
+		Fingerprint: "sha256:deadbeef",
+		Report:      []byte(`{"ok":true}`),
+		Error:       "",
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	rec := checkpointFixture()
+	size := MarshalCheckpointSize(&rec)
+	data := AppendCheckpoint(nil, &rec)
+	if len(data) != size {
+		t.Fatalf("MarshalCheckpointSize = %d, AppendCheckpoint wrote %d", size, len(data))
+	}
+
+	// Exact-size buffer marshal must match the append image; a buffer
+	// one byte short must refuse.
+	buf := make([]byte, size)
+	n, err := MarshalCheckpoint(buf, &rec)
+	if err != nil || n != size {
+		t.Fatalf("MarshalCheckpoint = (%d, %v), want (%d, nil)", n, err, size)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatal("MarshalCheckpoint image differs from AppendCheckpoint")
+	}
+	if _, err := MarshalCheckpoint(make([]byte, size-1), &rec); !errors.Is(err, wire.ErrShortBuffer) {
+		t.Fatalf("short buffer: got %v, want ErrShortBuffer", err)
+	}
+
+	got, err := UnmarshalCheckpoint(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rec
+	want.Version = checkpointVersion // Write semantics: version is stamped, not copied
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+
+	// Re-encoding the decoded record must be byte-identical — the
+	// canonical-map ordering in the outcome codec makes the encoding a
+	// pure function of the record.
+	if again := AppendCheckpoint(nil, &got); !bytes.Equal(again, data) {
+		t.Fatal("re-encoding a decoded checkpoint changed the bytes")
+	}
+}
+
+// TestCheckpointEmptyRecord covers the queued-state shape: no
+// outcomes, no report, empty strings everywhere but the ID.
+func TestCheckpointEmptyRecord(t *testing.T) {
+	rec := Record{ID: "job-1", State: StateQueuedCkpt, Spec: []byte(`{}`)}
+	data := AppendCheckpoint(nil, &rec)
+	got, err := UnmarshalCheckpoint(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != rec.ID || got.State != rec.State || len(got.Outcomes) != 0 {
+		t.Fatalf("empty-record round trip mismatch: %+v", got)
+	}
+}
+
+func TestCheckpointHostileInput(t *testing.T) {
+	rec := checkpointFixture()
+	data := AppendCheckpoint(nil, &rec)
+
+	// Every truncation point must error (ErrTruncated, ErrBadHeader
+	// for a cut header, or ErrMalformed once the CRC no longer covers
+	// the remaining payload) and never panic.
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := UnmarshalCheckpoint(data[:cut]); err == nil {
+			t.Fatalf("truncation at %d/%d decoded successfully", cut, len(data))
+		}
+	}
+
+	// Trailing bytes after the frame.
+	if _, err := UnmarshalCheckpoint(append(append([]byte(nil), data...), 0xFF)); !errors.Is(err, wire.ErrMalformed) {
+		t.Fatalf("trailing byte: got %v, want ErrMalformed", err)
+	}
+
+	// A flipped payload byte must trip the CRC.
+	corrupt := append([]byte(nil), data...)
+	corrupt[len(corrupt)-1] ^= 0x01
+	if _, err := UnmarshalCheckpoint(corrupt); !errors.Is(err, wire.ErrMalformed) {
+		t.Fatalf("bit flip: got %v, want ErrMalformed (crc)", err)
+	}
+
+	// Wrong frame tag (valid header, wrong record kind).
+	wrongTag := fleet.AppendJobOutcome(wire.AppendHeader(nil), &rec.Outcomes[0])
+	if _, err := UnmarshalCheckpoint(wrongTag); !errors.Is(err, wire.ErrUnknownTag) {
+		t.Fatalf("wrong tag: got %v, want ErrUnknownTag", err)
+	}
+
+	// A future schema version must refuse even with a valid CRC. The
+	// version is the single uvarint byte right after the 4-byte CRC at
+	// the front of the payload (offset header + frame header + 4).
+	future := append([]byte(nil), data...)
+	verAt := wire.HeaderSize + wire.FrameHeaderSize + 4
+	if future[verAt] != checkpointVersion {
+		t.Fatalf("fixture layout changed: byte at %d is %d, want version %d", verAt, future[verAt], checkpointVersion)
+	}
+	future[verAt] = checkpointVersion + 1
+	crc := wire.Checksum(future[verAt:])
+	future[verAt-4] = byte(crc)
+	future[verAt-3] = byte(crc >> 8)
+	future[verAt-2] = byte(crc >> 16)
+	future[verAt-1] = byte(crc >> 24)
+	if _, err := UnmarshalCheckpoint(future); !errors.Is(err, wire.ErrMalformed) || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("future version: got %v, want ErrMalformed mentioning version", err)
+	}
+
+	// Garbage that merely wears the magic must fail cleanly too.
+	if _, err := UnmarshalCheckpoint([]byte("ARWB garbage that is not a checkpoint")); err == nil {
+		t.Fatal("magic-prefixed garbage decoded successfully")
+	}
+}
+
+// TestGoldenCheckpointV1 pins the version-1 binary checkpoint layout:
+// the committed fixture must decode (and re-encode bit-identically)
+// forever. Regenerate deliberately with -update after a versioned
+// format change.
+func TestGoldenCheckpointV1(t *testing.T) {
+	golden := filepath.Join("testdata", "checkpoint_v1.bin")
+	rec := checkpointFixture()
+	data := AppendCheckpoint(nil, &rec)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to generate)", err)
+	}
+	if !bytes.Equal(data, want) {
+		t.Fatal("checkpoint encoding drifted from the committed v1 golden file")
+	}
+	got, err := UnmarshalCheckpoint(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRec := rec
+	wantRec.Version = checkpointVersion
+	if !reflect.DeepEqual(got, wantRec) {
+		t.Fatalf("golden fixture decoded to %+v, want %+v", got, wantRec)
+	}
+}
+
+// FuzzUnmarshalCheckpoint drives hostile bytes through the decoder.
+// Anything that decodes must reach a byte fixed point: re-encoding the
+// decoded record and decoding again yields identical bytes.
+func FuzzUnmarshalCheckpoint(f *testing.F) {
+	rec := checkpointFixture()
+	f.Add(AppendCheckpoint(nil, &rec))
+	empty := Record{ID: "x"}
+	f.Add(AppendCheckpoint(nil, &empty))
+	f.Add([]byte("ARWB"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, err := UnmarshalCheckpoint(data)
+		if err != nil {
+			return
+		}
+		canon := AppendCheckpoint(nil, &rec)
+		rec2, err := UnmarshalCheckpoint(canon)
+		if err != nil {
+			t.Fatalf("re-decoding canonical bytes failed: %v", err)
+		}
+		if again := AppendCheckpoint(nil, &rec2); !bytes.Equal(again, canon) {
+			t.Fatal("checkpoint encoding is not a fixed point")
+		}
+	})
+}
+
+// TestCheckpointStoreBinaryFormat exercises the dual-format store on a
+// real directory: binary writes land as .ckpt.bin and load back
+// exactly, a format switch retires the sibling file, corruption is
+// quarantined, and Remove clears both formats.
+func TestCheckpointStoreBinaryFormat(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewCheckpointStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetFormat("holographic"); err == nil {
+		t.Fatal("SetFormat accepted an unknown format")
+	}
+	if err := s.SetFormat(CheckpointBinary); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := checkpointFixture()
+	if err := s.Write(rec); err != nil {
+		t.Fatal(err)
+	}
+	binPath := filepath.Join(dir, rec.ID+ckptBinSuffix)
+	raw, err := os.ReadFile(binPath)
+	if err != nil {
+		t.Fatalf("binary checkpoint not written: %v", err)
+	}
+	if !binaryCheckpoint(raw) {
+		t.Fatal("binary store wrote a file without the wire magic")
+	}
+
+	recs, report := s.Load()
+	if !report.Clean() || len(recs) != 1 {
+		t.Fatalf("load: %d records, report %s", len(recs), report)
+	}
+	want := rec
+	want.Version = checkpointVersion
+	if !reflect.DeepEqual(recs[0], want) {
+		t.Fatalf("binary store round trip mismatch:\n got %+v\nwant %+v", recs[0], want)
+	}
+
+	// Switching the write format retires the other format's file, so a
+	// job never has two live checkpoints.
+	if err := s.SetFormat(CheckpointJSON); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(rec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(binPath); !os.IsNotExist(err) {
+		t.Fatalf("format switch left the binary sibling behind: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, rec.ID+ckptSuffix)); err != nil {
+		t.Fatalf("json checkpoint missing after format switch: %v", err)
+	}
+
+	// A corrupt binary file is quarantined, not fatal.
+	if err := s.SetFormat(CheckpointBinary); err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), raw...)
+	bad[len(bad)-1] ^= 0x01
+	if err := os.WriteFile(filepath.Join(dir, "job-bad"+ckptBinSuffix), bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, report = s.Load()
+	if len(recs) != 1 || len(report.Quarantined) != 1 {
+		t.Fatalf("corrupt binary file not quarantined: %d records, report %s", len(recs), report)
+	}
+	if q := report.Quarantined[0]; q.MovedTo != "job-bad"+corruptSuffix || !strings.Contains(q.Reason, "binary record undecodable") {
+		t.Fatalf("unexpected quarantine: %+v", q)
+	}
+
+	// Remove clears whichever formats exist.
+	if err := s.Write(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Remove(rec.ID); err != nil {
+		t.Fatal(err)
+	}
+	for _, suffix := range []string{ckptSuffix, ckptBinSuffix} {
+		if _, err := os.Stat(filepath.Join(dir, rec.ID+suffix)); !os.IsNotExist(err) {
+			t.Fatalf("Remove left %s behind", suffix)
+		}
+	}
+}
+
+// TestCheckpointStoreDualFormatDedup: when a crash between Write's
+// rename and sibling cleanup leaves both formats on disk, Load keeps
+// one record per job and reports the duplicate.
+func TestCheckpointStoreDualFormatDedup(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewCheckpointStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := checkpointFixture()
+	if err := s.Write(rec); err != nil { // json
+		t.Fatal(err)
+	}
+	// Plant the binary sibling directly, simulating the torn state.
+	bin := AppendCheckpoint(nil, &rec)
+	if err := os.WriteFile(filepath.Join(dir, rec.ID+ckptBinSuffix), bin, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, report := s.Load()
+	if len(recs) != 1 {
+		t.Fatalf("dual-format job loaded %d records", len(recs))
+	}
+	if len(report.Errors) != 1 || !strings.Contains(report.Errors[0], "duplicate checkpoint") {
+		t.Fatalf("duplicate not reported: %s", report)
+	}
+}

@@ -105,7 +105,7 @@ func analyzerNames() map[string]bool {
 var corePackages = map[string]bool{
 	"biw": true, "pzt": true, "energy": true, "mcu": true, "mac": true,
 	"phy": true, "dsp": true, "tag": true, "reader": true, "sim": true,
-	"faults": true, "strain": true, "core": true,
+	"faults": true, "strain": true, "core": true, "wire": true,
 }
 
 // physicsPackages carry dimensioned physical quantities (dB, volts,

@@ -24,7 +24,8 @@ func unsettleStorm(t *testing.T) ([]obs.Event, []byte) {
 		t.Fatal(err)
 	}
 	r.DisableFutureVeto = true
-	r.Trace = obs.New(sink, obs.NewJSONLSink(&jsonl))
+	js := obs.NewJSONLSink(&jsonl)
+	r.Trace = obs.New(sink, js)
 
 	// Settle phase: one solo decode per tag on the shared residue
 	// class. A high threshold keeps the earlier settlers from being
@@ -63,6 +64,9 @@ func unsettleStorm(t *testing.T) ([]obs.Event, []byte) {
 	}
 	if got := r.SettledCount(); got != 0 {
 		t.Fatalf("miss phase: %d still settled, want 0", got)
+	}
+	if err := js.Close(); err != nil {
+		t.Fatal(err)
 	}
 	return sink.Events(), jsonl.Bytes()
 }

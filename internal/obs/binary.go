@@ -1,0 +1,555 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// Binary trace encoding (internal/wire format, DESIGN.md §11). Each
+// event is one frame whose tag encodes the kind — fixed-size domain
+// separation, so the kind string never travels for known kinds — and
+// whose payload is a presence bitmap followed by the present fields in
+// declaration order. A zero field is absent, exactly mirroring the
+// JSON omitempty contract, and floats travel as IEEE-754 bits, so
+// decode + encoding/json reproduces a native JSONL trace byte for
+// byte. That equivalence is what keeps JSONL the debug surface:
+// arachnet-trace -convert moves between the two without loss.
+
+// kindTag maps each event kind to its frame tag. Order is the
+// vocabulary's declaration order; the table is append-only (a payload
+// change mints a new tag version instead of mutating a row).
+var kindTag = map[Kind]wire.Tag{
+	KindSlotOpen:    wire.TagEventSlotOpen,
+	KindSlotClose:   wire.TagEventSlotClose,
+	KindTagSettle:   wire.TagEventTagSettle,
+	KindTagUnsettle: wire.TagEventTagUnsettle,
+	KindTagEvict:    wire.TagEventTagEvict,
+	KindCutoffOn:    wire.TagEventCutoffOn,
+	KindCutoffOff:   wire.TagEventCutoffOff,
+	KindBrownout:    wire.TagEventBrownout,
+	KindSimEvent:    wire.TagEventSimEvent,
+	KindDecode:      wire.TagEventDecode,
+	KindJobStart:    wire.TagEventJobStart,
+	KindJobFinish:   wire.TagEventJobFinish,
+	KindFaultInject: wire.TagEventFaultInject,
+	KindFaultClear:  wire.TagEventFaultClear,
+	KindTagRejoin:   wire.TagEventTagRejoin,
+}
+
+// tagKind is the decoding inverse of kindTag.
+var tagKind = func() map[wire.Tag]Kind {
+	m := make(map[wire.Tag]Kind, len(kindTag))
+	for k, t := range kindTag {
+		m[t] = k
+	}
+	return m
+}()
+
+// Presence bits, one per Event field in declaration order (Kind rides
+// the tag). A set bit means the field follows in the payload; a clear
+// bit means the field is zero. Bits beyond evBitsAll are a decode
+// error — a future field means a new tag version, never a silent skip.
+const (
+	evSlot = 1 << iota
+	evT
+	evTID
+	evTIDs
+	evDecoded
+	evCollision
+	evACK
+	evEmpty
+	evPeriod
+	evOffset
+	evJob
+	evSeed
+	evName
+	evValue
+	evDetail
+
+	evBitsAll = 1<<15 - 1
+)
+
+// eventBits computes the presence bitmap of ev.
+func eventBits(ev *Event) uint64 {
+	var bits uint64
+	if ev.Slot != 0 {
+		bits |= evSlot
+	}
+	if ev.T != 0 {
+		bits |= evT
+	}
+	if ev.TID != 0 {
+		bits |= evTID
+	}
+	if len(ev.TIDs) != 0 {
+		bits |= evTIDs
+	}
+	if len(ev.Decoded) != 0 {
+		bits |= evDecoded
+	}
+	if ev.Collision {
+		bits |= evCollision
+	}
+	if ev.ACK {
+		bits |= evACK
+	}
+	if ev.Empty {
+		bits |= evEmpty
+	}
+	if ev.Period != 0 {
+		bits |= evPeriod
+	}
+	if ev.Offset != 0 {
+		bits |= evOffset
+	}
+	if ev.Job != 0 {
+		bits |= evJob
+	}
+	if ev.Seed != 0 {
+		bits |= evSeed
+	}
+	if ev.Name != "" {
+		bits |= evName
+	}
+	if ev.Value != 0 {
+		bits |= evValue
+	}
+	if ev.Detail != "" {
+		bits |= evDetail
+	}
+	return bits
+}
+
+// appendIntSlice appends a uvarint count followed by zigzag elements.
+func appendIntSlice(dst []byte, xs []int) []byte {
+	dst = wire.AppendUvarint(dst, uint64(len(xs)))
+	for _, x := range xs {
+		dst = wire.AppendVarint(dst, int64(x))
+	}
+	return dst
+}
+
+// intSliceSize sizes appendIntSlice's output.
+func intSliceSize(xs []int) int {
+	n := wire.UvarintSize(uint64(len(xs)))
+	for _, x := range xs {
+		n += wire.VarintSize(int64(x))
+	}
+	return n
+}
+
+// consumeIntSlice parses a counted zigzag slice, reusing scratch's
+// capacity when it suffices.
+func consumeIntSlice(buf []byte, scratch []int) ([]int, int, error) {
+	count, off, err := wire.ConsumeUvarint(buf)
+	if err != nil {
+		return nil, 0, err
+	}
+	if count > uint64(len(buf)-off) { // each element is ≥ 1 byte
+		return nil, 0, fmt.Errorf("%w: %d slice elements with %d bytes remaining", wire.ErrTruncated, count, len(buf)-off)
+	}
+	if count == 0 {
+		// A nil slice mirrors the encoder (a set bit always carries
+		// elements) and the JSON omitempty contract.
+		return nil, off, nil
+	}
+	out := scratch[:0]
+	for i := uint64(0); i < count; i++ {
+		v, n, err := wire.ConsumeVarint(buf[off:])
+		if err != nil {
+			return nil, 0, err
+		}
+		out = append(out, int(v))
+		off += n
+	}
+	return out, off, nil
+}
+
+// MarshalEventSize returns the exact encoded size of ev's frame.
+func MarshalEventSize(ev *Event) int {
+	bits := eventBits(ev)
+	n := wire.FrameHeaderSize + wire.UvarintSize(bits)
+	if _, known := kindTag[ev.Kind]; !known {
+		n += wire.StringSize(string(ev.Kind))
+	}
+	if bits&evSlot != 0 {
+		n += wire.VarintSize(int64(ev.Slot))
+	}
+	if bits&evT != 0 {
+		n += 8
+	}
+	if bits&evTID != 0 {
+		n += wire.VarintSize(int64(ev.TID))
+	}
+	if bits&evTIDs != 0 {
+		n += intSliceSize(ev.TIDs)
+	}
+	if bits&evDecoded != 0 {
+		n += intSliceSize(ev.Decoded)
+	}
+	if bits&evPeriod != 0 {
+		n += wire.VarintSize(int64(ev.Period))
+	}
+	if bits&evOffset != 0 {
+		n += wire.VarintSize(int64(ev.Offset))
+	}
+	if bits&evJob != 0 {
+		n += wire.VarintSize(int64(ev.Job))
+	}
+	if bits&evSeed != 0 {
+		n += 8
+	}
+	if bits&evName != 0 {
+		n += wire.StringSize(ev.Name)
+	}
+	if bits&evValue != 0 {
+		n += 8
+	}
+	if bits&evDetail != 0 {
+		n += wire.StringSize(ev.Detail)
+	}
+	return n
+}
+
+// AppendEvent appends ev as one wire frame. This is the BinarySink hot
+// path: a single pass, the length prefix backfilled, no intermediate
+// buffers.
+//
+//alloc:hot steady-state trace encoding; appends into the sink's reused batch buffer, allocating only on one-time growth
+func AppendEvent(dst []byte, ev *Event) []byte {
+	tag, known := kindTag[ev.Kind]
+	if !known {
+		tag = wire.TagEventOther
+	}
+	start := len(dst)
+	dst = wire.BeginFrame(dst, tag)
+	if !known {
+		dst = wire.AppendString(dst, string(ev.Kind))
+	}
+	bits := eventBits(ev)
+	dst = wire.AppendUvarint(dst, bits)
+	if bits&evSlot != 0 {
+		dst = wire.AppendVarint(dst, int64(ev.Slot))
+	}
+	if bits&evT != 0 {
+		dst = wire.AppendF64Bits(dst, ev.T)
+	}
+	if bits&evTID != 0 {
+		dst = wire.AppendVarint(dst, int64(ev.TID))
+	}
+	if bits&evTIDs != 0 {
+		dst = appendIntSlice(dst, ev.TIDs)
+	}
+	if bits&evDecoded != 0 {
+		dst = appendIntSlice(dst, ev.Decoded)
+	}
+	if bits&evPeriod != 0 {
+		dst = wire.AppendVarint(dst, int64(ev.Period))
+	}
+	if bits&evOffset != 0 {
+		dst = wire.AppendVarint(dst, int64(ev.Offset))
+	}
+	if bits&evJob != 0 {
+		dst = wire.AppendVarint(dst, int64(ev.Job))
+	}
+	if bits&evSeed != 0 {
+		dst = wire.AppendU64(dst, ev.Seed)
+	}
+	if bits&evName != 0 {
+		dst = wire.AppendString(dst, ev.Name)
+	}
+	if bits&evValue != 0 {
+		dst = wire.AppendF64Bits(dst, ev.Value)
+	}
+	if bits&evDetail != 0 {
+		dst = wire.AppendString(dst, ev.Detail)
+	}
+	return wire.EndFrame(dst, start)
+}
+
+// MarshalEvent encodes ev into buf, which must be at least
+// MarshalEventSize(ev) long; it returns the bytes written.
+func MarshalEvent(buf []byte, ev *Event) (int, error) {
+	size := MarshalEventSize(ev)
+	if len(buf) < size {
+		return 0, fmt.Errorf("%w: event needs %d bytes, buffer holds %d", wire.ErrShortBuffer, size, len(buf))
+	}
+	return len(AppendEvent(buf[:0], ev)), nil
+}
+
+// UnmarshalEvent parses one event frame from the front of buf into ev
+// (overwriting it completely, reusing its slice capacity) and returns
+// the bytes consumed. Unknown tags and malformed payloads return
+// errors wrapping the wire sentinels; hostile input never panics.
+func UnmarshalEvent(buf []byte, ev *Event) (int, error) {
+	tag, payload, n, err := wire.ConsumeFrame(buf)
+	if err != nil {
+		return 0, err
+	}
+	kind, known := tagKind[tag]
+	tids, decoded := ev.TIDs[:0], ev.Decoded[:0]
+	*ev = Event{}
+	off := 0
+	switch {
+	case known:
+		ev.Kind = kind
+	case tag == wire.TagEventOther:
+		s, m, err := wire.ConsumeString(payload)
+		if err != nil {
+			return 0, err
+		}
+		ev.Kind = Kind(s)
+		off = m
+	default:
+		return 0, fmt.Errorf("%w: %s is not a trace event tag", wire.ErrUnknownTag, tag)
+	}
+	bits, m, err := wire.ConsumeUvarint(payload[off:])
+	if err != nil {
+		return 0, err
+	}
+	off += m
+	if bits&^uint64(evBitsAll) != 0 {
+		return 0, fmt.Errorf("%w: unknown event field bits %#x (a newer field means a new tag version)", wire.ErrMalformed, bits&^uint64(evBitsAll))
+	}
+	if bits&evSlot != 0 {
+		v, m, err := wire.ConsumeVarint(payload[off:])
+		if err != nil {
+			return 0, err
+		}
+		ev.Slot, off = int(v), off+m
+	}
+	if bits&evT != 0 {
+		v, m, err := wire.ConsumeF64Bits(payload[off:])
+		if err != nil {
+			return 0, err
+		}
+		ev.T, off = v, off+m
+	}
+	if bits&evTID != 0 {
+		v, m, err := wire.ConsumeVarint(payload[off:])
+		if err != nil {
+			return 0, err
+		}
+		ev.TID, off = int(v), off+m
+	}
+	if bits&evTIDs != 0 {
+		xs, m, err := consumeIntSlice(payload[off:], tids)
+		if err != nil {
+			return 0, err
+		}
+		ev.TIDs, off = xs, off+m
+	}
+	if bits&evDecoded != 0 {
+		xs, m, err := consumeIntSlice(payload[off:], decoded)
+		if err != nil {
+			return 0, err
+		}
+		ev.Decoded, off = xs, off+m
+	}
+	ev.Collision = bits&evCollision != 0
+	ev.ACK = bits&evACK != 0
+	ev.Empty = bits&evEmpty != 0
+	if bits&evPeriod != 0 {
+		v, m, err := wire.ConsumeVarint(payload[off:])
+		if err != nil {
+			return 0, err
+		}
+		ev.Period, off = int(v), off+m
+	}
+	if bits&evOffset != 0 {
+		v, m, err := wire.ConsumeVarint(payload[off:])
+		if err != nil {
+			return 0, err
+		}
+		ev.Offset, off = int(v), off+m
+	}
+	if bits&evJob != 0 {
+		v, m, err := wire.ConsumeVarint(payload[off:])
+		if err != nil {
+			return 0, err
+		}
+		ev.Job, off = int(v), off+m
+	}
+	if bits&evSeed != 0 {
+		v, m, err := wire.ConsumeU64(payload[off:])
+		if err != nil {
+			return 0, err
+		}
+		ev.Seed, off = v, off+m
+	}
+	if bits&evName != 0 {
+		s, m, err := wire.ConsumeString(payload[off:])
+		if err != nil {
+			return 0, err
+		}
+		ev.Name, off = s, off+m
+	}
+	if bits&evValue != 0 {
+		v, m, err := wire.ConsumeF64Bits(payload[off:])
+		if err != nil {
+			return 0, err
+		}
+		ev.Value, off = v, off+m
+	}
+	if bits&evDetail != 0 {
+		s, m, err := wire.ConsumeString(payload[off:])
+		if err != nil {
+			return 0, err
+		}
+		ev.Detail, off = s, off+m
+	}
+	if off != len(payload) {
+		return 0, fmt.Errorf("%w: %d trailing bytes in event frame", wire.ErrMalformed, len(payload)-off)
+	}
+	return n, nil
+}
+
+// binaryFlushAt is the BinarySink batch threshold: Emit appends frames
+// to the in-memory batch and only crosses into the writer when this
+// many bytes are pending, so steady-state tracing costs an append, not
+// a syscall.
+const binaryFlushAt = 32 << 10
+
+// BinarySink writes the wire-format binary trace stream to w: the
+// stream header once, then one frame per event, batched. The encode
+// path reuses one scratch buffer, so a steady-state Emit performs zero
+// allocations (gated by AllocsPerRun and the static escape baseline).
+// Write errors are sticky, matching JSONLSink: the first failure stops
+// further output and is reported by Err/Close. Safe for concurrent
+// use.
+type BinarySink struct {
+	mu  sync.Mutex
+	w   io.Writer
+	buf []byte
+	err error
+}
+
+// NewBinarySink traces to w in the binary wire format. Call Close (or
+// Flush) when the run completes — events are batched, so dropping the
+// sink without flushing loses the tail.
+func NewBinarySink(w io.Writer) *BinarySink {
+	s := &BinarySink{w: w, buf: make([]byte, 0, binaryFlushAt+4<<10)}
+	s.buf = wire.AppendHeader(s.buf)
+	return s
+}
+
+// Emit implements Sink.
+//
+//alloc:hot steady-state trace emission: one frame append into the reused batch buffer, no encoder state, no syscall until the batch fills
+func (s *BinarySink) Emit(ev Event) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.buf = AppendEvent(s.buf, &ev)
+		if len(s.buf) >= binaryFlushAt {
+			s.flushLocked()
+		}
+	}
+	s.mu.Unlock()
+}
+
+// flushLocked writes the pending batch; the caller holds s.mu.
+func (s *BinarySink) flushLocked() {
+	if s.err != nil || len(s.buf) == 0 {
+		return
+	}
+	_, err := s.w.Write(s.buf)
+	s.buf = s.buf[:0]
+	if err != nil {
+		s.err = err
+	}
+}
+
+// Flush writes any batched frames through to w and reports the sticky
+// error state.
+func (s *BinarySink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.flushLocked()
+	return s.err
+}
+
+// Close flushes and reports the first write error, if any. It does not
+// close the underlying writer.
+func (s *BinarySink) Close() error { return s.Flush() }
+
+// Err returns the first write error, or nil.
+func (s *BinarySink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// EventReader decodes a binary trace stream produced by BinarySink
+// (or any wire-format writer): the header, then one event per frame.
+type EventReader struct {
+	fr *wire.FrameReader
+}
+
+// NewEventReader reads the binary trace stream from r.
+func NewEventReader(r io.Reader) *EventReader {
+	return &EventReader{fr: wire.NewFrameReader(r)}
+}
+
+// Read parses the next event into ev. It returns io.EOF at a clean
+// stream end (between frames) and a wire error for truncated or
+// malformed input.
+func (er *EventReader) Read(ev *Event) error {
+	_, frame, err := er.fr.Next()
+	if err != nil {
+		return err
+	}
+	_, err = UnmarshalEvent(frame, ev)
+	return err
+}
+
+// ConvertBinaryToJSONL decodes a binary trace stream from r and writes
+// the equivalent JSONL to w. Because the binary codec preserves exact
+// float bits and the zero-is-absent contract, the output is
+// byte-identical to the JSONL the same run would have emitted natively.
+func ConvertBinaryToJSONL(r io.Reader, w io.Writer) error {
+	er := NewEventReader(r)
+	bw := bufio.NewWriterSize(w, 64<<10)
+	enc := json.NewEncoder(bw)
+	var ev Event
+	for {
+		err := er.Read(&ev)
+		if err == io.EOF {
+			return bw.Flush()
+		}
+		if err != nil {
+			return err
+		}
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+}
+
+// ConvertJSONLToBinary encodes a JSONL trace stream from r into the
+// binary wire format on w — the inverse of ConvertBinaryToJSONL, so
+// existing JSONL traces can join binary tooling.
+func ConvertJSONLToBinary(r io.Reader, w io.Writer) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<24)
+	sink := NewBinarySink(w)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return fmt.Errorf("obs: decode JSONL event: %w", err)
+		}
+		sink.Emit(ev)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return sink.Close()
+}

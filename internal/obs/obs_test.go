@@ -79,7 +79,7 @@ func TestJSONLSinkRoundTrip(t *testing.T) {
 	tr := New(sink)
 	tr.Emit(Event{Kind: KindTagSettle, Slot: 7, TID: 3, Period: 8, Offset: 5})
 	tr.Emit(Event{Kind: KindSlotClose, Slot: 7, TIDs: []int{3}, Decoded: []int{3}, ACK: true})
-	if err := sink.Err(); err != nil {
+	if err := sink.Close(); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
@@ -110,19 +110,56 @@ func (w *failWriter) Write(p []byte) (int, error) {
 }
 
 func TestJSONLSinkStickyError(t *testing.T) {
-	sink := NewJSONLSink(&failWriter{n: 1})
+	// Writes are buffered, so the failure surfaces on Flush (or on the
+	// Emit whose encode crosses the buffer boundary), stays sticky, and
+	// later Emits must not clear it.
+	sink := NewJSONLSink(&failWriter{n: 0})
 	sink.Emit(Event{Kind: KindSlotOpen})
-	if err := sink.Err(); err != nil {
-		t.Fatalf("first write failed: %v", err)
-	}
-	sink.Emit(Event{Kind: KindSlotOpen})
-	if sink.Err() == nil {
-		t.Fatal("write error not captured")
+	if sink.Flush() == nil {
+		t.Fatal("write error not captured on flush")
 	}
 	sink.Emit(Event{Kind: KindSlotOpen}) // must not clear the error
 	if sink.Err() == nil {
 		t.Fatal("sticky error cleared")
 	}
+	if sink.Close() == nil {
+		t.Fatal("close must keep reporting the sticky error")
+	}
+}
+
+func TestJSONLSinkBuffersWrites(t *testing.T) {
+	// The satellite contract: events accumulate in the buffer (no
+	// syscall per event) and reach the writer on Flush.
+	cw := &countWriter{}
+	sink := NewJSONLSink(cw)
+	for i := 0; i < 100; i++ {
+		sink.Emit(Event{Kind: KindSlotClose, Slot: i})
+	}
+	if cw.writes != 0 {
+		t.Fatalf("expected buffered writes, saw %d before flush", cw.writes)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if cw.writes == 0 || cw.bytes == 0 {
+		t.Fatal("flush wrote nothing")
+	}
+	lines := bytes.Count(cw.buf.Bytes(), []byte("\n"))
+	if lines != 100 {
+		t.Fatalf("flushed %d lines, want 100", lines)
+	}
+}
+
+type countWriter struct {
+	buf    bytes.Buffer
+	writes int
+	bytes  int
+}
+
+func (w *countWriter) Write(p []byte) (int, error) {
+	w.writes++
+	w.bytes += len(p)
+	return w.buf.Write(p)
 }
 
 func TestMetricsSnapshotDeterministic(t *testing.T) {

@@ -1,24 +1,37 @@
 package obs
 
 import (
+	"bufio"
 	"encoding/json"
 	"io"
 	"sync"
 )
 
-// JSONLSink writes one JSON object per event to w. Write errors are
-// sticky: the first failure stops all further output and is reported by
-// Err(), so a full disk yields a diagnosable error instead of a
-// silently truncated trace.
+// jsonlBufSize is the JSONLSink write buffer. Before PR 10 every event
+// was one unbuffered Write (a syscall per event on a file sink); now
+// lines accumulate in a bufio.Writer and reach w in buffer-sized
+// batches. Call Flush or Close when the run completes.
+const jsonlBufSize = 64 << 10
+
+// JSONLSink writes one JSON object per event to w, buffered. Write and
+// encode errors are sticky: the first failure stops all further output
+// and is reported by Err/Flush/Close, so a full disk yields a
+// diagnosable error instead of a silently truncated trace. Because
+// writes are buffered, a mid-stream failure may surface on a later
+// Emit or on Flush rather than on the Emit that owned the bytes.
 type JSONLSink struct {
 	mu  sync.Mutex
+	bw  *bufio.Writer
 	enc *json.Encoder
 	err error
 }
 
-// NewJSONLSink traces to w as JSON lines.
+// NewJSONLSink traces to w as JSON lines. Call Close (or Flush) when
+// the run completes — dropping the sink without flushing loses the
+// buffered tail.
 func NewJSONLSink(w io.Writer) *JSONLSink {
-	return &JSONLSink{enc: json.NewEncoder(w)}
+	bw := bufio.NewWriterSize(w, jsonlBufSize)
+	return &JSONLSink{bw: bw, enc: json.NewEncoder(bw)}
 }
 
 // Emit implements Sink.
@@ -31,7 +44,25 @@ func (s *JSONLSink) Emit(ev Event) {
 	s.err = s.enc.Encode(ev)
 }
 
-// Err returns the first write or encode error, or nil.
+// Flush writes buffered lines through to w and reports the sticky
+// error state.
+func (s *JSONLSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	s.err = s.bw.Flush()
+	return s.err
+}
+
+// Close flushes and reports the first write error, if any. It does not
+// close the underlying writer.
+func (s *JSONLSink) Close() error { return s.Flush() }
+
+// Err returns the first write or encode error, or nil. It does not
+// flush; a clean Err after Emit only says the buffered encode
+// succeeded.
 func (s *JSONLSink) Err() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()

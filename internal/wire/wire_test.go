@@ -1,0 +1,234 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestScalarRoundTrip(t *testing.T) {
+	var buf []byte
+	buf = AppendUvarint(buf, 0)
+	buf = AppendUvarint(buf, 300)
+	buf = AppendUvarint(buf, math.MaxUint64)
+	buf = AppendVarint(buf, -1)
+	buf = AppendVarint(buf, math.MinInt64)
+	buf = AppendU32(buf, 0xdeadbeef)
+	buf = AppendU64(buf, 1<<63)
+	buf = AppendF64Bits(buf, -0.1)
+	buf = AppendString(buf, "hello")
+	buf = AppendBytes(buf, nil)
+
+	off := 0
+	for i, want := range []uint64{0, 300, math.MaxUint64} {
+		v, n, err := ConsumeUvarint(buf[off:])
+		if err != nil || v != want {
+			t.Fatalf("uvarint %d: got %d, %v; want %d", i, v, err, want)
+		}
+		off += n
+	}
+	for i, want := range []int64{-1, math.MinInt64} {
+		v, n, err := ConsumeVarint(buf[off:])
+		if err != nil || v != want {
+			t.Fatalf("varint %d: got %d, %v; want %d", i, v, err, want)
+		}
+		off += n
+	}
+	u32, n, err := ConsumeU32(buf[off:])
+	if err != nil || u32 != 0xdeadbeef {
+		t.Fatalf("u32: got %x, %v", u32, err)
+	}
+	off += n
+	u64, n, err := ConsumeU64(buf[off:])
+	if err != nil || u64 != 1<<63 {
+		t.Fatalf("u64: got %x, %v", u64, err)
+	}
+	off += n
+	f, n, err := ConsumeF64Bits(buf[off:])
+	if err != nil || math.Float64bits(f) != math.Float64bits(-0.1) {
+		t.Fatalf("f64: got %v, %v", f, err)
+	}
+	off += n
+	s, n, err := ConsumeString(buf[off:])
+	if err != nil || s != "hello" {
+		t.Fatalf("string: got %q, %v", s, err)
+	}
+	off += n
+	b, n, err := ConsumeBytes(buf[off:])
+	if err != nil || b != nil {
+		t.Fatalf("bytes: got %v, %v; want nil", b, err)
+	}
+	off += n
+	if off != len(buf) {
+		t.Fatalf("consumed %d of %d bytes", off, len(buf))
+	}
+}
+
+func TestSizeHelpersMatchAppend(t *testing.T) {
+	for _, v := range []uint64{0, 1, 127, 128, 1 << 20, math.MaxUint64} {
+		if got, want := UvarintSize(v), len(AppendUvarint(nil, v)); got != want {
+			t.Errorf("UvarintSize(%d) = %d, append writes %d", v, got, want)
+		}
+	}
+	for _, v := range []int64{0, -1, 63, -64, math.MaxInt64, math.MinInt64} {
+		if got, want := VarintSize(v), len(AppendVarint(nil, v)); got != want {
+			t.Errorf("VarintSize(%d) = %d, append writes %d", v, got, want)
+		}
+	}
+	if got, want := StringSize("abc"), len(AppendString(nil, "abc")); got != want {
+		t.Errorf("StringSize = %d, append writes %d", got, want)
+	}
+}
+
+func TestConsumeTruncated(t *testing.T) {
+	full := AppendString(nil, "some trailing payload")
+	for cut := 0; cut < len(full); cut++ {
+		if _, _, err := ConsumeString(full[:cut]); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut at %d: err = %v, want ErrTruncated", cut, err)
+		}
+	}
+	if _, _, err := ConsumeU32([]byte{1, 2}); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short u32: %v", err)
+	}
+	if _, _, err := ConsumeF64Bits([]byte{1}); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short f64: %v", err)
+	}
+}
+
+func TestConsumeUvarintOverflow(t *testing.T) {
+	over := bytes.Repeat([]byte{0xff}, 11)
+	if _, _, err := ConsumeUvarint(over); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("overflowing uvarint: %v, want ErrMalformed", err)
+	}
+	// 10 continuation bytes with no terminator read as truncated, not
+	// as a bogus value.
+	if _, _, err := ConsumeUvarint(over[:10]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("unterminated uvarint: %v, want ErrTruncated", err)
+	}
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	buf := AppendHeader(nil)
+	if len(buf) != HeaderSize {
+		t.Fatalf("header is %d bytes, want %d", len(buf), HeaderSize)
+	}
+	n, err := ConsumeHeader(buf)
+	if err != nil || n != HeaderSize {
+		t.Fatalf("ConsumeHeader: %d, %v", n, err)
+	}
+	if _, err := ConsumeHeader(buf[:5]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short header: %v", err)
+	}
+	bad := append([]byte(nil), buf...)
+	bad[0] = 'X'
+	if _, err := ConsumeHeader(bad); !errors.Is(err, ErrBadHeader) {
+		t.Fatalf("bad magic: %v", err)
+	}
+	future := AppendHeader(nil)
+	future[4] = 99
+	if _, err := ConsumeHeader(future); !errors.Is(err, ErrBadHeader) {
+		t.Fatalf("future version: %v", err)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	payload := []byte("the payload")
+	buf := AppendFrame(nil, TagCheckpoint, payload)
+	tag, got, n, err := ConsumeFrame(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tag != TagCheckpoint || !bytes.Equal(got, payload) || n != len(buf) {
+		t.Fatalf("frame round trip: tag %s payload %q n %d", tag, got, n)
+	}
+
+	// Begin/End framing produces identical bytes.
+	start := 0
+	alt := BeginFrame(nil, TagCheckpoint)
+	alt = append(alt, payload...)
+	alt = EndFrame(alt, start)
+	if !bytes.Equal(alt, buf) {
+		t.Fatalf("BeginFrame/EndFrame differs from AppendFrame:\n%x\n%x", alt, buf)
+	}
+}
+
+func TestConsumeFrameHostileLengths(t *testing.T) {
+	buf := AppendFrame(nil, TagStreamEvent, []byte("xy"))
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, _, err := ConsumeFrame(buf[:cut]); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut at %d: %v, want ErrTruncated", cut, err)
+		}
+	}
+	// A declared length past MaxFrame must be refused before any
+	// allocation, not trusted.
+	huge := append([]byte(nil), buf...)
+	huge[4], huge[5], huge[6], huge[7] = 0xff, 0xff, 0xff, 0xff
+	if _, _, _, err := ConsumeFrame(huge); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("oversize frame: %v, want ErrMalformed", err)
+	}
+}
+
+func TestSpecEnvelopeRoundTrip(t *testing.T) {
+	spec := []byte(`{"seed":1,"vehicles":[{"name":"veh","pattern":"c3"}]}`)
+	buf := AppendSpec(nil, spec)
+	if len(buf) != MarshalSpecSize(spec) {
+		t.Fatalf("envelope is %d bytes, MarshalSpecSize says %d", len(buf), MarshalSpecSize(spec))
+	}
+	got, n, err := UnmarshalSpec(buf)
+	if err != nil || n != len(buf) || !bytes.Equal(got, spec) {
+		t.Fatalf("UnmarshalSpec: %q, %d, %v", got, n, err)
+	}
+
+	// Marshal into an exact-size caller buffer.
+	exact := make([]byte, MarshalSpecSize(spec))
+	if n, err := MarshalSpec(exact, spec); err != nil || n != len(exact) {
+		t.Fatalf("MarshalSpec: %d, %v", n, err)
+	}
+	if !bytes.Equal(exact, buf) {
+		t.Fatal("MarshalSpec bytes differ from AppendSpec")
+	}
+	if _, err := MarshalSpec(make([]byte, 3), spec); !errors.Is(err, ErrShortBuffer) {
+		t.Fatalf("short marshal buffer: %v", err)
+	}
+
+	// A flipped spec byte fails the CRC.
+	corrupt := append([]byte(nil), buf...)
+	corrupt[len(corrupt)-2] ^= 0x40
+	if _, _, err := UnmarshalSpec(corrupt); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("corrupt spec: %v, want ErrMalformed", err)
+	}
+
+	// A wrong tag is rejected, not misparsed.
+	wrong := AppendFrame(nil, TagStreamDone, buf[FrameHeaderSize:])
+	if _, _, err := UnmarshalSpec(wrong); !errors.Is(err, ErrUnknownTag) {
+		t.Fatalf("wrong tag: %v, want ErrUnknownTag", err)
+	}
+}
+
+func TestChecksumMatchesCastagnoli(t *testing.T) {
+	// Pin the polynomial: the fleetd JSON envelope has used CRC-32C
+	// since PR 8, and the binary envelope must agree with it.
+	if got := Checksum([]byte("123456789")); got != 0xe3069283 {
+		t.Fatalf("Checksum(123456789) = %08x, want e3069283 (CRC-32C)", got)
+	}
+}
+
+func FuzzUnmarshalSpec(f *testing.F) {
+	f.Add(AppendSpec(nil, []byte(`{"seed":1}`)))
+	f.Add(AppendSpec(nil, nil))
+	f.Add([]byte("FSP1\x04\x00\x00\x00junk"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, n, err := UnmarshalSpec(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d", n, len(data))
+		}
+		// Whatever decodes must re-encode to the identical envelope.
+		if !bytes.Equal(AppendSpec(nil, spec), data[:n]) {
+			t.Fatal("re-encoded spec envelope differs")
+		}
+	})
+}
